@@ -1,0 +1,95 @@
+//! Error type shared by the ADT layer.
+
+use std::fmt;
+
+/// Errors raised while manipulating values, types, or the function registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdtError {
+    /// A function was invoked with an argument of the wrong kind.
+    TypeMismatch {
+        /// Function or operation that rejected the argument.
+        function: String,
+        /// What the function expected.
+        expected: String,
+        /// A rendering of what it received.
+        found: String,
+    },
+    /// A function was invoked with the wrong number of arguments.
+    Arity {
+        /// Function name.
+        function: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments received.
+        found: usize,
+    },
+    /// The named function is not registered.
+    UnknownFunction(String),
+    /// The named type is not registered.
+    UnknownType(String),
+    /// A type with this name already exists.
+    DuplicateType(String),
+    /// Dereferencing an object identifier that is not in the store.
+    DanglingOid(u64),
+    /// `choice` or a similar selector was applied to an empty collection.
+    EmptyCollection(String),
+    /// An enumeration value outside the declared set.
+    InvalidEnumValue {
+        /// Enumeration type name.
+        ty: String,
+        /// Offending literal.
+        value: String,
+    },
+    /// Index out of bounds for a list/array access.
+    IndexOutOfBounds {
+        /// Requested index (1-based, as in ESQL).
+        index: i64,
+        /// Collection length.
+        len: usize,
+    },
+    /// Division by zero or other arithmetic failure.
+    Arithmetic(String),
+    /// Catch-all for user-defined method failures.
+    Custom(String),
+}
+
+impl fmt::Display for AdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdtError::TypeMismatch {
+                function,
+                expected,
+                found,
+            } => write!(f, "{function}: expected {expected}, found {found}"),
+            AdtError::Arity {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{function}: expected {expected} arguments, found {found}"
+            ),
+            AdtError::UnknownFunction(name) => write!(f, "unknown function '{name}'"),
+            AdtError::UnknownType(name) => write!(f, "unknown type '{name}'"),
+            AdtError::DuplicateType(name) => write!(f, "type '{name}' already defined"),
+            AdtError::DanglingOid(oid) => write!(f, "dangling object identifier #{oid}"),
+            AdtError::EmptyCollection(op) => write!(f, "{op} applied to an empty collection"),
+            AdtError::InvalidEnumValue { ty, value } => {
+                write!(f, "'{value}' is not a value of enumeration {ty}")
+            }
+            AdtError::IndexOutOfBounds { index, len } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for collection of length {len}"
+                )
+            }
+            AdtError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            AdtError::Custom(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdtError {}
+
+/// Convenient result alias for the ADT layer.
+pub type AdtResult<T> = Result<T, AdtError>;

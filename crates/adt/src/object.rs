@@ -1,0 +1,152 @@
+//! Object store: identity-bearing data.
+//!
+//! ESQL supports both values and objects; an object is a unique identifier
+//! with a value bound to it, and only objects may be referentially shared
+//! (Section 2.1). The store maps OIDs to `(type name, value)` pairs and is
+//! the target of the system `VALUE` built-in that dereferences an OID.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{AdtError, AdtResult};
+use crate::value::Value;
+
+/// An object identifier. Opaque, allocated sequentially by the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One stored object.
+#[derive(Debug, Clone, PartialEq)]
+struct StoredObject {
+    /// Name of the object type (e.g. `Actor`); used by `ISA` dispatch.
+    type_name: String,
+    /// The bound value (usually a tuple).
+    value: Value,
+}
+
+/// In-memory object store.
+#[derive(Debug, Default, Clone)]
+pub struct ObjectStore {
+    next: u64,
+    objects: HashMap<u64, StoredObject>,
+}
+
+impl ObjectStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh object of type `type_name` bound to `value` and
+    /// return its identifier.
+    pub fn create(&mut self, type_name: impl Into<String>, value: Value) -> Oid {
+        let oid = Oid(self.next);
+        self.next += 1;
+        self.objects.insert(
+            oid.0,
+            StoredObject {
+                type_name: type_name.into(),
+                value,
+            },
+        );
+        oid
+    }
+
+    /// Dereference: the `VALUE` system built-in.
+    pub fn value(&self, oid: Oid) -> AdtResult<&Value> {
+        self.objects
+            .get(&oid.0)
+            .map(|o| &o.value)
+            .ok_or(AdtError::DanglingOid(oid.0))
+    }
+
+    /// Dynamic type name of an object.
+    pub fn type_of(&self, oid: Oid) -> AdtResult<&str> {
+        self.objects
+            .get(&oid.0)
+            .map(|o| o.type_name.as_str())
+            .ok_or(AdtError::DanglingOid(oid.0))
+    }
+
+    /// Rebind the value of an existing object (object update preserves
+    /// identity; all shared references observe the new value).
+    pub fn update(&mut self, oid: Oid, value: Value) -> AdtResult<()> {
+        match self.objects.get_mut(&oid.0) {
+            Some(slot) => {
+                slot.value = value;
+                Ok(())
+            }
+            None => Err(AdtError::DanglingOid(oid.0)),
+        }
+    }
+
+    /// Delete an object. Later dereferences of its OID fail.
+    pub fn delete(&mut self, oid: Oid) -> AdtResult<()> {
+        self.objects
+            .remove(&oid.0)
+            .map(|_| ())
+            .ok_or(AdtError::DanglingOid(oid.0))
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterate over `(oid, type name, value)` of all live objects, in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Oid, &str, &Value)> {
+        self.objects
+            .iter()
+            .map(|(k, v)| (Oid(*k), v.type_name.as_str(), &v.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_and_deref() {
+        let mut store = ObjectStore::new();
+        let v = Value::Tuple(vec![Value::str("Quinn"), 12000.into()]);
+        let oid = store.create("Actor", v.clone());
+        assert_eq!(store.value(oid).unwrap(), &v);
+        assert_eq!(store.type_of(oid).unwrap(), "Actor");
+    }
+
+    #[test]
+    fn identity_is_preserved_across_update() {
+        let mut store = ObjectStore::new();
+        let oid = store.create("Actor", Value::Int(1));
+        store.update(oid, Value::Int(2)).unwrap();
+        assert_eq!(store.value(oid).unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn distinct_objects_get_distinct_oids() {
+        let mut store = ObjectStore::new();
+        let a = store.create("Actor", Value::Int(1));
+        let b = store.create("Actor", Value::Int(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dangling_deref_fails() {
+        let mut store = ObjectStore::new();
+        let oid = store.create("Actor", Value::Int(1));
+        store.delete(oid).unwrap();
+        assert_eq!(store.value(oid).unwrap_err(), AdtError::DanglingOid(oid.0));
+    }
+}

@@ -1,0 +1,400 @@
+//! The extensible ADT function registry.
+//!
+//! The paper's optimizer is extensible because the database implementor can
+//! add methods to the DBMS ADT library and refer to them from rewrite rules
+//! and queries. The registry maps (case-insensitive) function names to
+//! native Rust implementations, replacing the paper's C++ method bodies.
+//! All built-in collection functions of Figure 1 plus `VALUE` (object
+//! dereference) and arithmetic are pre-registered.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::collection as coll;
+use crate::error::{AdtError, AdtResult};
+use crate::object::ObjectStore;
+use crate::types::TypeRegistry;
+use crate::value::{CollKind, Value};
+
+/// Context handed to native functions: read access to the object store and
+/// the type registry (for `VALUE`, `ISA`-flavoured functions, enum checks).
+pub struct EvalContext<'a> {
+    /// Object store for OID dereference.
+    pub objects: &'a ObjectStore,
+    /// Type registry for subtype checks.
+    pub types: &'a TypeRegistry,
+}
+
+/// Signature arity of a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n` arguments.
+    Exact(usize),
+    /// At least `n` arguments.
+    AtLeast(usize),
+}
+
+impl Arity {
+    fn check(&self, name: &str, n: usize) -> AdtResult<()> {
+        let ok = match self {
+            Arity::Exact(k) => n == *k,
+            Arity::AtLeast(k) => n >= *k,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(AdtError::Arity {
+                function: name.to_owned(),
+                expected: match self {
+                    Arity::Exact(k) | Arity::AtLeast(k) => *k,
+                },
+                found: n,
+            })
+        }
+    }
+}
+
+/// A native function implementation.
+pub type NativeFn = Arc<dyn Fn(&[Value], &EvalContext<'_>) -> AdtResult<Value> + Send + Sync>;
+
+/// A registered function with its declared arity.
+#[derive(Clone)]
+pub struct FunctionDef {
+    /// Canonical (upper-case) name.
+    pub name: String,
+    /// Declared arity, checked before each call.
+    pub arity: Arity,
+    /// Implementation.
+    pub func: NativeFn,
+}
+
+impl fmt::Debug for FunctionDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionDef")
+            .field("name", &self.name)
+            .field("arity", &self.arity)
+            .finish()
+    }
+}
+
+/// Case-insensitive name → function map, pre-populated with the built-in
+/// library and open to user registration.
+#[derive(Debug, Clone)]
+pub struct FunctionRegistry {
+    funcs: HashMap<String, FunctionDef>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+impl FunctionRegistry {
+    /// A registry containing only user-registered functions.
+    pub fn empty() -> Self {
+        FunctionRegistry {
+            funcs: HashMap::new(),
+        }
+    }
+
+    /// A registry pre-populated with every Figure-1 collection function,
+    /// `VALUE`, quantifiers and arithmetic.
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::empty();
+        reg.install_builtins();
+        reg
+    }
+
+    /// Register (or replace) a function under `name`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        arity: Arity,
+        func: impl Fn(&[Value], &EvalContext<'_>) -> AdtResult<Value> + Send + Sync + 'static,
+    ) {
+        let canonical = name.to_ascii_uppercase();
+        self.funcs.insert(
+            canonical.clone(),
+            FunctionDef {
+                name: canonical,
+                arity,
+                func: Arc::new(func),
+            },
+        );
+    }
+
+    /// Whether `name` is known.
+    pub fn contains(&self, name: &str) -> bool {
+        self.funcs.contains_key(&name.to_ascii_uppercase())
+    }
+
+    /// Names of all registered functions (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.funcs.values().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Invoke a function by name with arity checking.
+    pub fn call(&self, name: &str, args: &[Value], ctx: &EvalContext<'_>) -> AdtResult<Value> {
+        let canonical = name.to_ascii_uppercase();
+        let def = self
+            .funcs
+            .get(&canonical)
+            .ok_or_else(|| AdtError::UnknownFunction(name.to_owned()))?;
+        def.arity.check(&def.name, args.len())?;
+        (def.func)(args, ctx)
+    }
+
+    fn install_builtins(&mut self) {
+        fn bin(
+            f: impl Fn(&Value, &Value) -> AdtResult<Value> + Send + Sync + 'static,
+        ) -> impl Fn(&[Value], &EvalContext<'_>) -> AdtResult<Value> + Send + Sync + 'static
+        {
+            move |args, _| f(&args[0], &args[1])
+        }
+        fn una(
+            f: impl Fn(&Value) -> AdtResult<Value> + Send + Sync + 'static,
+        ) -> impl Fn(&[Value], &EvalContext<'_>) -> AdtResult<Value> + Send + Sync + 'static
+        {
+            move |args, _| f(&args[0])
+        }
+
+        self.register("ISEMPTY", Arity::Exact(1), una(coll::is_empty));
+        self.register("COUNT", Arity::Exact(1), una(coll::count));
+        self.register("EQUAL", Arity::Exact(2), bin(coll::coll_equal));
+        self.register("INSERT", Arity::Exact(2), bin(coll::insert));
+        self.register("REMOVE", Arity::Exact(2), bin(coll::remove));
+        self.register("MEMBER", Arity::Exact(2), bin(coll::member));
+        self.register("UNION", Arity::Exact(2), bin(coll::union));
+        self.register("INTERSECTION", Arity::Exact(2), bin(coll::intersection));
+        self.register("DIFFERENCE", Arity::Exact(2), bin(coll::difference));
+        self.register("INCLUDE", Arity::Exact(2), bin(coll::include));
+        self.register("CHOICE", Arity::Exact(1), una(coll::choice));
+        self.register("APPEND", Arity::Exact(2), bin(coll::append));
+        self.register("NTH", Arity::Exact(2), bin(coll::nth));
+        self.register("ALL", Arity::Exact(1), una(coll::quant_all));
+        self.register("EXIST", Arity::Exact(1), una(coll::quant_exist));
+        self.register("SUM", Arity::Exact(1), una(coll::sum));
+        self.register("MIN", Arity::Exact(1), una(coll::min));
+        self.register("MAX", Arity::Exact(1), una(coll::max));
+        self.register("AVG", Arity::Exact(1), una(coll::avg));
+
+        self.register("MAKESET", Arity::AtLeast(0), |args, _| {
+            Ok(coll::make_set(args))
+        });
+        self.register("MAKEBAG", Arity::AtLeast(0), |args, _| {
+            Ok(coll::make_bag(args))
+        });
+        self.register("MAKELIST", Arity::AtLeast(0), |args, _| {
+            Ok(coll::make_list(args))
+        });
+
+        self.register("CONVERT", Arity::Exact(2), |args, _| {
+            let kind = match args[1].as_str()?.to_ascii_uppercase().as_str() {
+                "SET" => CollKind::Set,
+                "BAG" => CollKind::Bag,
+                "LIST" => CollKind::List,
+                "ARRAY" => CollKind::Array,
+                other => {
+                    return Err(AdtError::TypeMismatch {
+                        function: "CONVERT".into(),
+                        expected: "SET|BAG|LIST|ARRAY".into(),
+                        found: other.to_owned(),
+                    })
+                }
+            };
+            coll::convert(&args[0], kind)
+        });
+
+        // VALUE: going from an object identifier to its value (Section 3.3).
+        self.register("VALUE", Arity::Exact(1), |args, ctx| {
+            let oid = args[0].as_object()?;
+            ctx.objects.value(oid).cloned()
+        });
+
+        // Arithmetic. NULL propagates.
+        for (name, op) in [("+", 0usize), ("-", 1), ("*", 2), ("/", 3)] {
+            self.register(name, Arity::Exact(2), move |args, _| {
+                if args[0].is_null() || args[1].is_null() {
+                    return Ok(Value::Null);
+                }
+                match (&args[0], &args[1]) {
+                    (Value::Int(a), Value::Int(b)) => match op {
+                        0 => Ok(Value::Int(a.wrapping_add(*b))),
+                        1 => Ok(Value::Int(a.wrapping_sub(*b))),
+                        2 => Ok(Value::Int(a.wrapping_mul(*b))),
+                        _ => {
+                            if *b == 0 {
+                                Err(AdtError::Arithmetic("division by zero".into()))
+                            } else {
+                                Ok(Value::Int(a / b))
+                            }
+                        }
+                    },
+                    _ => {
+                        let a = args[0].as_f64()?;
+                        let b = args[1].as_f64()?;
+                        let r = match op {
+                            0 => a + b,
+                            1 => a - b,
+                            2 => a * b,
+                            _ => {
+                                if b == 0.0 {
+                                    return Err(AdtError::Arithmetic("division by zero".into()));
+                                }
+                                a / b
+                            }
+                        };
+                        Ok(Value::real(r))
+                    }
+                }
+            });
+        }
+
+        self.register("ABSVAL", Arity::Exact(1), |args, _| match &args[0] {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+            other => Ok(Value::real(other.as_f64()?.abs())),
+        });
+
+        // String concatenation, used by example ADT methods.
+        self.register("CONCAT", Arity::Exact(2), |args, _| {
+            if args[0].is_null() || args[1].is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Str(format!(
+                "{}{}",
+                args[0].as_str()?,
+                args[1].as_str()?
+            )))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeRegistry;
+
+    fn ctx_parts() -> (ObjectStore, TypeRegistry) {
+        (ObjectStore::new(), TypeRegistry::new())
+    }
+
+    #[test]
+    fn builtin_member_callable_case_insensitively() {
+        let (objects, types) = ctx_parts();
+        let ctx = EvalContext {
+            objects: &objects,
+            types: &types,
+        };
+        let reg = FunctionRegistry::with_builtins();
+        let set = Value::set(vec![1.into(), 2.into()]);
+        assert_eq!(
+            reg.call("member", &[1.into(), set.clone()], &ctx).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            reg.call("MeMbEr", &[5.into(), set], &ctx).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (objects, types) = ctx_parts();
+        let ctx = EvalContext {
+            objects: &objects,
+            types: &types,
+        };
+        let reg = FunctionRegistry::with_builtins();
+        let err = reg.call("CHOICE", &[], &ctx).unwrap_err();
+        assert!(matches!(err, AdtError::Arity { .. }));
+    }
+
+    #[test]
+    fn unknown_function_reported() {
+        let (objects, types) = ctx_parts();
+        let ctx = EvalContext {
+            objects: &objects,
+            types: &types,
+        };
+        let reg = FunctionRegistry::with_builtins();
+        assert_eq!(
+            reg.call("NOPE", &[], &ctx).unwrap_err(),
+            AdtError::UnknownFunction("NOPE".into())
+        );
+    }
+
+    #[test]
+    fn value_dereferences_objects() {
+        let (mut objects, types) = ctx_parts();
+        let oid = objects.create("Actor", Value::Tuple(vec![Value::str("Quinn")]));
+        let ctx = EvalContext {
+            objects: &objects,
+            types: &types,
+        };
+        let reg = FunctionRegistry::with_builtins();
+        assert_eq!(
+            reg.call("VALUE", &[Value::Object(oid)], &ctx).unwrap(),
+            Value::Tuple(vec![Value::str("Quinn")])
+        );
+    }
+
+    #[test]
+    fn user_registered_function_overrides_and_extends() {
+        let (objects, types) = ctx_parts();
+        let ctx = EvalContext {
+            objects: &objects,
+            types: &types,
+        };
+        let mut reg = FunctionRegistry::with_builtins();
+        reg.register("DOUBLE", Arity::Exact(1), |args, _| {
+            Ok(Value::Int(args[0].as_int()? * 2))
+        });
+        assert_eq!(
+            reg.call("double", &[21.into()], &ctx).unwrap(),
+            Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn arithmetic_propagates_null_and_rejects_div_zero() {
+        let (objects, types) = ctx_parts();
+        let ctx = EvalContext {
+            objects: &objects,
+            types: &types,
+        };
+        let reg = FunctionRegistry::with_builtins();
+        assert_eq!(
+            reg.call("+", &[Value::Null, 1.into()], &ctx).unwrap(),
+            Value::Null
+        );
+        assert!(reg.call("/", &[1.into(), 0.into()], &ctx).is_err());
+        assert_eq!(
+            reg.call("*", &[6.into(), 7.into()], &ctx).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            reg.call("/", &[7.into(), Value::real(2.0)], &ctx).unwrap(),
+            Value::real(3.5)
+        );
+    }
+
+    #[test]
+    fn makeset_variadic() {
+        let (objects, types) = ctx_parts();
+        let ctx = EvalContext {
+            objects: &objects,
+            types: &types,
+        };
+        let reg = FunctionRegistry::with_builtins();
+        assert_eq!(
+            reg.call("MAKESET", &[2.into(), 1.into(), 2.into()], &ctx)
+                .unwrap(),
+            Value::set(vec![1.into(), 2.into()])
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Experiment F1 — the generic-ADT collection library (Figure 1):
+//! microbenchmarks of the built-in collection functions the engine and
+//! the constraint evaluator call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eds_adt::{collection, EvalContext, FunctionRegistry, ObjectStore, TypeRegistry, Value};
+
+fn set_of(n: i64) -> Value {
+    Value::set((0..n).map(Value::Int).collect())
+}
+
+fn series() {
+    println!("\n# F1 collection ADT sanity (Figure 1 functions exercised)");
+    let a = set_of(100);
+    let b = set_of(50);
+    for (name, v) in [
+        ("UNION", collection::union(&a, &b).unwrap()),
+        ("INTERSECTION", collection::intersection(&a, &b).unwrap()),
+        ("DIFFERENCE", collection::difference(&a, &b).unwrap()),
+    ] {
+        let (_, elems) = v.as_coll().unwrap();
+        println!("{name:<14} |100 op 50| = {}", elems.len());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("adt_ops");
+    group.sample_size(50);
+
+    for n in [16i64, 256, 4096] {
+        let a = set_of(n);
+        let b = set_of(n / 2);
+        group.bench_with_input(BenchmarkId::new("set_union", n), &n, |bch, _| {
+            bch.iter(|| collection::union(&a, &b).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("set_member", n), &n, |bch, _| {
+            bch.iter(|| collection::member(&Value::Int(n - 1), &a).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("include", n), &n, |bch, _| {
+            bch.iter(|| collection::include(&b, &a).unwrap())
+        });
+    }
+
+    // Dispatch through the registry (the path queries take).
+    let reg = FunctionRegistry::with_builtins();
+    let objects = ObjectStore::new();
+    let types = TypeRegistry::new();
+    let ctx = EvalContext {
+        objects: &objects,
+        types: &types,
+    };
+    let coll = set_of(256);
+    group.bench_function("registry_member", |b| {
+        b.iter(|| {
+            reg.call("MEMBER", &[Value::Int(7), coll.clone()], &ctx)
+                .unwrap()
+        })
+    });
+    group.bench_function("registry_arith", |b| {
+        b.iter(|| {
+            reg.call("+", &[Value::Int(3), Value::Int(4)], &ctx)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Experiment E14 — the term-rewriting machinery itself: matcher cost
+//! under collection variables (segment enumeration), rule-application
+//! throughput, and bounded saturation on a looping rule set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eds_rewrite::{
+    all_matches, apply_block, parse_source, BasicEnv, Block, Limit, MethodRegistry, RuleSet,
+    SourceItem, Term,
+};
+
+fn wide_list(n: usize) -> Term {
+    Term::list((0..n).map(|i| Term::atom(format!("R{i}"))).collect())
+}
+
+fn series() {
+    println!("\n# E14 matcher: alternatives for LIST(x*, v, y*) vs subject width");
+    println!("{:<7} {:>12}", "width", "matches");
+    let pattern = Term::list(vec![Term::seq("x"), Term::var("v"), Term::seq("y")]);
+    for n in [4usize, 16, 64, 256] {
+        let subject = wide_list(n);
+        let matches = all_matches(&pattern, &subject);
+        println!("{:<7} {:>12}", n, matches.len());
+        assert_eq!(matches.len(), n);
+    }
+
+    println!("\n# E14 bounded saturation: looping rule stopped by the block limit");
+    let items = parse_source(
+        "Grow : G(x) / --> G(F(x)) / ;\n\
+         block(b, {Grow}, 1000) ;",
+    )
+    .unwrap();
+    let mut rules = RuleSet::new();
+    let mut block: Option<Block> = None;
+    for item in items {
+        match item {
+            SourceItem::Rule(r) => rules.add(r),
+            SourceItem::Block(b) => block = Some(b),
+            _ => {}
+        }
+    }
+    let block = block.unwrap();
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let out = apply_block(
+        &rules,
+        &block,
+        &methods,
+        &env,
+        Term::app("G", vec![Term::int(0)]),
+        false,
+    )
+    .unwrap();
+    println!(
+        "limit=1000: applications={} budget_exhausted={} final_size={}",
+        out.stats.applications,
+        out.budget_exhausted,
+        out.term.size()
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(30);
+
+    let pattern = Term::list(vec![Term::seq("x"), Term::var("v"), Term::seq("y")]);
+    for n in [8usize, 64, 256] {
+        let subject = wide_list(n);
+        group.bench_with_input(BenchmarkId::new("segments", n), &subject, |b, s| {
+            b.iter(|| all_matches(&pattern, s).len())
+        });
+    }
+
+    // Commutative SET matching.
+    let set_pattern = Term::set(vec![
+        Term::seq("x"),
+        Term::app("UNION", vec![Term::var("z")]),
+    ]);
+    for n in [4usize, 12] {
+        let mut elems: Vec<Term> = (0..n).map(|i| Term::atom(format!("R{i}"))).collect();
+        elems.push(Term::app("UNION", vec![Term::atom("NESTED")]));
+        let subject = Term::set(elems);
+        group.bench_with_input(BenchmarkId::new("multiset", n), &subject, |b, s| {
+            b.iter(|| all_matches(&set_pattern, s).len())
+        });
+    }
+
+    // Saturation with a decreasing rule.
+    let items = parse_source(
+        "Unwrap : F(x) / --> x / ;\n\
+         block(b, {Unwrap}, INF) ;",
+    )
+    .unwrap();
+    let mut rules = RuleSet::new();
+    let mut block = Block {
+        name: "b".into(),
+        rules: vec![],
+        limit: Limit::Infinite,
+    };
+    for item in items {
+        match item {
+            SourceItem::Rule(r) => rules.add(r),
+            SourceItem::Block(b) => block = b,
+            _ => {}
+        }
+    }
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let mut nested = Term::int(0);
+    for _ in 0..40 {
+        nested = Term::app("F", vec![nested]);
+    }
+    group.bench_function("saturation_40_levels", |b| {
+        b.iter(|| {
+            apply_block(&rules, &block, &methods, &env, nested.clone(), false)
+                .unwrap()
+                .stats
+                .applications
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Experiment F9 — fixpoint reduction: the Alexander invocation rule
+//! (Figure 9), crossed with naive vs semi-naive fixpoint evaluation.
+//! Graph-size sweep for the bound query `TC(Src = c)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eds_bench::graph_dbms;
+use eds_engine::{EvalOptions, FixMode, FixOptions};
+
+fn opts(mode: FixMode) -> EvalOptions {
+    EvalOptions {
+        fix: FixOptions {
+            mode,
+            max_iterations: 100_000,
+        },
+        ..Default::default()
+    }
+}
+
+fn series() {
+    println!("\n# F9 fixpoint reduction: combinations tried, TC(Src = n-10)");
+    println!(
+        "{:<7} {:>14} {:>14} {:>14} {:>14}",
+        "nodes", "naive", "seminaive", "naive+alex", "semi+alex"
+    );
+    for nodes in [20i64, 40, 60] {
+        let mut dbms = graph_dbms(nodes, nodes / 4, 7);
+        let sql = format!("SELECT Dst FROM TC WHERE Src = {} ;", nodes - 10);
+        let prepared = dbms.prepare(&sql).unwrap();
+        let rewritten = dbms.rewrite(&prepared).unwrap();
+
+        let run = |expr: &eds_lera::Expr, mode: FixMode, dbms: &mut eds_core::Dbms| {
+            dbms.eval_options = opts(mode);
+            let (rel, stats) = dbms.run_expr_with_stats(expr).unwrap();
+            (rel.deduped().len(), stats.combinations_tried)
+        };
+        let (n1, a) = run(&prepared.expr, FixMode::Naive, &mut dbms);
+        let (n2, b) = run(&prepared.expr, FixMode::SemiNaive, &mut dbms);
+        let (n3, c) = run(&rewritten.expr, FixMode::Naive, &mut dbms);
+        let (n4, d) = run(&rewritten.expr, FixMode::SemiNaive, &mut dbms);
+        assert!(n1 == n2 && n2 == n3 && n3 == n4, "all strategies agree");
+        println!("{nodes:<7} {a:>14} {b:>14} {c:>14} {d:>14}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    series();
+    let mut group = c.benchmark_group("recursion");
+    group.sample_size(10);
+
+    let nodes = 40i64;
+    let mut dbms = graph_dbms(nodes, 10, 7);
+    let sql = format!("SELECT Dst FROM TC WHERE Src = {} ;", nodes - 10);
+    let prepared = dbms.prepare(&sql).unwrap();
+    let rewritten = dbms.rewrite(&prepared).unwrap();
+
+    for (label, expr, mode) in [
+        ("naive_base", prepared.expr.clone(), FixMode::Naive),
+        ("seminaive_base", prepared.expr.clone(), FixMode::SemiNaive),
+        ("naive_alexander", rewritten.expr.clone(), FixMode::Naive),
+        (
+            "seminaive_alexander",
+            rewritten.expr.clone(),
+            FixMode::SemiNaive,
+        ),
+    ] {
+        dbms.eval_options = opts(mode);
+        let d = &dbms;
+        group.bench_with_input(BenchmarkId::new("exec", label), &expr, |b, e| {
+            b.iter(|| d.run_expr(e).unwrap())
+        });
+    }
+
+    group.bench_function("rewrite_time", |b| {
+        b.iter(|| dbms.rewrite(&prepared).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

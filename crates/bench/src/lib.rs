@@ -1,0 +1,243 @@
+//! Workload generators shared by the benchmark harness.
+//!
+//! Each generator builds a [`Dbms`] populated with synthetic data sized
+//! by a scale parameter, plus the queries the corresponding experiment
+//! sweeps. See `EXPERIMENTS.md` at the repository root for the mapping
+//! from paper figures to benches.
+
+#![warn(missing_docs)]
+
+use eds_adt::Value;
+use eds_core::Dbms;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The film database of Figure 2 scaled to `films` films and
+/// `actors` actors, with ~3 appearances per film.
+pub fn film_dbms(films: i64, actors: i64, seed: u64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl(
+        "TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western') ;
+         TYPE Person OBJECT TUPLE ( Name : CHAR, Firstname : SET OF CHAR) ;
+         TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC) ;
+         TYPE SetCategory SET OF Category ;
+         TABLE FILM ( Numf : NUMERIC, Title : CHAR, Categories : SetCategory) ;
+         TABLE APPEARS_IN ( Numf : NUMERIC, Refactor : Actor) ;
+         TABLE DOMINATE ( Numf : NUMERIC, Refactor1 : Actor, Refactor2 : Actor) ;",
+    )
+    .expect("schema installs");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let categories = ["Comedy", "Adventure", "Science Fiction", "Western"];
+
+    let actor_refs: Vec<Value> = (0..actors)
+        .map(|i| {
+            dbms.create_object(
+                "Actor",
+                Value::Tuple(vec![
+                    Value::str(format!("Actor{i}")),
+                    Value::set(vec![]),
+                    Value::Int(5_000 + (i % 40) * 1_000),
+                ]),
+            )
+        })
+        .collect();
+
+    for f in 0..films {
+        let mut cats: Vec<Value> = categories
+            .iter()
+            .filter(|_| rng.gen_bool(0.4))
+            .map(|c| Value::str(*c))
+            .collect();
+        if cats.is_empty() {
+            cats.push(Value::str("Comedy"));
+        }
+        dbms.insert(
+            "FILM",
+            vec![
+                Value::Int(f),
+                Value::str(format!("Film{f}")),
+                Value::set(cats),
+            ],
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let a = &actor_refs[rng.gen_range(0..actor_refs.len())];
+            dbms.insert("APPEARS_IN", vec![Value::Int(f), a.clone()])
+                .unwrap();
+        }
+    }
+    for _ in 0..actors {
+        let a = actor_refs[rng.gen_range(0..actor_refs.len())].clone();
+        let b = actor_refs[rng.gen_range(0..actor_refs.len())].clone();
+        dbms.insert(
+            "DOMINATE",
+            vec![Value::Int(rng.gen_range(0..films.max(1))), a, b],
+        )
+        .unwrap();
+    }
+    dbms
+}
+
+/// A stack of `depth` selective views over one base table, ending in a
+/// view `V<depth>`; the merging experiment's workload.
+pub fn view_stack(depth: usize, rows: i64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl("TABLE BASE (K : INT, A : INT, B : INT);")
+        .unwrap();
+    for i in 0..rows {
+        dbms.insert("BASE", vec![i.into(), (i % 97).into(), (i % 13).into()])
+            .unwrap();
+    }
+    let mut prev = "BASE".to_owned();
+    for d in 1..=depth {
+        // Each level keeps most rows so deep stacks stay non-trivial.
+        dbms.execute_ddl(&format!(
+            "CREATE VIEW V{d} (K, A, B) AS SELECT K, A, B FROM {prev} WHERE A >= {d} ;"
+        ))
+        .unwrap();
+        prev = format!("V{d}");
+    }
+    dbms
+}
+
+/// A union view with `branches` branches over per-branch tables; the
+/// union-pushdown experiment's workload.
+pub fn union_view(branches: usize, rows_per_branch: i64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    let mut selects = Vec::new();
+    for b in 0..branches {
+        dbms.execute_ddl(&format!("TABLE PART{b} (K : INT, P : INT);"))
+            .unwrap();
+        for i in 0..rows_per_branch {
+            dbms.insert(&format!("PART{b}"), vec![i.into(), (b as i64).into()])
+                .unwrap();
+        }
+        selects.push(format!("SELECT K, P FROM PART{b}"));
+    }
+    dbms.execute_ddl(&format!(
+        "CREATE VIEW ALLPARTS (K, P) AS ( {} ) ;",
+        selects.join(" UNION ")
+    ))
+    .unwrap();
+    dbms
+}
+
+/// A nested (GROUP BY) view over an order/detail pair; the nest-pushdown
+/// experiment's workload.
+pub fn nested_view(groups: i64, per_group: i64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl(
+        "TABLE DETAIL (G : INT, Item : INT);
+         CREATE VIEW GROUPED (G, Items) AS
+           SELECT G, MakeSet(Item) FROM DETAIL GROUP BY G ;",
+    )
+    .unwrap();
+    for g in 0..groups {
+        for i in 0..per_group {
+            dbms.insert("DETAIL", vec![g.into(), (g * per_group + i).into()])
+                .unwrap();
+        }
+    }
+    dbms
+}
+
+/// A graph table `EDGE` plus the recursive `TC` view; the recursion
+/// experiment's workload. Mostly-forward random edges.
+pub fn graph_dbms(nodes: i64, extra_edges: i64, seed: u64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl(
+        "TABLE EDGE (Src : INT, Dst : INT);
+         CREATE VIEW TC (Src, Dst) AS
+         ( SELECT Src, Dst FROM EDGE
+           UNION
+           SELECT T1.Src, T2.Dst FROM TC T1, TC T2 WHERE T1.Dst = T2.Src ) ;",
+    )
+    .unwrap();
+    for i in 0..nodes - 1 {
+        dbms.insert("EDGE", vec![i.into(), (i + 1).into()]).unwrap();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..extra_edges {
+        let a = rng.gen_range(0..nodes - 1);
+        let b = (a + rng.gen_range(1..5)).min(nodes - 1);
+        dbms.insert("EDGE", vec![a.into(), b.into()]).unwrap();
+    }
+    dbms
+}
+
+/// A flat product table with an enumeration domain and declared
+/// integrity constraints; the semantic experiment's workload.
+pub fn product_dbms(rows: i64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl(
+        "TYPE Grade ENUMERATION OF ('A', 'B', 'C') ;
+         TABLE PRODUCT (Id : INT, Grade : Grade, Price : INT, Weight : INT);",
+    )
+    .unwrap();
+    dbms.add_constraint_source(
+        "GradeDomain : F(x) / ISA(x, Grade) --> F(x) AND MEMBER(x, {'A', 'B', 'C'}) / ;",
+    )
+    .unwrap();
+    for i in 0..rows {
+        let grade = ["A", "B", "C"][(i % 3) as usize];
+        dbms.insert(
+            "PRODUCT",
+            vec![
+                i.into(),
+                grade.into(),
+                (i * 7 % 1000).into(),
+                (i % 50).into(),
+            ],
+        )
+        .unwrap();
+    }
+    dbms
+}
+
+/// A deep conjunction with `n` foldable and `n` non-foldable conjuncts;
+/// the simplification experiment's query generator.
+pub fn wide_conjunction_sql(n: usize) -> String {
+    let mut parts = Vec::new();
+    for i in 0..n {
+        parts.push(format!("X < {} + {}", i, i + 5)); // foldable arithmetic
+        parts.push(format!("Y <> {i}")); // kept
+    }
+    format!("SELECT X FROM T WHERE {} ;", parts.join(" AND "))
+}
+
+/// Table for [`wide_conjunction_sql`].
+pub fn simple_table(rows: i64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl("TABLE T (X : INT, Y : INT);").unwrap();
+    for i in 0..rows {
+        dbms.insert("T", vec![i.into(), (i * 3 % 101).into()])
+            .unwrap();
+    }
+    dbms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_build() {
+        assert_eq!(film_dbms(10, 5, 1).db.cardinality("FILM"), Some(10));
+        assert!(view_stack(3, 20).prepare("SELECT K FROM V3 ;").is_ok());
+        assert!(union_view(3, 5).prepare("SELECT K FROM ALLPARTS ;").is_ok());
+        assert!(nested_view(4, 3).prepare("SELECT G FROM GROUPED ;").is_ok());
+        assert!(graph_dbms(10, 3, 1)
+            .prepare("SELECT Dst FROM TC WHERE Src = 1 ;")
+            .is_ok());
+        assert_eq!(
+            product_dbms(9)
+                .query("SELECT Id FROM PRODUCT WHERE Grade = 'A' ;")
+                .unwrap()
+                .len(),
+            3
+        );
+        let sql = wide_conjunction_sql(2);
+        assert!(simple_table(5).prepare(&sql).is_ok());
+    }
+}

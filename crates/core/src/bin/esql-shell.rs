@@ -1,0 +1,169 @@
+//! An interactive ESQL shell over the rule-based rewriter.
+//!
+//! ```sh
+//! cargo run --bin esql-shell
+//! ```
+//!
+//! Statements end with `;`. Meta-commands start with `.`:
+//!
+//! ```text
+//! .help                 this message
+//! .explain <query ;>    show canonical plan, rewritten plan and trace
+//! .rules                list the knowledge base (rules per block)
+//! .rule <rule ;>        add a rule in the Figure-6 rule language
+//! .constraint <rule ;>  declare an integrity constraint
+//! .limit <block> <n|INF>   change a block's application limit
+//! .tables               list tables and views
+//! .quit                 exit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use eds_core::{Dbms, Executed};
+use eds_rewrite::Limit;
+
+fn main() {
+    let mut dbms = Dbms::new().expect("built-in rules must load");
+    println!("EDS rule-based query rewriter — ESQL shell (.help for help)");
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("esql> ");
+        } else {
+            print!("  ... ");
+        }
+        std::io::stdout().flush().ok();
+
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !meta_command(&mut dbms, trimmed) {
+                break;
+            }
+            continue;
+        }
+
+        buffer.push_str(&line);
+        if !trimmed.ends_with(';') {
+            continue;
+        }
+        let stmt = std::mem::take(&mut buffer);
+        run_statement(&mut dbms, &stmt);
+    }
+}
+
+fn run_statement(dbms: &mut Dbms, src: &str) {
+    match dbms.execute(src) {
+        Ok(results) => {
+            for r in results {
+                match r {
+                    Executed::Ddl => println!("ok."),
+                    Executed::Inserted(n) => println!("{n} row(s) inserted."),
+                    Executed::Rows(rel) => print_relation(&rel),
+                }
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn print_relation(rel: &eds_engine::Relation) {
+    let names = rel.schema.names();
+    println!("{}", names.join(" | "));
+    println!(
+        "{}",
+        names
+            .iter()
+            .map(|n| "-".repeat(n.len()))
+            .collect::<Vec<_>>()
+            .join("-+-")
+    );
+    for row in &rel.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    println!("({} row(s))", rel.len());
+}
+
+/// Returns false to quit.
+fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
+    let (head, rest) = match cmd.split_once(char::is_whitespace) {
+        Some((h, r)) => (h, r.trim()),
+        None => (cmd, ""),
+    };
+    match head {
+        ".quit" | ".exit" => return false,
+        ".help" => println!(
+            ".help / .quit / .tables / .rules\n\
+             .explain <query ;>      canonical + rewritten plan + trace\n\
+             .rule <rule ;>          add an optimization rule\n\
+             .constraint <rule ;>    declare an integrity constraint\n\
+             .limit <block> <n|INF>  change a block's limit"
+        ),
+        ".tables" => {
+            println!("tables: {}", dbms.db.catalog.table_names().join(", "));
+            println!("views:  {}", dbms.db.catalog.view_names().join(", "));
+        }
+        ".rules" => {
+            for block in dbms.rewriter.strategy().blocks() {
+                println!(
+                    "block {} (limit {:?}): {}",
+                    block.name,
+                    block.limit,
+                    block.rules.join(", ")
+                );
+            }
+            if let Some(seq) = &dbms.rewriter.strategy().sequence {
+                println!("seq(({}), {})", seq.blocks.join(", "), seq.passes);
+            }
+        }
+        ".explain" => match dbms.explain(rest) {
+            Ok(text) => println!("{text}"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".rule" => match dbms.add_rule_source(rest) {
+            Ok(n) => println!("{n} item(s) added."),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".constraint" => match dbms.add_constraint_source(rest) {
+            Ok(n) => println!("{n} constraint(s) declared."),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".limit" => {
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some(block), Some(value)) => {
+                    let limit = if value.eq_ignore_ascii_case("INF") {
+                        Limit::Infinite
+                    } else {
+                        match value.parse::<u64>() {
+                            Ok(n) => Limit::Finite(n),
+                            Err(_) => {
+                                eprintln!("error: limit must be a number or INF");
+                                return true;
+                            }
+                        }
+                    };
+                    match dbms.rewriter.strategy_mut().set_limit(block, limit) {
+                        Ok(()) => println!("ok."),
+                        Err(e) => eprintln!("error: {e}"),
+                    }
+                }
+                _ => eprintln!("usage: .limit <block> <n|INF>"),
+            }
+        }
+        other => eprintln!("unknown command {other} (.help for help)"),
+    }
+    true
+}

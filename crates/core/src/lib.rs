@@ -1,0 +1,256 @@
+//! # eds-core — the rule-based query rewriter of the EDS server
+//!
+//! This crate assembles the full system of Finance & Gardarin, *"A
+//! Rule-Based Query Rewriter in an Extensible DBMS"* (ICDE 1991):
+//! the ESQL front-end ([`eds_esql`]), the LERA algebra ([`eds_lera`]),
+//! the term-rewriting engine with the Figure-6 rule language
+//! ([`eds_rewrite`]), the execution substrate ([`eds_engine`]), and —
+//! here — the optimizer itself: the built-in syntactic and semantic
+//! knowledge base, the Alexander/magic fixpoint reduction, the block/seq
+//! pipeline, and the [`Dbms`] facade.
+//!
+//! ```
+//! use eds_core::Dbms;
+//!
+//! let mut dbms = Dbms::new().unwrap();
+//! dbms.execute_ddl("TABLE EDGE (Src : INT, Dst : INT);").unwrap();
+//! dbms.insert("EDGE", vec![1.into(), 2.into()]).unwrap();
+//! dbms.insert("EDGE", vec![2.into(), 3.into()]).unwrap();
+//! let result = dbms.query("SELECT Dst FROM EDGE WHERE Src = 1;").unwrap();
+//! assert_eq!(result.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod env;
+pub mod error;
+pub mod magic;
+pub mod methods;
+pub mod pipeline;
+pub mod semantic;
+
+use eds_engine::{eval_with, Database, EvalOptions, EvalStats, Relation, Row};
+use eds_esql::{parse_query, Stmt};
+use eds_lera::{translate_query, CostModel, Estimate, Expr, Schema, SchemaCtx};
+
+pub use env::CoreEnv;
+pub use error::{CoreError, CoreResult};
+pub use pipeline::{QueryRewriter, RewriteOutcome, BUILTIN_RULE_SOURCES};
+pub use semantic::{figure10_constraints, ConstraintStore, IntegrityConstraint};
+
+// Re-export the layer crates so downstream users need a single dependency.
+pub use eds_adt as adt;
+pub use eds_engine as engine;
+pub use eds_esql as esql;
+pub use eds_lera as lera;
+pub use eds_rewrite as rewrite;
+
+/// A prepared (translated but not yet rewritten) query.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The canonical LERA plan straight out of translation.
+    pub expr: Expr,
+    /// Its output schema.
+    pub schema: Schema,
+    /// Original source text.
+    pub sql: String,
+}
+
+/// Outcome of executing one statement through [`Dbms::execute`].
+#[derive(Debug, Clone)]
+pub enum Executed {
+    /// A DDL statement was installed.
+    Ddl,
+    /// An `INSERT` added this many rows.
+    Inserted(usize),
+    /// A query produced this relation (after rewriting).
+    Rows(Relation),
+}
+
+/// The integrated DBMS facade: database + extensible rewriter.
+#[derive(Debug)]
+pub struct Dbms {
+    /// Storage, catalog, objects, ADT functions.
+    pub db: Database,
+    /// The rule-based rewriter.
+    pub rewriter: QueryRewriter,
+    /// Declared integrity constraints.
+    pub constraints: ConstraintStore,
+    /// Engine options (fixpoint strategy).
+    pub eval_options: EvalOptions,
+}
+
+impl Dbms {
+    /// A DBMS with the built-in optimization knowledge base.
+    pub fn new() -> CoreResult<Self> {
+        Ok(Dbms {
+            db: Database::new(),
+            rewriter: QueryRewriter::with_default_rules()?,
+            constraints: ConstraintStore::new(),
+            eval_options: EvalOptions::default(),
+        })
+    }
+
+    /// A DBMS whose rewriter has no rules (queries run as translated).
+    pub fn without_rules() -> Self {
+        Dbms {
+            db: Database::new(),
+            rewriter: QueryRewriter::empty(),
+            constraints: ConstraintStore::new(),
+            eval_options: EvalOptions::default(),
+        }
+    }
+
+    /// Install DDL (types, tables, views).
+    pub fn execute_ddl(&mut self, src: &str) -> CoreResult<Vec<Stmt>> {
+        Ok(self.db.execute_ddl(src)?)
+    }
+
+    /// Execute arbitrary ESQL: DDL installs, `INSERT` loads, queries run
+    /// through the rewriter. One [`Executed`] per statement.
+    pub fn execute(&mut self, src: &str) -> CoreResult<Vec<Executed>> {
+        let stmts = eds_esql::parse_statements(src)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            match stmt {
+                Stmt::Query(q) => {
+                    let ctx = SchemaCtx::new(&self.db.catalog);
+                    let (expr, schema) = translate_query(&q, &ctx)?;
+                    let prepared = Prepared {
+                        expr,
+                        schema,
+                        sql: src.to_owned(),
+                    };
+                    let rewritten = self.rewrite(&prepared)?;
+                    out.push(Executed::Rows(self.run_expr(&rewritten.expr)?));
+                }
+                Stmt::Insert(ins) => {
+                    out.push(Executed::Inserted(self.db.execute_insert(&ins)?));
+                }
+                ddl => {
+                    self.db.install_stmt(&ddl)?;
+                    out.push(Executed::Ddl);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Insert a row into a base table.
+    pub fn insert(&mut self, table: &str, row: Row) -> CoreResult<()> {
+        Ok(self.db.insert(table, row)?)
+    }
+
+    /// Insert many rows.
+    pub fn insert_all(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> CoreResult<()> {
+        Ok(self.db.insert_all(table, rows)?)
+    }
+
+    /// Create an object and return a reference value.
+    pub fn create_object(&mut self, type_name: &str, value: eds_adt::Value) -> eds_adt::Value {
+        self.db.create_object(type_name, value)
+    }
+
+    /// Add optimization rules / blocks / sequence written in the rule
+    /// language — the extensibility entry point.
+    pub fn add_rule_source(&mut self, src: &str) -> CoreResult<usize> {
+        self.rewriter.add_source(src)
+    }
+
+    /// Declare integrity constraints written in the rule language
+    /// (Figure-10 shape).
+    pub fn add_constraint_source(&mut self, src: &str) -> CoreResult<usize> {
+        self.constraints.load_source(src)
+    }
+
+    /// Parse and translate a query to its canonical LERA form.
+    pub fn prepare(&self, sql: &str) -> CoreResult<Prepared> {
+        let query = parse_query(sql)?;
+        let ctx = SchemaCtx::new(&self.db.catalog);
+        let (expr, schema) = translate_query(&query, &ctx)?;
+        Ok(Prepared {
+            expr,
+            schema,
+            sql: sql.to_owned(),
+        })
+    }
+
+    /// Run the rewriter over a prepared plan.
+    pub fn rewrite(&self, prepared: &Prepared) -> CoreResult<RewriteOutcome> {
+        self.rewriter
+            .rewrite(&prepared.expr, &self.db, &self.constraints)
+    }
+
+    /// Evaluate a plan.
+    pub fn run_expr(&self, expr: &Expr) -> CoreResult<Relation> {
+        Ok(eval_with(expr, &self.db, self.eval_options)?.0)
+    }
+
+    /// Evaluate a plan, returning work counters.
+    pub fn run_expr_with_stats(&self, expr: &Expr) -> CoreResult<(Relation, EvalStats)> {
+        Ok(eval_with(expr, &self.db, self.eval_options)?)
+    }
+
+    /// Full pipeline: parse → translate → rewrite → execute.
+    pub fn query(&self, sql: &str) -> CoreResult<Relation> {
+        let prepared = self.prepare(sql)?;
+        let rewritten = self.rewrite(&prepared)?;
+        self.run_expr(&rewritten.expr)
+    }
+
+    /// Execute the canonical (unrewritten) plan — the baseline.
+    pub fn query_unoptimized(&self, sql: &str) -> CoreResult<Relation> {
+        let prepared = self.prepare(sql)?;
+        self.run_expr(&prepared.expr)
+    }
+
+    /// A cost model whose base-relation cardinalities reflect the
+    /// currently stored data.
+    pub fn cost_model(&self) -> CostModel {
+        let mut model = CostModel::new();
+        for name in self.db.catalog.table_names() {
+            if let Some(card) = self.db.cardinality(name) {
+                model.set_card(name, card as f64);
+            }
+        }
+        model
+    }
+
+    /// Estimate a query's plan cost before and after rewriting (the
+    /// logical-optimizer quality signal the benchmark harness tracks).
+    pub fn analyze(&self, sql: &str) -> CoreResult<(Estimate, Estimate)> {
+        let prepared = self.prepare(sql)?;
+        let rewritten = self.rewrite(&prepared)?;
+        let model = self.cost_model();
+        Ok((
+            model.estimate(&prepared.expr),
+            model.estimate(&rewritten.expr),
+        ))
+    }
+
+    /// Human-readable before/after explanation of a query's rewrite,
+    /// including the rule-application trace.
+    pub fn explain(&self, sql: &str) -> CoreResult<String> {
+        let prepared = self.prepare(sql)?;
+        let mut tracing = self.rewriter.clone();
+        tracing.collect_trace = true;
+        let rewritten = tracing.rewrite(&prepared.expr, &self.db, &self.constraints)?;
+        let mut out = String::new();
+        out.push_str("-- canonical plan --\n");
+        out.push_str(&eds_lera::pretty(&prepared.expr));
+        out.push_str("-- rewritten plan --\n");
+        out.push_str(&eds_lera::pretty(&rewritten.expr));
+        out.push_str(&format!(
+            "-- {} rule applications, {} condition checks --\n",
+            rewritten.stats.applications, rewritten.stats.condition_checks
+        ));
+        for event in rewritten.trace.events() {
+            out.push_str(&format!("{event}\n"));
+        }
+        Ok(out)
+    }
+}

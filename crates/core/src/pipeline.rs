@@ -1,0 +1,195 @@
+//! The rewriter pipeline: knowledge base + strategy + methods.
+//!
+//! "Any optimizer generated with the rule language is a sequence of
+//! blocks of rules which can be applied multiple times" — the
+//! [`QueryRewriter`] holds the rule set, the block/seq strategy and the
+//! method registry, and is extensible at runtime: the database
+//! implementor adds or removes rules, redefines blocks, changes limits.
+
+use eds_engine::Database;
+use eds_lera::{expr_from_term, expr_to_term, Expr};
+use eds_rewrite::{
+    parse_source, run_strategy, Limit, MethodRegistry, RewriteStats, RuleSet, Sequence, SourceItem,
+    Strategy, Term, Trace,
+};
+
+use crate::env::CoreEnv;
+use crate::error::CoreResult;
+use crate::methods::register_core_methods;
+use crate::semantic::ConstraintStore;
+
+/// Embedded built-in knowledge base, written in the paper's rule
+/// language (see `crates/core/rules/*.rules`).
+pub const BUILTIN_RULE_SOURCES: [(&str, &str); 7] = [
+    ("normalize", include_str!("../rules/normalize.rules")),
+    ("merging", include_str!("../rules/merging.rules")),
+    ("permutation", include_str!("../rules/permutation.rules")),
+    ("fixpoint", include_str!("../rules/fixpoint.rules")),
+    ("semantic", include_str!("../rules/semantic.rules")),
+    ("simplify", include_str!("../rules/simplify.rules")),
+    ("strategy", include_str!("../rules/strategy.rules")),
+];
+
+/// Outcome of rewriting one query.
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// The rewritten plan.
+    pub expr: Expr,
+    /// The rewritten plan as a term (before conversion back).
+    pub term: Term,
+    /// Rule-application counters.
+    pub stats: RewriteStats,
+    /// Per-application trace (when requested).
+    pub trace: Trace,
+    /// Whether some block hit its limit.
+    pub budget_exhausted: bool,
+}
+
+/// The extensible query rewriter.
+#[derive(Debug, Clone)]
+pub struct QueryRewriter {
+    rules: RuleSet,
+    strategy: Strategy,
+    methods: MethodRegistry,
+    /// Collect a rule-application trace on every rewrite.
+    pub collect_trace: bool,
+}
+
+impl QueryRewriter {
+    /// A rewriter with no rules (methods still registered).
+    pub fn empty() -> Self {
+        let mut methods = MethodRegistry::with_builtins();
+        register_core_methods(&mut methods);
+        QueryRewriter {
+            rules: RuleSet::new(),
+            strategy: Strategy::new(),
+            methods,
+            collect_trace: false,
+        }
+    }
+
+    /// A rewriter loaded with the full built-in knowledge base.
+    pub fn with_default_rules() -> CoreResult<Self> {
+        let mut rw = Self::empty();
+        for (_, src) in BUILTIN_RULE_SOURCES {
+            rw.add_source(src)?;
+        }
+        Ok(rw)
+    }
+
+    /// Parse rule-language source (rules, blocks, seq) into the
+    /// knowledge base — the extensibility entry point for the database
+    /// implementor.
+    pub fn add_source(&mut self, src: &str) -> CoreResult<usize> {
+        let items = parse_source(src)?;
+        let n = items.len();
+        for item in items {
+            match item {
+                SourceItem::Rule(rule) => self.rules.add(rule),
+                SourceItem::Block(block) => self.strategy.add_block(block),
+                SourceItem::Seq(seq) => self.strategy.set_sequence(seq),
+            }
+        }
+        Ok(n)
+    }
+
+    /// Remove a rule by name.
+    pub fn remove_rule(&mut self, name: &str) -> bool {
+        self.rules.remove(name)
+    }
+
+    /// The rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The strategy (blocks and sequence).
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Mutable strategy access (block limits, sequence changes).
+    pub fn strategy_mut(&mut self) -> &mut Strategy {
+        &mut self.strategy
+    }
+
+    /// The method registry (for registering user methods).
+    pub fn methods_mut(&mut self) -> &mut MethodRegistry {
+        &mut self.methods
+    }
+
+    /// Set every block's limit — the conclusion's dynamic-limit knob
+    /// ("simple queries do not need sophisticated optimization: a 0
+    /// limit can then be given to all blocks").
+    pub fn set_all_limits(&mut self, limit: Limit) {
+        let names: Vec<String> = self.strategy.blocks().map(|b| b.name.clone()).collect();
+        for name in names {
+            let _ = self.strategy.set_limit(&name, limit);
+        }
+    }
+
+    /// Replace the sequence meta-rule.
+    pub fn set_sequence(&mut self, seq: Sequence) {
+        self.strategy.set_sequence(seq);
+    }
+
+    /// Allocate block limits dynamically from the query's complexity —
+    /// the paper's conclusion: "the limit given to a block of rules could
+    /// also be allocated dynamically, according to the complexity of the
+    /// query. Simple queries (e.g., search on a key) do not need
+    /// sophisticated optimization." Each block gets
+    /// `per_node × node_count` condition checks; trivial one-operator
+    /// plans get 0 (rewriting disabled).
+    pub fn set_adaptive_limits(&mut self, query: &Expr, per_node: u64) {
+        let nodes = query.node_count() as u64;
+        let limit = if nodes <= 2 {
+            Limit::Finite(0)
+        } else {
+            Limit::Finite(nodes.saturating_mul(per_node))
+        };
+        self.set_all_limits(limit);
+    }
+
+    /// Rewrite a term directly.
+    pub fn rewrite_term(
+        &self,
+        term: Term,
+        db: &Database,
+        constraints: &ConstraintStore,
+    ) -> CoreResult<(Term, RewriteStats, Trace, bool)> {
+        let env = CoreEnv { db, constraints };
+        let outcome = run_strategy(
+            &self.rules,
+            &self.strategy,
+            &self.methods,
+            &env,
+            term,
+            self.collect_trace,
+        )?;
+        Ok((
+            outcome.term,
+            outcome.stats,
+            outcome.trace,
+            outcome.budget_exhausted,
+        ))
+    }
+
+    /// Rewrite a LERA plan.
+    pub fn rewrite(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        constraints: &ConstraintStore,
+    ) -> CoreResult<RewriteOutcome> {
+        let term = expr_to_term(expr);
+        let (term, stats, trace, budget_exhausted) = self.rewrite_term(term, db, constraints)?;
+        let expr = expr_from_term(&term)?;
+        Ok(RewriteOutcome {
+            expr,
+            term,
+            stats,
+            trace,
+            budget_exhausted,
+        })
+    }
+}

@@ -1,0 +1,69 @@
+//! The `Dbms::execute` mixed-statement API (what the shell uses).
+
+use eds_adt::Value;
+use eds_core::{Dbms, Executed};
+
+#[test]
+fn mixed_script_executes_in_order() {
+    let mut dbms = Dbms::new().unwrap();
+    let results = dbms
+        .execute(
+            "TABLE T (X : INT, Tags : SET OF CHAR);
+             INSERT INTO T VALUES (1, MakeSet('a', 'b')), (2, MakeSet('b'));
+             SELECT X FROM T WHERE MEMBER('a', Tags);",
+        )
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    assert!(matches!(results[0], Executed::Ddl));
+    assert!(matches!(results[1], Executed::Inserted(2)));
+    let Executed::Rows(rel) = &results[2] else {
+        panic!("expected rows")
+    };
+    assert_eq!(rel.sorted_rows(), vec![vec![Value::Int(1)]]);
+}
+
+#[test]
+fn execute_runs_queries_through_the_rewriter() {
+    let mut dbms = Dbms::new().unwrap();
+    dbms.execute(
+        "TABLE T (X : INT);
+         INSERT INTO T VALUES (1), (2), (3);",
+    )
+    .unwrap();
+    // A contradictory query: the rewriter collapses it; execute returns
+    // the empty relation rather than scanning.
+    let results = dbms
+        .execute("SELECT X FROM T WHERE X = 1 AND X = 2;")
+        .unwrap();
+    let Executed::Rows(rel) = &results[0] else {
+        panic!()
+    };
+    assert!(rel.is_empty());
+}
+
+#[test]
+fn execute_surfaces_errors_per_script() {
+    let mut dbms = Dbms::new().unwrap();
+    // Unknown table in the insert: the whole script errors cleanly.
+    assert!(dbms.execute("INSERT INTO NOPE VALUES (1);").is_err());
+    // Partial scripts do not corrupt the catalog.
+    dbms.execute("TABLE T (X : INT);").unwrap();
+    assert!(dbms.execute("SELECT X FROM T;").is_ok());
+}
+
+#[test]
+fn insert_values_are_constant_folded() {
+    let mut dbms = Dbms::new().unwrap();
+    dbms.execute("TABLE T (X : INT);").unwrap();
+    dbms.execute("INSERT INTO T VALUES (2 + 3 * 4);").unwrap();
+    let rel = dbms.query("SELECT X FROM T;").unwrap();
+    assert_eq!(rel.sorted_rows(), vec![vec![Value::Int(14)]]);
+}
+
+#[test]
+fn insert_rejects_non_constant_values() {
+    let mut dbms = Dbms::new().unwrap();
+    dbms.execute("TABLE T (X : INT);").unwrap();
+    // Column references are meaningless in VALUES.
+    assert!(dbms.execute("INSERT INTO T VALUES (Y);").is_err());
+}

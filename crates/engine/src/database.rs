@@ -1,0 +1,229 @@
+//! The database: catalog + object store + stored relations + functions.
+
+use std::collections::HashMap;
+
+use eds_adt::{FunctionRegistry, ObjectStore, Oid, Value};
+use eds_esql::{Catalog, Stmt, TableSchema};
+use eds_lera::{Schema, SchemaCtx};
+
+use crate::error::{EngineError, EngineResult};
+use crate::relation::{Relation, Row};
+
+/// An in-memory database instance.
+#[derive(Debug)]
+pub struct Database {
+    /// Installed schema.
+    pub catalog: Catalog,
+    /// Object store (identity-bearing data).
+    pub objects: ObjectStore,
+    /// ADT function registry (extensible by the database implementor).
+    pub functions: FunctionRegistry,
+    relations: HashMap<String, Relation>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Empty database with built-in functions.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            objects: ObjectStore::new(),
+            functions: FunctionRegistry::with_builtins(),
+            relations: HashMap::new(),
+        }
+    }
+
+    /// Parse and install DDL from `src`; storage is allocated for tables,
+    /// view schemas are inferred and registered, and `INSERT` statements
+    /// are executed. Any query statements found are returned unexecuted.
+    pub fn execute_ddl(&mut self, src: &str) -> EngineResult<Vec<Stmt>> {
+        let stmts = eds_esql::parse_statements(src)?;
+        let mut queries = Vec::new();
+        for stmt in stmts {
+            match stmt {
+                Stmt::Query(_) => queries.push(stmt),
+                Stmt::Insert(ins) => {
+                    self.execute_insert(&ins)?;
+                }
+                ddl => self.install_stmt(&ddl)?,
+            }
+        }
+        Ok(queries)
+    }
+
+    /// Install one DDL statement: catalog registration plus storage
+    /// allocation (tables) or schema inference (views).
+    pub fn install_stmt(&mut self, stmt: &Stmt) -> EngineResult<()> {
+        self.catalog.install(stmt)?;
+        match stmt {
+            Stmt::TableDecl(t) => {
+                let schema = self
+                    .catalog
+                    .table(&t.name)
+                    .map(|s| Schema::new(s.columns.clone()))
+                    .expect("just installed");
+                self.relations
+                    .insert(t.name.to_ascii_uppercase(), Relation::empty(schema));
+            }
+            Stmt::ViewDecl(v) => {
+                // Infer and register the view's schema so later queries
+                // (and the rewriter) can resolve it.
+                let ctx = SchemaCtx::new(&self.catalog);
+                let (_, schema) = eds_lera::translate_view(v, &ctx)?;
+                self.catalog.set_view_schema(
+                    &v.name,
+                    TableSchema {
+                        name: v.name.clone(),
+                        columns: schema.fields,
+                    },
+                );
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Execute an `INSERT INTO ... VALUES` statement: value expressions
+    /// are evaluated as constants (literals and constant constructor
+    /// calls such as `MakeSet('a','b')`).
+    pub fn execute_insert(&mut self, stmt: &eds_esql::InsertStmt) -> EngineResult<usize> {
+        let ctx = SchemaCtx::new(&self.catalog);
+        let mut rows = Vec::with_capacity(stmt.rows.len());
+        for value_row in &stmt.rows {
+            let mut row = Vec::with_capacity(value_row.len());
+            for e in value_row {
+                let scalar = eds_lera::translate_const_expr(e, &ctx)?;
+                row.push(crate::eval::eval_const_scalar(&scalar, self)?);
+            }
+            rows.push(row);
+        }
+        let n = rows.len();
+        for row in rows {
+            self.insert(&stmt.table, row)?;
+        }
+        Ok(n)
+    }
+
+    /// Insert a row into a base table.
+    pub fn insert(&mut self, table: &str, row: Row) -> EngineResult<()> {
+        let key = table.to_ascii_uppercase();
+        let rel = self
+            .relations
+            .get_mut(&key)
+            .ok_or_else(|| EngineError::UnknownRelation(table.to_owned()))?;
+        if row.len() != rel.schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                table: table.to_owned(),
+                expected: rel.schema.arity(),
+                found: row.len(),
+            });
+        }
+        rel.push(row);
+        Ok(())
+    }
+
+    /// Insert many rows.
+    pub fn insert_all(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Row>,
+    ) -> EngineResult<()> {
+        for row in rows {
+            self.insert(table, row)?;
+        }
+        Ok(())
+    }
+
+    /// Create an object of the given type and return a reference value.
+    pub fn create_object(&mut self, type_name: &str, value: Value) -> Value {
+        Value::Object(self.new_oid(type_name, value))
+    }
+
+    /// Create an object, returning the raw OID.
+    pub fn new_oid(&mut self, type_name: &str, value: Value) -> Oid {
+        self.objects.create(type_name, value)
+    }
+
+    /// Stored relation by name.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(&name.to_ascii_uppercase())
+    }
+
+    /// Mutable stored relation (for bulk loading in benchmarks).
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(&name.to_ascii_uppercase())
+    }
+
+    /// Cardinality of a stored relation.
+    pub fn cardinality(&self, name: &str) -> Option<usize> {
+        self.relation(name).map(Relation::len)
+    }
+
+    /// Remove all rows from a table (schema preserved).
+    pub fn truncate(&mut self, name: &str) -> EngineResult<()> {
+        self.relations
+            .get_mut(&name.to_ascii_uppercase())
+            .map(|r| r.rows.clear())
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddl_allocates_storage_and_view_schemas() {
+        let mut db = Database::new();
+        db.execute_ddl(
+            "TABLE EDGE (Src : INT, Dst : INT);\n\
+             CREATE VIEW LOOPS (Src) AS SELECT Src FROM EDGE WHERE Src = Dst;",
+        )
+        .unwrap();
+        assert_eq!(db.cardinality("EDGE"), Some(0));
+        let view_schema = db.catalog.relation("LOOPS").unwrap();
+        assert_eq!(view_schema.columns.len(), 1);
+        assert_eq!(view_schema.columns[0].name, "Src");
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut db = Database::new();
+        db.execute_ddl("TABLE EDGE (Src : INT, Dst : INT);")
+            .unwrap();
+        db.insert("EDGE", vec![1.into(), 2.into()]).unwrap();
+        let err = db.insert("edge", vec![1.into()]).unwrap_err();
+        assert!(matches!(err, EngineError::ArityMismatch { .. }));
+        assert_eq!(db.cardinality("Edge"), Some(1));
+    }
+
+    #[test]
+    fn unknown_table_insert_fails() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.insert("NOPE", vec![]),
+            Err(EngineError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn objects_shared_by_reference() {
+        let mut db = Database::new();
+        db.execute_ddl(
+            "TYPE Person OBJECT TUPLE (Name : CHAR);\n\
+             TABLE T (P : Person);",
+        )
+        .unwrap();
+        let quinn = db.create_object("Person", Value::Tuple(vec![Value::str("Quinn")]));
+        db.insert("T", vec![quinn.clone()]).unwrap();
+        db.insert("T", vec![quinn.clone()]).unwrap();
+        // Both rows reference the same object.
+        let rel = db.relation("T").unwrap();
+        assert_eq!(rel.rows[0], rel.rows[1]);
+    }
+}

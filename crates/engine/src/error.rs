@@ -1,0 +1,86 @@
+//! Engine errors.
+
+use std::fmt;
+
+use eds_adt::AdtError;
+use eds_esql::EsqlError;
+use eds_lera::LeraError;
+
+/// Errors raised while loading data or evaluating plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Relation not found at evaluation time.
+    UnknownRelation(String),
+    /// Row arity does not match the table schema.
+    ArityMismatch {
+        /// Table name.
+        table: String,
+        /// Declared arity.
+        expected: usize,
+        /// Row arity.
+        found: usize,
+    },
+    /// A fixpoint failed to converge within the iteration bound.
+    FixpointDiverged {
+        /// Recursion variable.
+        name: String,
+        /// The bound that was hit.
+        limit: usize,
+    },
+    /// A qualification evaluated to a non-boolean.
+    NonBooleanPredicate(String),
+    /// LERA-level failure (schema inference, field resolution).
+    Lera(LeraError),
+    /// ADT-level failure (function evaluation).
+    Adt(AdtError),
+    /// Front-end failure.
+    Esql(EsqlError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownRelation(n) => write!(f, "unknown relation '{n}'"),
+            EngineError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => write!(f, "{table}: expected {expected} columns, found {found}"),
+            EngineError::FixpointDiverged { name, limit } => {
+                write!(
+                    f,
+                    "fix({name}, ...) did not converge within {limit} iterations"
+                )
+            }
+            EngineError::NonBooleanPredicate(p) => {
+                write!(f, "qualification evaluated to a non-boolean: {p}")
+            }
+            EngineError::Lera(e) => write!(f, "{e}"),
+            EngineError::Adt(e) => write!(f, "{e}"),
+            EngineError::Esql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LeraError> for EngineError {
+    fn from(e: LeraError) -> Self {
+        EngineError::Lera(e)
+    }
+}
+
+impl From<AdtError> for EngineError {
+    fn from(e: AdtError) -> Self {
+        EngineError::Adt(e)
+    }
+}
+
+impl From<EsqlError> for EngineError {
+    fn from(e: EsqlError) -> Self {
+        EngineError::Esql(e)
+    }
+}
+
+/// Result alias for the engine.
+pub type EngineResult<T> = Result<T, EngineError>;

@@ -1,0 +1,651 @@
+//! Evaluation of LERA plans.
+//!
+//! Deliberately naive physical strategies (nested-loop `search`, full
+//! rescans) so that *logical* plan quality — what the rewriter improves —
+//! is directly visible in the work counters and wall-clock time.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use eds_adt::{EvalContext, Value};
+use eds_lera::{infer_scalar_type, infer_schema, Expr, LeraError, Scalar, Schema, SchemaCtx};
+
+use crate::database::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::fixpoint::{eval_fix, FixOptions};
+use crate::relation::{Relation, Row};
+
+/// Physical strategy for the n-ary `search` operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinMode {
+    /// Full cross-product enumeration with a post-filter. The baseline
+    /// the paper's logical optimizer is measured against.
+    #[default]
+    NestedLoop,
+    /// Left-deep hash joins on equality conjuncts (cross product only
+    /// when no equi-conjunct links the next input). Demonstrates that the
+    /// logical rewrites pay off under a smarter physical strategy too.
+    Hash,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalOptions {
+    /// Fixpoint strategy.
+    pub fix: FixOptions,
+    /// Search/join strategy.
+    pub join: JoinMode,
+}
+
+/// Work counters, for the benchmark harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Rows produced by all operators (intermediate + final).
+    pub rows_emitted: u64,
+    /// Tuple combinations considered by `search`/`join` loops.
+    pub combinations_tried: u64,
+    /// Fixpoint iterations executed.
+    pub fix_iterations: u64,
+}
+
+/// Evaluate a plan against a database.
+pub fn eval(expr: &Expr, db: &Database) -> EngineResult<Relation> {
+    eval_with(expr, db, EvalOptions::default()).map(|(r, _)| r)
+}
+
+/// Evaluate with options, returning work counters.
+pub fn eval_with(
+    expr: &Expr,
+    db: &Database,
+    opts: EvalOptions,
+) -> EngineResult<(Relation, EvalStats)> {
+    let mut ctx = Ctx {
+        db,
+        opts,
+        locals: HashMap::new(),
+        stats: EvalStats::default(),
+    };
+    let rel = eval_expr(expr, &mut ctx)?;
+    Ok((rel, ctx.stats))
+}
+
+/// Evaluate a constant scalar (no attribute references) against a
+/// database — used for `INSERT ... VALUES` expressions.
+pub fn eval_const_scalar(s: &Scalar, db: &Database) -> EngineResult<Value> {
+    let ctx = Ctx {
+        db,
+        opts: EvalOptions::default(),
+        locals: HashMap::new(),
+        stats: EvalStats::default(),
+    };
+    let bound = bind_fields(s, &[], &ctx)?;
+    eval_scalar(&bound, &[], &ctx)
+}
+
+/// Evaluation context: database, options, fixpoint locals, counters.
+pub struct Ctx<'a> {
+    /// The database.
+    pub db: &'a Database,
+    /// Options.
+    pub opts: EvalOptions,
+    /// Relations bound to recursion variables.
+    pub locals: HashMap<String, Relation>,
+    /// Work counters.
+    pub stats: EvalStats,
+}
+
+impl Ctx<'_> {
+    fn schema_ctx(&self) -> SchemaCtx<'_> {
+        let mut sc = SchemaCtx::new(&self.db.catalog);
+        for (name, rel) in &self.locals {
+            sc = sc.with_local(name, rel.schema.clone());
+        }
+        sc
+    }
+}
+
+/// Evaluate an expression in a context (public for the fixpoint module).
+pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    match expr {
+        Expr::Base(name) => {
+            let key = name.to_ascii_uppercase();
+            if let Some(rel) = ctx.locals.get(&key) {
+                return Ok(rel.clone());
+            }
+            if let Some(rel) = ctx.db.relation(name) {
+                return Ok(rel.clone());
+            }
+            Err(EngineError::UnknownRelation(name.to_owned()))
+        }
+        Expr::Filter { input, pred } => {
+            let rel = eval_expr(input, ctx)?;
+            let pred = bind_fields(pred, std::slice::from_ref(&rel.schema), ctx)?;
+            let mut out = Relation::empty(rel.schema.clone());
+            for row in &rel.rows {
+                if is_true(&eval_scalar(&pred, &[row], ctx)?) {
+                    out.push(row.clone());
+                    ctx.stats.rows_emitted += 1;
+                }
+            }
+            Ok(out)
+        }
+        Expr::Project { input, exprs } => {
+            let rel = eval_expr(input, ctx)?;
+            let schema = infer_schema(expr, &ctx.schema_ctx())?;
+            let exprs = exprs
+                .iter()
+                .map(|e| bind_fields(e, std::slice::from_ref(&rel.schema), ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            let mut out = Relation::empty(schema);
+            for row in &rel.rows {
+                let new_row = exprs
+                    .iter()
+                    .map(|e| eval_scalar(e, &[row], ctx))
+                    .collect::<EngineResult<Row>>()?;
+                out.push(new_row);
+                ctx.stats.rows_emitted += 1;
+            }
+            Ok(out)
+        }
+        Expr::Join { left, right, pred } => {
+            // join = search over two inputs projecting all attributes.
+            let l_arity = infer_schema(left, &ctx.schema_ctx())?.arity();
+            let r_arity = infer_schema(right, &ctx.schema_ctx())?.arity();
+            let mut proj = Vec::new();
+            for a in 1..=l_arity {
+                proj.push(Scalar::attr(1, a));
+            }
+            for a in 1..=r_arity {
+                proj.push(Scalar::attr(2, a));
+            }
+            let as_search = Expr::Search {
+                inputs: vec![(**left).clone(), (**right).clone()],
+                pred: pred.clone(),
+                proj,
+            };
+            eval_expr(&as_search, ctx)
+        }
+        Expr::Union(items) => {
+            let mut out: Option<Relation> = None;
+            for item in items {
+                let rel = eval_expr(item, ctx)?;
+                match &mut out {
+                    None => out = Some(rel),
+                    Some(acc) => {
+                        if acc.schema.arity() != rel.schema.arity() {
+                            return Err(EngineError::Lera(LeraError::Type(
+                                "union arity mismatch".into(),
+                            )));
+                        }
+                        acc.rows.extend(rel.rows);
+                    }
+                }
+            }
+            out.ok_or_else(|| EngineError::Lera(LeraError::Type("empty union".into())))
+        }
+        Expr::Difference(a, b) => {
+            let ra = eval_expr(a, ctx)?.deduped();
+            let rb = eval_expr(b, ctx)?;
+            let forbidden: Vec<&Row> = rb.rows.iter().collect();
+            let rows = ra
+                .rows
+                .into_iter()
+                .filter(|r| !forbidden.contains(&r))
+                .collect();
+            Ok(Relation::new(ra.schema, rows))
+        }
+        Expr::Intersect(a, b) => {
+            let ra = eval_expr(a, ctx)?.deduped();
+            let rb = eval_expr(b, ctx)?;
+            let allowed: Vec<&Row> = rb.rows.iter().collect();
+            let rows = ra
+                .rows
+                .into_iter()
+                .filter(|r| allowed.contains(&r))
+                .collect();
+            Ok(Relation::new(ra.schema, rows))
+        }
+        Expr::Search { inputs, pred, proj } => {
+            let rels = inputs
+                .iter()
+                .map(|i| eval_expr(i, ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            let schemas: Vec<Schema> = rels.iter().map(|r| r.schema.clone()).collect();
+            let pred = bind_fields(pred, &schemas, ctx)?;
+            let proj = proj
+                .iter()
+                .map(|e| bind_fields(e, &schemas, ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            let out_schema = infer_schema(expr, &ctx.schema_ctx())?;
+            let mut out = Relation::empty(out_schema);
+
+            // Short-circuit: a FALSE qualification or an empty input
+            // produces no tuples without touching the cross product.
+            if pred.is_false() || rels.iter().any(|r| r.is_empty()) {
+                return Ok(out);
+            }
+            match ctx.opts.join {
+                JoinMode::NestedLoop => {
+                    // Nested-loop over the cross product.
+                    let mut idx = vec![0usize; rels.len()];
+                    'outer: loop {
+                        let tuple_refs: Vec<&Row> =
+                            rels.iter().zip(&idx).map(|(r, &i)| &r.rows[i]).collect();
+                        ctx.stats.combinations_tried += 1;
+                        if is_true(&eval_scalar(&pred, &tuple_refs, ctx)?) {
+                            let row = proj
+                                .iter()
+                                .map(|e| eval_scalar(e, &tuple_refs, ctx))
+                                .collect::<EngineResult<Row>>()?;
+                            out.push(row);
+                            ctx.stats.rows_emitted += 1;
+                        }
+                        // Advance the odometer.
+                        for k in (0..idx.len()).rev() {
+                            idx[k] += 1;
+                            if idx[k] < rels[k].len() {
+                                continue 'outer;
+                            }
+                            idx[k] = 0;
+                            if k == 0 {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                JoinMode::Hash => {
+                    let combos = hash_search(&rels, &pred, ctx)?;
+                    for combo in combos {
+                        let tuple_refs: Vec<&Row> = combo.clone();
+                        if is_true(&eval_scalar(&pred, &tuple_refs, ctx)?) {
+                            let row = proj
+                                .iter()
+                                .map(|e| eval_scalar(e, &tuple_refs, ctx))
+                                .collect::<EngineResult<Row>>()?;
+                            out.push(row);
+                            ctx.stats.rows_emitted += 1;
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Expr::Fix { name, body } => eval_fix(name, body, ctx),
+        Expr::Nest {
+            input,
+            group,
+            nested,
+            kind,
+        } => {
+            let rel = eval_expr(input, ctx)?;
+            let out_schema = infer_schema(expr, &ctx.schema_ctx())?;
+            let mut groups: BTreeMap<Row, Vec<Value>> = BTreeMap::new();
+            for row in &rel.rows {
+                let key: Row = group.iter().map(|&g| row[g - 1].clone()).collect();
+                let item = if nested.len() == 1 {
+                    row[nested[0] - 1].clone()
+                } else {
+                    Value::Tuple(nested.iter().map(|&n| row[n - 1].clone()).collect())
+                };
+                groups.entry(key).or_default().push(item);
+            }
+            let mut out = Relation::empty(out_schema);
+            for (key, items) in groups {
+                let mut row = key;
+                row.push(Value::coll(*kind, items));
+                out.push(row);
+                ctx.stats.rows_emitted += 1;
+            }
+            Ok(out)
+        }
+        Expr::Unnest { input, attr } => {
+            let rel = eval_expr(input, ctx)?;
+            let out_schema = infer_schema(expr, &ctx.schema_ctx())?;
+            let mut out = Relation::empty(out_schema);
+            for row in &rel.rows {
+                let (_, elems) = row[attr - 1].as_coll().map_err(EngineError::Adt)?;
+                for elem in elems {
+                    let mut new_row = row.clone();
+                    new_row[attr - 1] = elem.clone();
+                    out.push(new_row);
+                    ctx.stats.rows_emitted += 1;
+                }
+            }
+            Ok(out)
+        }
+        Expr::Dedup(input) => Ok(eval_expr(input, ctx)?.deduped()),
+    }
+}
+
+fn is_true(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+/// Left-deep hash-join enumeration of candidate input combinations. Each
+/// equality conjunct `i.a = j.b` between an already-joined input and the
+/// next one becomes a hash key; inputs with no linking equi-conjunct fall
+/// back to a cross product against the accumulator. The caller re-checks
+/// the full qualification, so this only has to be an over-approximation
+/// of the satisfying combinations.
+fn hash_search<'a>(
+    rels: &'a [Relation],
+    pred: &Scalar,
+    ctx: &mut Ctx<'_>,
+) -> EngineResult<Vec<Vec<&'a Row>>> {
+    // Equality conjuncts between plain attribute references.
+    let mut equi: Vec<(usize, usize, usize, usize)> = Vec::new(); // (rel_a, attr_a, rel_b, attr_b)
+    for c in pred.conjuncts() {
+        if let Scalar::Cmp {
+            op: eds_lera::CmpOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            if let (Scalar::Attr { rel: r1, attr: a1 }, Scalar::Attr { rel: r2, attr: a2 }) =
+                (left.as_ref(), right.as_ref())
+            {
+                equi.push((*r1, *a1, *r2, *a2));
+            }
+        }
+    }
+
+    let mut acc: Vec<Vec<&Row>> = rels[0].rows.iter().map(|r| vec![r]).collect();
+    ctx.stats.combinations_tried += acc.len() as u64;
+
+    for (next_idx, next_rel) in rels.iter().enumerate().skip(1) {
+        let next_rel_no = next_idx + 1; // 1-based
+                                        // Keys linking the accumulated prefix (rel <= next_idx) to the
+                                        // next input.
+        let keys: Vec<((usize, usize), usize)> = equi
+            .iter()
+            .filter_map(|&(r1, a1, r2, a2)| {
+                if r1 <= next_idx && r2 == next_rel_no {
+                    Some(((r1, a1), a2))
+                } else if r2 <= next_idx && r1 == next_rel_no {
+                    Some(((r2, a2), a1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let mut new_acc: Vec<Vec<&Row>> = Vec::new();
+        if keys.is_empty() {
+            // Cross product against the accumulator.
+            for combo in &acc {
+                for row in &next_rel.rows {
+                    let mut extended = combo.clone();
+                    extended.push(row);
+                    ctx.stats.combinations_tried += 1;
+                    new_acc.push(extended);
+                }
+            }
+        } else {
+            // Build: hash the next input on its key attributes.
+            let mut table: HashMap<Vec<&Value>, Vec<&Row>> = HashMap::new();
+            for row in &next_rel.rows {
+                let key: Vec<&Value> = keys.iter().map(|&(_, a)| &row[a - 1]).collect();
+                table.entry(key).or_default().push(row);
+            }
+            // Probe with the accumulator.
+            for combo in &acc {
+                let key: Vec<&Value> = keys
+                    .iter()
+                    .map(|&((r, a), _)| &combo[r - 1][a - 1])
+                    .collect();
+                if let Some(matches) = table.get(&key) {
+                    for row in matches {
+                        let mut extended = combo.clone();
+                        extended.push(row);
+                        ctx.stats.combinations_tried += 1;
+                        new_acc.push(extended);
+                    }
+                }
+            }
+        }
+        acc = new_acc;
+        if acc.is_empty() {
+            break;
+        }
+    }
+    Ok(acc)
+}
+
+/// Resolve named field accesses (`PROJECT(e, Name)`) to positional
+/// `GETFIELD(e, idx)` using static types — done once per operator, not
+/// per row.
+fn bind_fields(s: &Scalar, inputs: &[Schema], ctx: &Ctx<'_>) -> EngineResult<Scalar> {
+    let sc = ctx.schema_ctx();
+    bind_fields_inner(s, inputs, &sc).map_err(EngineError::Lera)
+}
+
+fn bind_fields_inner(
+    s: &Scalar,
+    inputs: &[Schema],
+    sc: &SchemaCtx<'_>,
+) -> Result<Scalar, LeraError> {
+    Ok(match s {
+        Scalar::Field { input, name } => {
+            let bound_input = bind_fields_inner(input, inputs, sc)?;
+            let input_ty = infer_scalar_type(&bound_input, inputs, sc)?;
+            let (needs_deref, idx, _) =
+                sc.catalog.attribute_of(&input_ty, name).ok_or_else(|| {
+                    LeraError::UnknownAttribute {
+                        name: name.clone(),
+                        receiver: input_ty.to_string(),
+                    }
+                })?;
+            let receiver = if needs_deref {
+                Scalar::call("VALUE", vec![bound_input])
+            } else {
+                bound_input
+            };
+            Scalar::call("GETFIELD", vec![receiver, Scalar::lit((idx + 1) as i64)])
+        }
+        Scalar::Call { func, args } => Scalar::Call {
+            func: func.clone(),
+            args: args
+                .iter()
+                .map(|a| bind_fields_inner(a, inputs, sc))
+                .collect::<Result<_, _>>()?,
+        },
+        Scalar::Cmp { op, left, right } => Scalar::Cmp {
+            op: *op,
+            left: Box::new(bind_fields_inner(left, inputs, sc)?),
+            right: Box::new(bind_fields_inner(right, inputs, sc)?),
+        },
+        Scalar::And(a, b) => Scalar::And(
+            Box::new(bind_fields_inner(a, inputs, sc)?),
+            Box::new(bind_fields_inner(b, inputs, sc)?),
+        ),
+        Scalar::Or(a, b) => Scalar::Or(
+            Box::new(bind_fields_inner(a, inputs, sc)?),
+            Box::new(bind_fields_inner(b, inputs, sc)?),
+        ),
+        Scalar::Not(a) => Scalar::Not(Box::new(bind_fields_inner(a, inputs, sc)?)),
+        Scalar::Attr { .. } | Scalar::Const(_) => s.clone(),
+    })
+}
+
+/// Evaluate a bound scalar against one tuple per input relation.
+pub fn eval_scalar(s: &Scalar, tuples: &[&Row], ctx: &Ctx<'_>) -> EngineResult<Value> {
+    match s {
+        Scalar::Attr { rel, attr } => {
+            let row = tuples.get(rel - 1).ok_or_else(|| {
+                EngineError::Lera(LeraError::BadAttrRef {
+                    rel: *rel,
+                    attr: *attr,
+                    context: format!("{} input tuples", tuples.len()),
+                })
+            })?;
+            row.get(attr - 1).cloned().ok_or_else(|| {
+                EngineError::Lera(LeraError::BadAttrRef {
+                    rel: *rel,
+                    attr: *attr,
+                    context: format!("tuple of arity {}", row.len()),
+                })
+            })
+        }
+        Scalar::Const(v) => Ok(v.clone()),
+        Scalar::Field { name, .. } => Err(EngineError::Lera(LeraError::UnknownAttribute {
+            name: name.clone(),
+            receiver: "unbound field access at runtime".into(),
+        })),
+        Scalar::Call { func, args } => {
+            let vals = args
+                .iter()
+                .map(|a| eval_scalar(a, tuples, ctx))
+                .collect::<EngineResult<Vec<Value>>>()?;
+            match func.as_str() {
+                "GETFIELD" => {
+                    let idx = vals[1].as_int().map_err(EngineError::Adt)? as usize;
+                    getfield(&vals[0], idx, ctx)
+                }
+                "VALUE" => deref_value(&vals[0], ctx),
+                _ => {
+                    let ec = EvalContext {
+                        objects: &ctx.db.objects,
+                        types: &ctx.db.catalog.types,
+                    };
+                    ctx.db
+                        .functions
+                        .call(func, &vals, &ec)
+                        .map_err(EngineError::Adt)
+                }
+            }
+        }
+        Scalar::Cmp { op, left, right } => {
+            let l = eval_scalar(left, tuples, ctx)?;
+            let r = eval_scalar(right, tuples, ctx)?;
+            Ok(eval_cmp_broadcast(op, &l, &r))
+        }
+        Scalar::And(a, b) => {
+            let va = eval_scalar(a, tuples, ctx)?;
+            // Short-circuit FALSE without evaluating the right side.
+            if matches!(va, Value::Bool(false)) {
+                return Ok(Value::Bool(false));
+            }
+            let vb = eval_scalar(b, tuples, ctx)?;
+            Ok(match (va, vb) {
+                (_, Value::Bool(false)) => Value::Bool(false),
+                (Value::Bool(true), Value::Bool(true)) => Value::Bool(true),
+                _ => Value::Null,
+            })
+        }
+        Scalar::Or(a, b) => {
+            let va = eval_scalar(a, tuples, ctx)?;
+            if matches!(va, Value::Bool(true)) {
+                return Ok(Value::Bool(true));
+            }
+            let vb = eval_scalar(b, tuples, ctx)?;
+            Ok(match (va, vb) {
+                (_, Value::Bool(true)) => Value::Bool(true),
+                (Value::Bool(false), Value::Bool(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        Scalar::Not(a) => Ok(match eval_scalar(a, tuples, ctx)? {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Null => Value::Null,
+            other => {
+                return Err(EngineError::NonBooleanPredicate(other.to_string()));
+            }
+        }),
+    }
+}
+
+/// Field access with automatic mapping: tuples index directly, object
+/// references dereference first, collections map the access over their
+/// elements ("the system will automatically apply the appropriate type
+/// conversion", Section 2.1).
+fn getfield(v: &Value, idx1: usize, ctx: &Ctx<'_>) -> EngineResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Tuple(items) => items.get(idx1 - 1).cloned().ok_or({
+            EngineError::Adt(eds_adt::AdtError::IndexOutOfBounds {
+                index: idx1 as i64,
+                len: items.len(),
+            })
+        }),
+        Value::Object(oid) => {
+            let inner = ctx
+                .db
+                .objects
+                .value(*oid)
+                .map_err(EngineError::Adt)?
+                .clone();
+            getfield(&inner, idx1, ctx)
+        }
+        Value::Coll(kind, items) => {
+            let mapped = items
+                .iter()
+                .map(|e| getfield(e, idx1, ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            Ok(Value::coll(*kind, mapped))
+        }
+        other => Err(EngineError::Adt(eds_adt::AdtError::TypeMismatch {
+            function: "GETFIELD".into(),
+            expected: "TUPLE, OBJECT or collection".into(),
+            found: other.kind_name().into(),
+        })),
+    }
+}
+
+/// `VALUE` with collection mapping.
+fn deref_value(v: &Value, ctx: &Ctx<'_>) -> EngineResult<Value> {
+    match v {
+        Value::Null => Ok(Value::Null),
+        Value::Object(oid) => ctx
+            .db
+            .objects
+            .value(*oid)
+            .cloned()
+            .map_err(EngineError::Adt),
+        Value::Coll(kind, items) => {
+            let mapped = items
+                .iter()
+                .map(|e| deref_value(e, ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            Ok(Value::coll(*kind, mapped))
+        }
+        other => Ok(other.clone()),
+    }
+}
+
+/// Comparison with broadcasting: ordered comparisons where exactly one
+/// side is a collection map over its elements (supporting
+/// `ALL(Salary(Actors) > 10000)`); equality stays structural.
+fn eval_cmp_broadcast(op: &eds_lera::CmpOp, l: &Value, r: &Value) -> Value {
+    use eds_lera::CmpOp;
+    let ordered = !matches!(op, CmpOp::Eq | CmpOp::Ne);
+    if ordered {
+        match (l, r) {
+            (Value::Coll(kind, items), scalar) if !scalar.is_coll() => {
+                let mapped: Vec<Value> = items
+                    .iter()
+                    .map(|e| eval_cmp_broadcast(op, e, scalar))
+                    .collect();
+                return Value::coll(*kind, mapped);
+            }
+            (scalar, Value::Coll(kind, items)) if !scalar.is_coll() => {
+                let mapped: Vec<Value> = items
+                    .iter()
+                    .map(|e| eval_cmp_broadcast(op, scalar, e))
+                    .collect();
+                return Value::coll(*kind, mapped);
+            }
+            _ => {}
+        }
+    }
+    match l.sql_cmp(r) {
+        None => Value::Null,
+        Some(ord) => Value::Bool(match op {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Ge => ord.is_ge(),
+        }),
+    }
+}

@@ -1,0 +1,334 @@
+//! Fixpoint evaluation: `fix(R, E(R))` computes the relation `R = E(R)`
+//! (Section 3.2).
+//!
+//! Two strategies are provided. *Naive* re-evaluates the whole body each
+//! round. *Semi-naive* differentiates the body: each recursive branch is
+//! re-evaluated once per occurrence of the recursion variable, with that
+//! occurrence bound to the delta of the previous round — the standard
+//! optimization the Alexander/magic-sets transformation composes with.
+
+use eds_lera::{infer_schema, Expr};
+
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{eval_expr, Ctx};
+use crate::relation::{Relation, Row};
+
+/// Fixpoint evaluation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FixMode {
+    /// Recompute `E(R)` in full each round.
+    Naive,
+    /// Differential evaluation per occurrence of the recursion variable.
+    #[default]
+    SemiNaive,
+}
+
+/// Fixpoint options.
+#[derive(Debug, Clone, Copy)]
+pub struct FixOptions {
+    /// Strategy.
+    pub mode: FixMode,
+    /// Safety bound on rounds.
+    pub max_iterations: usize,
+}
+
+impl Default for FixOptions {
+    fn default() -> Self {
+        FixOptions {
+            mode: FixMode::SemiNaive,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// Evaluate `fix(name, body)`.
+pub fn eval_fix(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    match ctx.opts.fix.mode {
+        FixMode::Naive => eval_fix_naive(name, body, ctx),
+        FixMode::SemiNaive => eval_fix_seminaive(name, body, ctx),
+    }
+}
+
+fn sorted_dedup(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+fn eval_fix_naive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    let key = name.to_ascii_uppercase();
+    let schema = {
+        let sc = ctx.schema_ctx_for_fix();
+        infer_schema(
+            &Expr::Fix {
+                name: name.to_owned(),
+                body: Box::new(body.clone()),
+            },
+            &sc,
+        )?
+    };
+    let mut known = Relation::empty(schema);
+    let saved = ctx.locals.insert(key.clone(), known.clone());
+
+    let result = (|| {
+        for _round in 0..ctx.opts.fix.max_iterations {
+            ctx.stats.fix_iterations += 1;
+            ctx.locals.insert(key.clone(), known.clone());
+            let new = eval_expr(body, ctx)?;
+            let merged = sorted_dedup(known.rows.iter().cloned().chain(new.rows).collect());
+            if merged == known.rows {
+                return Ok(known);
+            }
+            known = Relation::new(known.schema.clone(), merged);
+        }
+        Err(EngineError::FixpointDiverged {
+            name: name.to_owned(),
+            limit: ctx.opts.fix.max_iterations,
+        })
+    })();
+
+    restore_local(ctx, &key, saved);
+    result
+}
+
+fn eval_fix_seminaive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    let key = name.to_ascii_uppercase();
+    let delta_key = format!("{key}#DELTA");
+
+    // Split the body into branches (a union, or a single expression).
+    let branches: Vec<&Expr> = match body {
+        Expr::Union(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    let seed_branches: Vec<&Expr> = branches
+        .iter()
+        .copied()
+        .filter(|b| !b.references(name))
+        .collect();
+    let rec_branches: Vec<&Expr> = branches
+        .iter()
+        .copied()
+        .filter(|b| b.references(name))
+        .collect();
+    if seed_branches.is_empty() {
+        // Least fixpoint from the empty relation: no seed means empty.
+        let sc = ctx.schema_ctx_for_fix();
+        let schema = infer_schema(
+            &Expr::Fix {
+                name: name.to_owned(),
+                body: Box::new(body.clone()),
+            },
+            &sc,
+        )?;
+        return Ok(Relation::empty(schema));
+    }
+
+    // Seed: the non-recursive branches.
+    let mut known: Option<Relation> = None;
+    for b in &seed_branches {
+        let r = eval_expr(b, ctx)?;
+        match &mut known {
+            None => known = Some(r),
+            Some(acc) => acc.rows.extend(r.rows),
+        }
+    }
+    let mut known = known.expect("non-empty seed branches");
+    known.rows = sorted_dedup(std::mem::take(&mut known.rows));
+    let mut delta = known.clone();
+
+    // Pre-compute, per recursive branch, one variant per occurrence of
+    // the recursion variable with that occurrence renamed to the delta.
+    let variants: Vec<Expr> = rec_branches
+        .iter()
+        .flat_map(|b| {
+            let occurrences = count_occurrences(b, name);
+            (0..occurrences).map(|i| replace_nth_base(b, name, i, &delta_key))
+        })
+        .collect();
+
+    let saved_known = ctx.locals.insert(key.clone(), known.clone());
+    let saved_delta = ctx.locals.insert(delta_key.clone(), delta.clone());
+
+    let result = (|| {
+        for _round in 0..ctx.opts.fix.max_iterations {
+            ctx.stats.fix_iterations += 1;
+            ctx.locals.insert(key.clone(), known.clone());
+            ctx.locals.insert(delta_key.clone(), delta.clone());
+
+            let mut fresh: Vec<Row> = Vec::new();
+            for variant in &variants {
+                let r = eval_expr(variant, ctx)?;
+                fresh.extend(r.rows);
+            }
+            let fresh = sorted_dedup(fresh);
+            // delta = fresh - known
+            let new_delta: Vec<Row> = fresh
+                .into_iter()
+                .filter(|r| known.rows.binary_search(r).is_err())
+                .collect();
+            if new_delta.is_empty() {
+                return Ok(known);
+            }
+            let merged = sorted_dedup(
+                known
+                    .rows
+                    .iter()
+                    .cloned()
+                    .chain(new_delta.iter().cloned())
+                    .collect(),
+            );
+            known = Relation::new(known.schema.clone(), merged);
+            delta = Relation::new(known.schema.clone(), new_delta);
+        }
+        Err(EngineError::FixpointDiverged {
+            name: name.to_owned(),
+            limit: ctx.opts.fix.max_iterations,
+        })
+    })();
+
+    restore_local(ctx, &key, saved_known);
+    restore_local(ctx, &delta_key, saved_delta);
+    result
+}
+
+fn restore_local(ctx: &mut Ctx<'_>, key: &str, saved: Option<Relation>) {
+    match saved {
+        Some(rel) => {
+            ctx.locals.insert(key.to_owned(), rel);
+        }
+        None => {
+            ctx.locals.remove(key);
+        }
+    }
+}
+
+/// Number of `Base(name)` occurrences in an expression (not descending
+/// into shadowing inner `fix` operators with the same variable).
+pub fn count_occurrences(e: &Expr, name: &str) -> usize {
+    match e {
+        Expr::Base(n) => usize::from(n.eq_ignore_ascii_case(name)),
+        Expr::Fix { name: inner, .. } if inner.eq_ignore_ascii_case(name) => 0,
+        other => other
+            .children()
+            .iter()
+            .map(|c| count_occurrences(c, name))
+            .sum(),
+    }
+}
+
+/// Replace the `n`-th occurrence (0-based, pre-order) of `Base(name)`
+/// with `Base(replacement)`.
+pub fn replace_nth_base(e: &Expr, name: &str, n: usize, replacement: &str) -> Expr {
+    fn walk(e: &Expr, name: &str, counter: &mut usize, n: usize, replacement: &str) -> Expr {
+        match e {
+            Expr::Base(b) if b.eq_ignore_ascii_case(name) => {
+                let hit = *counter == n;
+                *counter += 1;
+                if hit {
+                    Expr::Base(replacement.to_owned())
+                } else {
+                    e.clone()
+                }
+            }
+            Expr::Fix { name: inner, .. } if inner.eq_ignore_ascii_case(name) => e.clone(),
+            Expr::Base(_) => e.clone(),
+            Expr::Filter { input, pred } => Expr::Filter {
+                input: Box::new(walk(input, name, counter, n, replacement)),
+                pred: pred.clone(),
+            },
+            Expr::Project { input, exprs } => Expr::Project {
+                input: Box::new(walk(input, name, counter, n, replacement)),
+                exprs: exprs.clone(),
+            },
+            Expr::Join { left, right, pred } => Expr::Join {
+                left: Box::new(walk(left, name, counter, n, replacement)),
+                right: Box::new(walk(right, name, counter, n, replacement)),
+                pred: pred.clone(),
+            },
+            Expr::Union(items) => Expr::Union(
+                items
+                    .iter()
+                    .map(|i| walk(i, name, counter, n, replacement))
+                    .collect(),
+            ),
+            Expr::Difference(a, b) => Expr::Difference(
+                Box::new(walk(a, name, counter, n, replacement)),
+                Box::new(walk(b, name, counter, n, replacement)),
+            ),
+            Expr::Intersect(a, b) => Expr::Intersect(
+                Box::new(walk(a, name, counter, n, replacement)),
+                Box::new(walk(b, name, counter, n, replacement)),
+            ),
+            Expr::Search { inputs, pred, proj } => Expr::Search {
+                inputs: inputs
+                    .iter()
+                    .map(|i| walk(i, name, counter, n, replacement))
+                    .collect(),
+                pred: pred.clone(),
+                proj: proj.clone(),
+            },
+            Expr::Fix { name: inner, body } => Expr::Fix {
+                name: inner.clone(),
+                body: Box::new(walk(body, name, counter, n, replacement)),
+            },
+            Expr::Nest {
+                input,
+                group,
+                nested,
+                kind,
+            } => Expr::Nest {
+                input: Box::new(walk(input, name, counter, n, replacement)),
+                group: group.clone(),
+                nested: nested.clone(),
+                kind: *kind,
+            },
+            Expr::Unnest { input, attr } => Expr::Unnest {
+                input: Box::new(walk(input, name, counter, n, replacement)),
+                attr: *attr,
+            },
+            Expr::Dedup(input) => Expr::Dedup(Box::new(walk(input, name, counter, n, replacement))),
+        }
+    }
+    let mut counter = 0;
+    walk(e, name, &mut counter, n, replacement)
+}
+
+impl Ctx<'_> {
+    /// Schema context including fixpoint locals (used by eval_fix before
+    /// the new variable is bound).
+    pub(crate) fn schema_ctx_for_fix(&self) -> eds_lera::SchemaCtx<'_> {
+        let mut sc = eds_lera::SchemaCtx::new(&self.db.catalog);
+        for (name, rel) in &self.locals {
+            sc = sc.with_local(name, rel.schema.clone());
+        }
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eds_lera::Scalar;
+
+    #[test]
+    fn occurrence_counting_and_replacement() {
+        let e = Expr::search(
+            vec![Expr::base("R"), Expr::base("S"), Expr::base("R")],
+            Scalar::true_(),
+            vec![Scalar::attr(1, 1)],
+        );
+        assert_eq!(count_occurrences(&e, "R"), 2);
+        assert_eq!(count_occurrences(&e, "S"), 1);
+        let replaced = replace_nth_base(&e, "R", 1, "DELTA");
+        assert_eq!(replaced.base_relations(), vec!["R", "S", "DELTA"]);
+    }
+
+    #[test]
+    fn shadowed_fix_not_descended() {
+        let inner_fix = Expr::Fix {
+            name: "R".into(),
+            body: Box::new(Expr::base("R")),
+        };
+        assert_eq!(count_occurrences(&inner_fix, "R"), 0);
+    }
+}

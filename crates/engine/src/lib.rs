@@ -1,0 +1,42 @@
+//! # eds-engine — executable substrate for LERA plans
+//!
+//! The original EDS parallel database server is unavailable; this crate
+//! is the faithful single-node substitute (see DESIGN.md). It evaluates
+//! every LERA operator with deliberately simple physical strategies so
+//! that the *logical* plan improvements produced by the rewriter are
+//! directly measurable:
+//!
+//! * [`database::Database`] — catalog + object store + stored relations;
+//! * [`eval`] — nested-loop `search`, `nest`/`unnest`, three-valued
+//!   qualifications, collection broadcasting of field access and ordered
+//!   comparisons;
+//! * [`fixpoint`] — naive and semi-naive `fix` evaluation.
+
+//! ```
+//! use eds_engine::{eval, Database};
+//! use eds_esql::parse_query;
+//! use eds_lera::{translate_query, SchemaCtx};
+//!
+//! let mut db = Database::new();
+//! db.execute_ddl(
+//!     "TABLE T (X : INT);
+//!      INSERT INTO T VALUES (1), (2), (3);",
+//! ).unwrap();
+//! let q = parse_query("SELECT X FROM T WHERE X > 1 ;").unwrap();
+//! let (plan, _) = translate_query(&q, &SchemaCtx::new(&db.catalog)).unwrap();
+//! assert_eq!(eval(&plan, &db).unwrap().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod fixpoint;
+pub mod relation;
+
+pub use database::Database;
+pub use error::{EngineError, EngineResult};
+pub use eval::{eval, eval_const_scalar, eval_with, EvalOptions, EvalStats, JoinMode};
+pub use fixpoint::{FixMode, FixOptions};
+pub use relation::{Relation, Row};

@@ -1,0 +1,120 @@
+//! In-memory relations.
+
+use eds_adt::Value;
+use eds_lera::Schema;
+
+/// A row: one value per attribute.
+pub type Row = Vec<Value>;
+
+/// An in-memory relation with bag semantics (ESQL query blocks produce
+/// bags by default; set operations deduplicate explicitly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// The relation's schema.
+    pub schema: Schema,
+    /// Rows, duplicates allowed.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Relation with rows.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        Relation { schema, rows }
+    }
+
+    /// Number of rows (with duplicates).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Deduplicated copy (set semantics), rows in canonical order.
+    pub fn deduped(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows.dedup();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Canonicalized copy: sorted rows with duplicates retained. Two
+    /// relations with equal canonical forms are bag-equal.
+    pub fn canonical(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Set-equality against another relation (ignores duplicates/order).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.deduped().rows == other.deduped().rows
+    }
+
+    /// Bag-equality against another relation (ignores order only).
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        self.canonical().rows == other.canonical().rows
+    }
+
+    /// The rows as a sorted, deduplicated vector (for assertions).
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        self.deduped().rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eds_adt::{Field, Type};
+
+    fn schema2() -> Schema {
+        Schema::new(vec![Field::new("a", Type::Int), Field::new("b", Type::Int)])
+    }
+
+    fn r(rows: Vec<(i64, i64)>) -> Relation {
+        Relation::new(
+            schema2(),
+            rows.into_iter()
+                .map(|(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn set_and_bag_equality() {
+        let a = r(vec![(1, 2), (3, 4), (1, 2)]);
+        let b = r(vec![(3, 4), (1, 2)]);
+        assert!(a.set_eq(&b));
+        assert!(!a.bag_eq(&b));
+        let c = r(vec![(1, 2), (1, 2), (3, 4)]);
+        assert!(a.bag_eq(&c));
+    }
+
+    #[test]
+    fn dedup_is_canonical() {
+        let a = r(vec![(3, 4), (1, 2), (3, 4)]);
+        assert_eq!(a.deduped().rows.len(), 2);
+        assert_eq!(a.deduped().rows[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+}

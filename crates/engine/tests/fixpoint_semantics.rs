@@ -1,0 +1,126 @@
+//! Fixpoint corner cases: cycles, self-loops, mutual reachability,
+//! multiple recursive branches, and nested recursion scopes.
+
+use eds_adt::Value;
+use eds_engine::{eval, eval_with, Database, EvalOptions, FixMode, FixOptions};
+use eds_esql::parse_query;
+use eds_lera::{translate_query, SchemaCtx};
+
+fn tc_db(edges: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TABLE EDGE (S : INT, D : INT);
+         CREATE VIEW TC (S, D) AS
+         ( SELECT S, D FROM EDGE
+           UNION SELECT A.S, B.D FROM TC A, TC B WHERE A.D = B.S ) ;",
+    )
+    .unwrap();
+    for &(s, d) in edges {
+        db.insert("EDGE", vec![s.into(), d.into()]).unwrap();
+    }
+    db
+}
+
+fn closure(db: &Database, mode: FixMode) -> Vec<Vec<Value>> {
+    let q = parse_query("SELECT S, D FROM TC ;").unwrap();
+    let ctx = SchemaCtx::new(&db.catalog);
+    let (expr, _) = translate_query(&q, &ctx).unwrap();
+    eval_with(
+        &expr,
+        db,
+        EvalOptions {
+            fix: FixOptions {
+                mode,
+                max_iterations: 10_000,
+            },
+            ..Default::default()
+        },
+    )
+    .unwrap()
+    .0
+    .sorted_rows()
+}
+
+#[test]
+fn self_loop_terminates() {
+    let db = tc_db(&[(1, 1)]);
+    for mode in [FixMode::Naive, FixMode::SemiNaive] {
+        assert_eq!(closure(&db, mode), vec![vec![Value::Int(1), Value::Int(1)]]);
+    }
+}
+
+#[test]
+fn two_cycle_reaches_everything_within_it() {
+    let db = tc_db(&[(1, 2), (2, 1)]);
+    let expected: Vec<Vec<Value>> = vec![
+        vec![1.into(), 1.into()],
+        vec![1.into(), 2.into()],
+        vec![2.into(), 1.into()],
+        vec![2.into(), 2.into()],
+    ];
+    for mode in [FixMode::Naive, FixMode::SemiNaive] {
+        assert_eq!(closure(&db, mode), expected);
+    }
+}
+
+#[test]
+fn disconnected_components_stay_disconnected() {
+    let db = tc_db(&[(1, 2), (10, 11), (11, 12)]);
+    let rows = closure(&db, FixMode::SemiNaive);
+    assert!(rows.contains(&vec![10.into(), 12.into()]));
+    assert!(!rows
+        .iter()
+        .any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(10)));
+    assert!(!rows
+        .iter()
+        .any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(12)));
+}
+
+#[test]
+fn multiple_recursive_branches() {
+    // Reachability over two edge relations, both recursive branches.
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TABLE ROAD (S : INT, D : INT);
+         TABLE RAIL (S : INT, D : INT);
+         INSERT INTO ROAD VALUES (1, 2);
+         INSERT INTO RAIL VALUES (2, 3);
+         CREATE VIEW GO (S, D) AS
+         ( SELECT S, D FROM ROAD
+           UNION SELECT S, D FROM RAIL
+           UNION SELECT G.S, R.D FROM GO G, ROAD R WHERE G.D = R.S
+           UNION SELECT G.S, R.D FROM GO G, RAIL R WHERE G.D = R.S ) ;",
+    )
+    .unwrap();
+    let q = parse_query("SELECT D FROM GO WHERE S = 1 ;").unwrap();
+    let ctx = SchemaCtx::new(&db.catalog);
+    let (expr, _) = translate_query(&q, &ctx).unwrap();
+    let rows = eval(&expr, &db).unwrap().sorted_rows();
+    assert_eq!(rows, vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+}
+
+#[test]
+fn view_over_recursive_view() {
+    let mut db = tc_db(&[(1, 2), (2, 3), (3, 4)]);
+    db.execute_ddl("CREATE VIEW FAR (S, D) AS SELECT S, D FROM TC WHERE D - S >= 2 ;")
+        .unwrap();
+    let q = parse_query("SELECT S, D FROM FAR WHERE S = 1 ;").unwrap();
+    let ctx = SchemaCtx::new(&db.catalog);
+    let (expr, _) = translate_query(&q, &ctx).unwrap();
+    let rows = eval(&expr, &db).unwrap().sorted_rows();
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(1), Value::Int(3)],
+            vec![Value::Int(1), Value::Int(4)],
+        ]
+    );
+}
+
+#[test]
+fn empty_seed_yields_empty_fixpoint() {
+    let db = tc_db(&[]);
+    for mode in [FixMode::Naive, FixMode::SemiNaive] {
+        assert!(closure(&db, mode).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Scalar-evaluator semantics: collection broadcasting, NULL handling,
+//! object dereference edge cases.
+
+use eds_adt::Value;
+use eds_engine::{eval, Database};
+use eds_esql::parse_query;
+use eds_lera::{translate_query, SchemaCtx};
+
+fn run(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    let q = parse_query(sql).unwrap();
+    let ctx = SchemaCtx::new(&db.catalog);
+    let (expr, _) = translate_query(&q, &ctx).unwrap();
+    eval(&expr, db).unwrap().sorted_rows()
+}
+
+#[test]
+fn ordered_comparison_broadcasts_over_collections() {
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TYPE Scores SET OF INT;
+         TABLE T (Id : INT, Scores : Scores);
+         INSERT INTO T VALUES (1, MakeSet(5, 9)), (2, MakeSet(1, 2)), (3, MakeSet());",
+    )
+    .unwrap();
+    // ALL(Scores > 3): row 1 yes, row 2 no, row 3 vacuously yes.
+    let rows = run(&db, "SELECT Id FROM T WHERE ALL (Scores > 3) ;");
+    assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    // EXIST(Scores > 3): row 1 only.
+    let rows = run(&db, "SELECT Id FROM T WHERE EXIST (Scores > 3) ;");
+    assert_eq!(rows, vec![vec![Value::Int(1)]]);
+}
+
+#[test]
+fn equality_on_collections_is_structural_not_broadcast() {
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TYPE Tags SET OF CHAR;
+         TABLE T (Id : INT, Tags : Tags);
+         INSERT INTO T VALUES (1, MakeSet('a')), (2, MakeSet('a', 'b'));",
+    )
+    .unwrap();
+    let rows = run(&db, "SELECT Id FROM T WHERE Tags = MakeSet('a', 'b') ;");
+    assert_eq!(rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn null_collections_and_members() {
+    let mut db = Database::new();
+    db.execute_ddl("TABLE T (Id : INT, X : INT);").unwrap();
+    db.insert("T", vec![1.into(), Value::Null]).unwrap();
+    db.insert("T", vec![2.into(), 5.into()]).unwrap();
+    // NULL arithmetic propagates; the filter drops unknowns.
+    let rows = run(&db, "SELECT Id FROM T WHERE X + 1 = 6 ;");
+    assert_eq!(rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn collection_functions_compose_in_projections() {
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TYPE Tags SET OF CHAR;
+         TABLE T (Id : INT, A : Tags, B : Tags);
+         INSERT INTO T VALUES (1, MakeSet('x', 'y'), MakeSet('y', 'z'));",
+    )
+    .unwrap();
+    let rows = run(
+        &db,
+        "SELECT COUNT(UNION(A, B)), COUNT(INTERSECTION(A, B)), \
+                ISEMPTY(DIFFERENCE(A, A)) FROM T ;",
+    );
+    assert_eq!(
+        rows,
+        vec![vec![Value::Int(3), Value::Int(1), Value::Bool(true)]]
+    );
+}
+
+#[test]
+fn nested_field_access_through_tuple_types() {
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TYPE Point TUPLE (ABS : REAL, ORD : REAL);
+         TABLE SHAPES (Id : INT, Center : Point);",
+    )
+    .unwrap();
+    db.insert(
+        "SHAPES",
+        vec![
+            1.into(),
+            Value::Tuple(vec![Value::real(3.5), Value::real(-1.0)]),
+        ],
+    )
+    .unwrap();
+    db.insert(
+        "SHAPES",
+        vec![
+            2.into(),
+            Value::Tuple(vec![Value::real(-3.5), Value::real(2.0)]),
+        ],
+    )
+    .unwrap();
+    // ABS(Center) is tuple-field access through a value (no object).
+    let rows = run(&db, "SELECT Id FROM SHAPES WHERE ABS(Center) > 0 ;");
+    assert_eq!(rows, vec![vec![Value::Int(1)]]);
+}
+
+#[test]
+fn choice_and_nth_in_queries() {
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TYPE Ls LIST OF INT;
+         TABLE T (Id : INT, L : Ls);
+         INSERT INTO T VALUES (1, MakeList(30, 10, 20));",
+    )
+    .unwrap();
+    let rows = run(&db, "SELECT NTH(L, 2), CHOICE(L) FROM T ;");
+    assert_eq!(rows, vec![vec![Value::Int(10), Value::Int(30)]]);
+}

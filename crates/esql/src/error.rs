@@ -1,0 +1,70 @@
+//! ESQL front-end errors.
+
+use std::fmt;
+
+use eds_adt::AdtError;
+
+/// Errors raised while lexing, parsing, or resolving ESQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EsqlError {
+    /// Lexical or syntactic error with source position.
+    Syntax {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// Description.
+        message: String,
+    },
+    /// A table or view name could not be resolved.
+    UnknownRelation(String),
+    /// A column name could not be resolved in the current scope.
+    UnknownColumn {
+        /// Optional qualifier as written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// An ambiguous unqualified column.
+    AmbiguousColumn(String),
+    /// Redefinition of a relation.
+    DuplicateRelation(String),
+    /// Type-level failure from the ADT layer.
+    Adt(AdtError),
+    /// Ill-typed expression.
+    TypeError(String),
+}
+
+impl fmt::Display for EsqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EsqlError::Syntax {
+                line,
+                column,
+                message,
+            } => write!(f, "syntax error at {line}:{column}: {message}"),
+            EsqlError::UnknownRelation(name) => write!(f, "unknown table or view '{name}'"),
+            EsqlError::UnknownColumn { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "unknown column '{q}.{name}'"),
+                None => write!(f, "unknown column '{name}'"),
+            },
+            EsqlError::AmbiguousColumn(name) => write!(f, "ambiguous column '{name}'"),
+            EsqlError::DuplicateRelation(name) => {
+                write!(f, "table or view '{name}' already exists")
+            }
+            EsqlError::Adt(e) => write!(f, "{e}"),
+            EsqlError::TypeError(msg) => write!(f, "type error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EsqlError {}
+
+impl From<AdtError> for EsqlError {
+    fn from(e: AdtError) -> Self {
+        EsqlError::Adt(e)
+    }
+}
+
+/// Result alias for the ESQL layer.
+pub type EsqlResult<T> = Result<T, EsqlError>;

@@ -1,0 +1,28 @@
+//! # eds-esql — the ESQL front-end
+//!
+//! Reproduces Section 2 of Finance & Gardarin, *"A Rule-Based Query
+//! Rewriter in an Extensible DBMS"* (ICDE 1991): the Extended SQL of the
+//! EDS database server, with strong ADT support, complex objects with
+//! sharing, and deductive (recursive-view) capability.
+//!
+//! * [`token`] / [`parser`] — lexer and recursive-descent parser for
+//!   `TYPE`, `TABLE`, `CREATE VIEW` (incl. recursive unions) and `SELECT`;
+//! * [`ast`] — statement and expression trees;
+//! * [`catalog::Catalog`] — installed schema: types, tables, views, and
+//!   the attribute-as-function resolution used by the LERA translator.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    BinOp, Expr, FunctionDecl, InsertStmt, Query, SelectCore, SelectItem, Stmt, TableDecl,
+    TableRef, TypeDecl, TypeDeclBody, TypeRef, ViewDecl,
+};
+pub use catalog::{install_source, Catalog, TableSchema};
+pub use error::{EsqlError, EsqlResult};
+pub use parser::{parse_query, parse_statement, parse_statements};

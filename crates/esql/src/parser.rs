@@ -1,0 +1,935 @@
+//! Recursive-descent parser for ESQL.
+//!
+//! Covers the language of Section 2 of the paper: `TYPE` declarations
+//! (enumerations, tuples, generic collections, object types, subtypes,
+//! method signatures), `TABLE` declarations, `CREATE VIEW` (including
+//! recursive views via `UNION`), and `SELECT` queries with ADT function
+//! calls, `MEMBER`, and the `ALL`/`EXIST` set quantifiers.
+
+use eds_adt::CollKind;
+
+use crate::ast::*;
+use crate::error::{EsqlError, EsqlResult};
+use crate::token::{lex, Spanned, Tok};
+
+/// Parse a sequence of `;`-separated statements.
+pub fn parse_statements(src: &str) -> EsqlResult<Vec<Stmt>> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        stmts.push(p.parse_stmt()?);
+        while matches!(p.peek(), Tok::Semi) {
+            p.bump();
+        }
+    }
+    Ok(stmts)
+}
+
+/// Parse a single statement.
+pub fn parse_statement(src: &str) -> EsqlResult<Stmt> {
+    let mut stmts = parse_statements(src)?;
+    match stmts.len() {
+        1 => Ok(stmts.remove(0)),
+        n => Err(EsqlError::Syntax {
+            line: 1,
+            column: 1,
+            message: format!("expected exactly one statement, found {n}"),
+        }),
+    }
+}
+
+/// Parse a query (SELECT or UNION of SELECTs).
+pub fn parse_query(src: &str) -> EsqlResult<Query> {
+    match parse_statement(src)? {
+        Stmt::Query(q) => Ok(q),
+        other => Err(EsqlError::Syntax {
+            line: 1,
+            column: 1,
+            message: format!("expected a query, found {other:?}"),
+        }),
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> EsqlResult<T> {
+        let s = &self.tokens[self.pos];
+        Err(EsqlError::Syntax {
+            line: s.line,
+            column: s.column,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> EsqlResult<()> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> EsqlResult<()> {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> EsqlResult<String> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn parse_stmt(&mut self) -> EsqlResult<Stmt> {
+        if self.peek().is_kw("TYPE") {
+            self.bump();
+            Ok(Stmt::TypeDecl(self.parse_type_decl()?))
+        } else if self.peek().is_kw("TABLE") {
+            self.bump();
+            Ok(Stmt::TableDecl(self.parse_table_decl()?))
+        } else if self.peek().is_kw("CREATE") {
+            self.bump();
+            if self.eat_kw("TABLE") {
+                Ok(Stmt::TableDecl(self.parse_table_decl()?))
+            } else {
+                self.expect_kw("VIEW")?;
+                Ok(Stmt::ViewDecl(self.parse_view_decl()?))
+            }
+        } else if self.peek().is_kw("INSERT") {
+            self.bump();
+            self.expect_kw("INTO")?;
+            let table = self.ident("table name")?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect(Tok::LParen, "'(' starting a VALUES row")?;
+                let mut row = Vec::new();
+                if !matches!(self.peek(), Tok::RParen) {
+                    loop {
+                        row.push(self.parse_expr()?);
+                        if matches!(self.peek(), Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen, "')' ending a VALUES row")?;
+                rows.push(row);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            Ok(Stmt::Insert(InsertStmt { table, rows }))
+        } else if self.peek().is_kw("SELECT") || matches!(self.peek(), Tok::LParen) {
+            Ok(Stmt::Query(self.parse_query_expr()?))
+        } else {
+            self.err("expected TYPE, TABLE, CREATE VIEW, INSERT or SELECT")
+        }
+    }
+
+    // ------------------------------------------------------------- DDL
+
+    fn parse_type_decl(&mut self) -> EsqlResult<TypeDecl> {
+        let name = self.ident("type name")?;
+        let mut supertype = None;
+        if self.eat_kw("SUBTYPE") {
+            self.expect_kw("OF")?;
+            supertype = Some(self.ident("supertype name")?);
+        }
+        let is_object = self.eat_kw("OBJECT");
+        let body = if self.eat_kw("ENUMERATION") {
+            self.expect_kw("OF")?;
+            self.expect(Tok::LParen, "'('")?;
+            let mut values = Vec::new();
+            loop {
+                match self.bump() {
+                    Tok::Str(s) => values.push(s),
+                    other => return self.err(format!("expected string literal, found {other:?}")),
+                }
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen, "')'")?;
+            TypeDeclBody::Enumeration(values)
+        } else {
+            TypeDeclBody::Structure(self.parse_typeref()?)
+        };
+        let mut functions = Vec::new();
+        while self.eat_kw("FUNCTION") {
+            functions.push(self.parse_function_decl()?);
+        }
+        Ok(TypeDecl {
+            name,
+            supertype,
+            is_object,
+            body,
+            functions,
+        })
+    }
+
+    fn parse_function_decl(&mut self) -> EsqlResult<FunctionDecl> {
+        let name = self.ident("function name")?;
+        self.expect(Tok::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                let pname = self.ident("parameter name")?;
+                // optional ':' between name and type
+                if matches!(self.peek(), Tok::Colon) {
+                    self.bump();
+                }
+                let ty = self.parse_typeref()?;
+                params.push((pname, ty));
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')'")?;
+        let result = if self.eat_kw("RETURNS") {
+            Some(self.parse_typeref()?)
+        } else {
+            None
+        };
+        Ok(FunctionDecl {
+            name,
+            params,
+            result,
+        })
+    }
+
+    fn parse_typeref(&mut self) -> EsqlResult<TypeRef> {
+        let name = self.ident("type")?;
+        let upper = name.to_ascii_uppercase();
+        match upper.as_str() {
+            "BOOL" | "BOOLEAN" => Ok(TypeRef::Bool),
+            "INT" | "INTEGER" => Ok(TypeRef::Int),
+            "REAL" | "FLOAT" => Ok(TypeRef::Real),
+            "NUMERIC" => Ok(TypeRef::Numeric),
+            "CHAR" | "TEXT" if upper == "CHAR" => Ok(TypeRef::Char),
+            "TUPLE" => {
+                self.expect(Tok::LParen, "'(' after TUPLE")?;
+                let mut fields = Vec::new();
+                loop {
+                    let fname = self.ident("attribute name")?;
+                    if matches!(self.peek(), Tok::Colon) {
+                        self.bump();
+                    }
+                    let ty = self.parse_typeref()?;
+                    fields.push((fname, ty));
+                    if matches!(self.peek(), Tok::Comma) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen, "')' after tuple fields")?;
+                Ok(TypeRef::Tuple(fields))
+            }
+            "SET" | "BAG" | "LIST" | "ARRAY" => {
+                let kind = match upper.as_str() {
+                    "SET" => CollKind::Set,
+                    "BAG" => CollKind::Bag,
+                    "LIST" => CollKind::List,
+                    _ => CollKind::Array,
+                };
+                self.expect_kw("OF")?;
+                let elem = self.parse_typeref()?;
+                Ok(TypeRef::Coll(kind, Box::new(elem)))
+            }
+            _ => Ok(TypeRef::Named(name)),
+        }
+    }
+
+    fn parse_table_decl(&mut self) -> EsqlResult<TableDecl> {
+        let name = self.ident("table name")?;
+        self.expect(Tok::LParen, "'(' after table name")?;
+        let mut columns = Vec::new();
+        loop {
+            let cname = self.ident("column name")?;
+            if matches!(self.peek(), Tok::Colon) {
+                self.bump();
+            }
+            let ty = self.parse_typeref()?;
+            columns.push((cname, ty));
+            if matches!(self.peek(), Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "')' after columns")?;
+        Ok(TableDecl { name, columns })
+    }
+
+    fn parse_view_decl(&mut self) -> EsqlResult<ViewDecl> {
+        let name = self.ident("view name")?;
+        let mut columns = Vec::new();
+        if matches!(self.peek(), Tok::LParen) {
+            self.bump();
+            loop {
+                columns.push(self.ident("column name")?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen, "')' after view columns")?;
+        }
+        self.expect_kw("AS")?;
+        let query = self.parse_query_expr()?;
+        Ok(ViewDecl {
+            name,
+            columns,
+            query,
+        })
+    }
+
+    // ---------------------------------------------------------- queries
+
+    fn parse_query_expr(&mut self) -> EsqlResult<Query> {
+        let mut q = self.parse_query_term()?;
+        while self.peek().is_kw("UNION") {
+            self.bump();
+            let rhs = self.parse_query_term()?;
+            q = Query::Union(Box::new(q), Box::new(rhs));
+        }
+        Ok(q)
+    }
+
+    fn parse_query_term(&mut self) -> EsqlResult<Query> {
+        if matches!(self.peek(), Tok::LParen) {
+            self.bump();
+            let q = self.parse_query_expr()?;
+            self.expect(Tok::RParen, "')' closing query")?;
+            Ok(q)
+        } else {
+            Ok(Query::Select(self.parse_select()?))
+        }
+    }
+
+    fn parse_select(&mut self) -> EsqlResult<SelectCore> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let mut projections = Vec::new();
+        loop {
+            if matches!(self.peek(), Tok::Star) {
+                self.bump();
+                projections.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident("alias")?)
+                } else {
+                    None
+                };
+                projections.push(SelectItem::Expr { expr, alias });
+            }
+            if matches!(self.peek(), Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let name = self.ident("relation name")?;
+            // Optional correlation name: an identifier that is not a
+            // clause keyword.
+            let alias = match self.peek() {
+                Tok::Ident(a) if !is_clause_keyword(a) => {
+                    let a = a.clone();
+                    self.bump();
+                    Some(a)
+                }
+                _ => None,
+            };
+            from.push(TableRef { name, alias });
+            if matches!(self.peek(), Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.peek().is_kw("GROUP") {
+            self.bump();
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(SelectCore {
+            distinct,
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    // ------------------------------------------------------ expressions
+
+    fn parse_expr(&mut self) -> EsqlResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> EsqlResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.peek().is_kw("OR") {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> EsqlResult<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.peek().is_kw("AND") {
+            self.bump();
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> EsqlResult<Expr> {
+        if self.peek().is_kw("NOT") {
+            self.bump();
+            let inner = self.parse_not()?;
+            Ok(Expr::Not(Box::new(inner)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> EsqlResult<Expr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(BinOp::Eq),
+            Tok::Ne => Some(BinOp::Ne),
+            Tok::Lt => Some(BinOp::Lt),
+            Tok::Gt => Some(BinOp::Gt),
+            Tok::Le => Some(BinOp::Le),
+            Tok::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            return Ok(Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            });
+        }
+        if self.peek().is_kw("IN") {
+            self.bump();
+            self.expect(Tok::LParen, "'(' after IN")?;
+            if self.peek().is_kw("SELECT") || matches!(self.peek(), Tok::LParen) {
+                let query = self.parse_query_expr()?;
+                self.expect(Tok::RParen, "')' closing IN subquery")?;
+                return Ok(Expr::InQuery {
+                    expr: Box::new(lhs),
+                    query: Box::new(query),
+                });
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.parse_expr()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(Tok::RParen, "')' closing IN list")?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> EsqlResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> EsqlResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> EsqlResult<Expr> {
+        if matches!(self.peek(), Tok::Minus) {
+            self.bump();
+            let inner = self.parse_unary()?;
+            return Ok(match inner {
+                Expr::Int(i) => Expr::Int(-i),
+                Expr::Real(r) => Expr::Real(-r),
+                other => Expr::Binary {
+                    op: BinOp::Sub,
+                    left: Box::new(Expr::Int(0)),
+                    right: Box::new(other),
+                },
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> EsqlResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.bump();
+                Ok(Expr::Int(i))
+            }
+            Tok::Real(r) => {
+                self.bump();
+                Ok(Expr::Real(r))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if name.eq_ignore_ascii_case("TRUE") {
+                    self.bump();
+                    return Ok(Expr::Bool(true));
+                }
+                if name.eq_ignore_ascii_case("FALSE") {
+                    self.bump();
+                    return Ok(Expr::Bool(false));
+                }
+                if name.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(Expr::Null);
+                }
+                if name.eq_ignore_ascii_case("ALL") && matches!(self.peek2(), Tok::LParen) {
+                    self.bump();
+                    self.bump();
+                    let inner = self.parse_expr()?;
+                    self.expect(Tok::RParen, "')' closing ALL")?;
+                    return Ok(Expr::All(Box::new(inner)));
+                }
+                if name.eq_ignore_ascii_case("EXIST") && matches!(self.peek2(), Tok::LParen) {
+                    self.bump();
+                    self.bump();
+                    let inner = self.parse_expr()?;
+                    self.expect(Tok::RParen, "')' closing EXIST")?;
+                    return Ok(Expr::Exist(Box::new(inner)));
+                }
+                self.bump();
+                match self.peek() {
+                    Tok::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !matches!(self.peek(), Tok::RParen) {
+                            loop {
+                                args.push(self.parse_expr()?);
+                                if matches!(self.peek(), Tok::Comma) {
+                                    self.bump();
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                        self.expect(Tok::RParen, "')' closing call")?;
+                        Ok(Expr::Call { name, args })
+                    }
+                    Tok::Dot => {
+                        self.bump();
+                        let attr = self.ident("attribute name")?;
+                        Ok(Expr::Column {
+                            qualifier: Some(name),
+                            name: attr,
+                        })
+                    }
+                    _ => Ok(Expr::Column {
+                        qualifier: None,
+                        name,
+                    }),
+                }
+            }
+            other => self.err(format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+fn is_clause_keyword(word: &str) -> bool {
+    const KEYWORDS: [&str; 10] = [
+        "WHERE", "GROUP", "HAVING", "UNION", "ORDER", "SELECT", "FROM", "ON", "AS", "BY",
+    ];
+    KEYWORDS.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_fig2_schema() {
+        let stmts = parse_statements(
+            "TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western') ;\n\
+             TYPE Point TUPLE (ABS : REAL, ORD : REAL) ;\n\
+             TYPE Person OBJECT TUPLE ( Name : CHAR, Firstname : SET OF CHAR, Caricature : LIST OF Point) ;\n\
+             TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC) \
+               FUNCTION IncreaseSalary(This Actor, Val NUMERIC) ;\n\
+             TYPE Text LIST OF CHAR ;\n\
+             TYPE SetCategory SET OF Category ;\n\
+             TYPE Pairs LIST OF TUPLE (Pros : INT, Cons : INT) ;\n\
+             TABLE FILM ( Numf : NUMERIC, Title : Text, Categories : SetCategory) ;\n\
+             TABLE APPEARS_IN ( Numf : NUMERIC, Refactor : Actor) ;\n\
+             TABLE DOMINATE ( Numf : NUMERIC, Refactor1 : Actor, Refactor2 : Actor, Score : Pairs) ;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 10);
+        match &stmts[3] {
+            Stmt::TypeDecl(t) => {
+                assert_eq!(t.name, "Actor");
+                assert_eq!(t.supertype.as_deref(), Some("Person"));
+                assert!(t.is_object);
+                assert_eq!(t.functions.len(), 1);
+                assert_eq!(t.functions[0].name, "IncreaseSalary");
+                assert_eq!(t.functions[0].params.len(), 2);
+            }
+            other => panic!("expected Actor type, got {other:?}"),
+        }
+        match &stmts[7] {
+            Stmt::TableDecl(t) => {
+                assert_eq!(t.name, "FILM");
+                assert_eq!(t.columns.len(), 3);
+                assert_eq!(
+                    t.columns[1],
+                    ("Title".into(), TypeRef::Named("Text".into()))
+                );
+            }
+            other => panic!("expected FILM table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_fig3_query() {
+        let q = parse_query(
+            "SELECT Title, Categories, Salary(Refactor) \
+             FROM FILM, APPEARS_IN \
+             WHERE FILM.Numf = APPEARS_IN.Numf \
+             AND NAME(Refactor) = 'Quinn' \
+             AND MEMBER ('Adventure', Categories) ;",
+        )
+        .unwrap();
+        let Query::Select(core) = q else {
+            panic!("expected select")
+        };
+        assert_eq!(core.projections.len(), 3);
+        assert_eq!(core.from.len(), 2);
+        let w = core.where_clause.unwrap();
+        // top-level AND chain with MEMBER call at the right
+        let Expr::Binary {
+            op: BinOp::And,
+            right,
+            ..
+        } = w
+        else {
+            panic!("expected AND")
+        };
+        assert!(matches!(*right, Expr::Call { ref name, .. } if name == "MEMBER"));
+    }
+
+    #[test]
+    fn parses_paper_fig4_view_and_query() {
+        let stmts = parse_statements(
+            "CREATE VIEW FilmActors (Title, Categories, Actors) AS \
+             SELECT Title, Categories, MakeSet(Refactor) \
+             FROM FILM, APPEARS_IN \
+             WHERE FILM.Numf = APPEARS_IN.Numf \
+             GROUP BY Title, Categories ;\n\
+             SELECT Title FROM FilmActors \
+             WHERE MEMBER('Adventure', Categories) AND ALL (Salary(Actors) > 10_000) ;",
+        )
+        .unwrap();
+        let Stmt::ViewDecl(v) = &stmts[0] else {
+            panic!("expected view")
+        };
+        assert_eq!(v.columns, vec!["Title", "Categories", "Actors"]);
+        assert!(!v.is_recursive());
+        let Query::Select(core) = &v.query else {
+            panic!("expected select view body")
+        };
+        assert_eq!(core.group_by.len(), 2);
+
+        let Stmt::Query(Query::Select(q)) = &stmts[1] else {
+            panic!("expected query")
+        };
+        let w = q.where_clause.as_ref().unwrap();
+        let Expr::Binary {
+            op: BinOp::And,
+            right,
+            ..
+        } = w
+        else {
+            panic!("expected AND")
+        };
+        assert!(matches!(**right, Expr::All(_)));
+    }
+
+    #[test]
+    fn parses_paper_fig5_recursive_view() {
+        let stmts = parse_statements(
+            "CREATE VIEW BETTER_THAN (Refactor1, Refactor2) AS \
+             ( SELECT Refactor1, Refactor2 FROM DOMINATE \
+               UNION \
+               SELECT B1.Refactor1, B2.Refactor2 \
+               FROM BETTER_THAN B1, BETTER_THAN B2 \
+               WHERE B1.Refactor2 = B2.Refactor1 ) ;\n\
+             SELECT NAME(Refactor1) FROM BETTER_THAN WHERE NAME(Refactor2) = 'Quinn' ;",
+        )
+        .unwrap();
+        let Stmt::ViewDecl(v) = &stmts[0] else {
+            panic!("expected view")
+        };
+        assert!(v.is_recursive());
+        let Query::Union(_, rec) = &v.query else {
+            panic!("expected union")
+        };
+        let Query::Select(rec) = rec.as_ref() else {
+            panic!("expected select")
+        };
+        assert_eq!(rec.from[0].alias.as_deref(), Some("B1"));
+        assert_eq!(rec.from[1].alias.as_deref(), Some("B2"));
+        // qualified columns resolve through aliases
+        assert!(matches!(
+            &rec.projections[0],
+            SelectItem::Expr {
+                expr: Expr::Column { qualifier: Some(q), .. },
+                ..
+            } if q == "B1"
+        ));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("SELECT a + b * c FROM T").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        let SelectItem::Expr { expr, .. } = &core.projections[0] else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = expr
+        else {
+            panic!("expected + at top")
+        };
+        assert!(matches!(**right, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn in_list() {
+        let q = parse_query("SELECT a FROM T WHERE a IN (1, 2, 3)").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert!(matches!(
+            core.where_clause.unwrap(),
+            Expr::InList { list, .. } if list.len() == 3
+        ));
+    }
+
+    #[test]
+    fn distinct_and_wildcard() {
+        let q = parse_query("SELECT DISTINCT * FROM T").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert!(core.distinct);
+        assert_eq!(core.projections, vec![SelectItem::Wildcard]);
+    }
+
+    #[test]
+    fn select_alias() {
+        let q = parse_query("SELECT Salary(Refactor) AS Pay FROM APPEARS_IN").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert!(matches!(
+            &core.projections[0],
+            SelectItem::Expr { alias: Some(a), .. } if a == "Pay"
+        ));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_query("SELECT FROM").unwrap_err();
+        assert!(matches!(err, EsqlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn multiple_statements_require_parse_statements() {
+        assert!(parse_statement("SELECT a FROM t; SELECT b FROM t;").is_err());
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+
+    #[test]
+    fn insert_statement_parses() {
+        let stmt = parse_statement(
+            "INSERT INTO FILM VALUES (1, 'T', MakeSet('Comedy')), (2, 'U', MakeSet());",
+        )
+        .unwrap();
+        let Stmt::Insert(ins) = stmt else {
+            panic!("expected insert")
+        };
+        assert_eq!(ins.table, "FILM");
+        assert_eq!(ins.rows.len(), 2);
+        assert_eq!(ins.rows[0].len(), 3);
+    }
+
+    #[test]
+    fn in_subquery_parses() {
+        let q = parse_query("SELECT X FROM T WHERE X IN (SELECT Y FROM U WHERE Y > 0) ;").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert!(matches!(core.where_clause.unwrap(), Expr::InQuery { .. }));
+    }
+
+    #[test]
+    fn whitespace_and_comments_tolerated() {
+        let q = parse_query(
+            "SELECT -- projection\n  X\nFROM\n\tT -- relation\nWHERE X = 1 -- filter\n;",
+        )
+        .unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert_eq!(core.from[0].name, "T");
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let a = parse_query("select X from T where X = 1 group by X;").unwrap();
+        let b = parse_query("SELECT X FROM T WHERE X = 1 GROUP BY X;").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reserved_words_not_taken_as_aliases() {
+        let q = parse_query("SELECT X FROM T WHERE X = 1 ;").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert!(core.from[0].alias.is_none());
+    }
+
+    #[test]
+    fn deeply_nested_parentheses() {
+        let q = parse_query("SELECT X FROM T WHERE ((((X = 1)))) ;").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        assert!(matches!(
+            core.where_clause.unwrap(),
+            Expr::Binary { op: BinOp::Eq, .. }
+        ));
+    }
+}

@@ -1,0 +1,277 @@
+//! ESQL lexer.
+
+use crate::error::{EsqlError, EsqlResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (original spelling preserved; keyword checks
+    /// are case-insensitive).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal (single-quoted, `''` escape).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Keyword test (case-insensitive; only meaningful for `Ident`).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenize ESQL source. Comments run from `--` to end of line.
+pub fn lex(src: &str) -> EsqlResult<Vec<Spanned>> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                column: col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            '.' => push!(Tok::Dot, 1),
+            ':' => push!(Tok::Colon, 1),
+            '=' => push!(Tok::Eq, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '!' if chars.get(i + 1) == Some(&'=') => push!(Tok::Ne, 2),
+            '<' => match chars.get(i + 1) {
+                Some('=') => push!(Tok::Le, 2),
+                Some('>') => push!(Tok::Ne, 2),
+                _ => push!(Tok::Lt, 1),
+            },
+            '>' => match chars.get(i + 1) {
+                Some('=') => push!(Tok::Ge, 2),
+                _ => push!(Tok::Gt, 1),
+            },
+            '\'' => {
+                let start_col = col;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(j) {
+                        None => {
+                            return Err(EsqlError::Syntax {
+                                line,
+                                column: start_col,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some('\'') if chars.get(j + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some('\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j - i;
+                push!(Tok::Str(s), len);
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                    j += 1;
+                }
+                let is_real = chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit());
+                if is_real {
+                    let mut k = j + 1;
+                    while k < chars.len() && chars[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    let text: String = chars[i..k].iter().filter(|c| **c != '_').collect();
+                    let value: f64 = text.parse().map_err(|_| EsqlError::Syntax {
+                        line,
+                        column: col,
+                        message: format!("invalid real literal '{text}'"),
+                    })?;
+                    let len = k - i;
+                    push!(Tok::Real(value), len);
+                } else {
+                    let text: String = chars[i..j].iter().filter(|c| **c != '_').collect();
+                    let value: i64 = text.parse().map_err(|_| EsqlError::Syntax {
+                        line,
+                        column: col,
+                        message: format!("integer literal out of range '{text}'"),
+                    })?;
+                    let len = j - i;
+                    push!(Tok::Int(value), len);
+                }
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let name: String = chars[i..j].iter().collect();
+                let len = j - i;
+                push!(Tok::Ident(name), len);
+            }
+            other => {
+                return Err(EsqlError::Syntax {
+                    line,
+                    column: col,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        column: col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_query_shapes() {
+        let toks = lex("SELECT Title FROM FILM WHERE FILM.Numf = 10_000 ;").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+        assert!(kinds.contains(&&Tok::Int(10_000)));
+        assert!(kinds.iter().any(|t| t.is_kw("select")));
+        assert!(kinds.contains(&&Tok::Dot));
+    }
+
+    #[test]
+    fn string_with_escape() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks[0].tok, Tok::Str("it's".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT -- comment\n1").unwrap();
+        assert_eq!(toks.len(), 3); // SELECT, 1, EOF
+    }
+
+    #[test]
+    fn real_vs_qualified_name() {
+        let toks = lex("1.5 A.b").unwrap();
+        assert_eq!(toks[0].tok, Tok::Real(1.5));
+        assert_eq!(toks[1].tok, Tok::Ident("A".into()));
+        assert_eq!(toks[2].tok, Tok::Dot);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("<= >= <> != < > =").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|s| &s.tok).collect();
+        assert_eq!(
+            kinds[..7],
+            [
+                &Tok::Le,
+                &Tok::Ge,
+                &Tok::Ne,
+                &Tok::Ne,
+                &Tok::Lt,
+                &Tok::Gt,
+                &Tok::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn position_tracking() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        assert!(matches!(lex("@"), Err(EsqlError::Syntax { .. })));
+    }
+}

@@ -1,0 +1,174 @@
+//! Rendering LERA expressions in the paper's concrete syntax, e.g.
+//!
+//! ```text
+//! search((APPEARS_IN, FILM), [1.1 = 2.1 ∧ PROJECT(VALUE(1.2), Name) = 'Quinn'], (2.2, 2.3))
+//! ```
+
+use std::fmt;
+
+use crate::expr::Expr;
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Base(name) => f.write_str(name),
+            Expr::Filter { input, pred } => write!(f, "filter({input}, [{pred}])"),
+            Expr::Project { input, exprs } => {
+                write!(f, "project({input}, (")?;
+                join(f, exprs.iter())?;
+                f.write_str("))")
+            }
+            Expr::Join { left, right, pred } => write!(f, "join({left}, {right}, [{pred}])"),
+            Expr::Union(items) => {
+                f.write_str("union({")?;
+                join(f, items.iter())?;
+                f.write_str("})")
+            }
+            Expr::Difference(a, b) => write!(f, "difference({a}, {b})"),
+            Expr::Intersect(a, b) => write!(f, "intersect({a}, {b})"),
+            Expr::Search { inputs, pred, proj } => {
+                f.write_str("search((")?;
+                join(f, inputs.iter())?;
+                write!(f, "), [{pred}], (")?;
+                join(f, proj.iter())?;
+                f.write_str("))")
+            }
+            Expr::Fix { name, body } => write!(f, "fix({name}, {body})"),
+            Expr::Nest {
+                input,
+                group,
+                nested,
+                kind,
+            } => {
+                write!(f, "nest({input}, (")?;
+                join(f, nested.iter())?;
+                f.write_str("), (")?;
+                join(f, group.iter())?;
+                write!(f, "), {kind})")
+            }
+            Expr::Unnest { input, attr } => write!(f, "unnest({input}, {attr})"),
+            Expr::Dedup(input) => write!(f, "dedup({input})"),
+        }
+    }
+}
+
+fn join<T: fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    items: impl Iterator<Item = T>,
+) -> fmt::Result {
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{item}")?;
+    }
+    Ok(())
+}
+
+/// Multi-line, indented rendering for examples and EXPLAIN output.
+pub fn pretty(e: &Expr) -> String {
+    let mut out = String::new();
+    fn walk(e: &Expr, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match e {
+            Expr::Base(name) => {
+                out.push_str(&pad);
+                out.push_str(name);
+                out.push('\n');
+            }
+            Expr::Search { inputs, pred, proj } => {
+                out.push_str(&pad);
+                out.push_str("search\n");
+                out.push_str(&format!("{pad}  [{pred}]\n"));
+                out.push_str(&format!(
+                    "{pad}  ({})\n",
+                    proj.iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+                for i in inputs {
+                    walk(i, depth + 1, out);
+                }
+            }
+            Expr::Fix { name, body } => {
+                out.push_str(&format!("{pad}fix {name}\n"));
+                walk(body, depth + 1, out);
+            }
+            Expr::Union(items) => {
+                out.push_str(&pad);
+                out.push_str("union\n");
+                for i in items {
+                    walk(i, depth + 1, out);
+                }
+            }
+            Expr::Nest {
+                input,
+                group,
+                nested,
+                kind,
+            } => {
+                out.push_str(&format!(
+                    "{pad}nest nested={nested:?} group={group:?} kind={kind}\n"
+                ));
+                walk(input, depth + 1, out);
+            }
+            other => {
+                out.push_str(&pad);
+                out.push_str(other.op_name());
+                match other {
+                    Expr::Filter { pred, .. } | Expr::Join { pred, .. } => {
+                        out.push_str(&format!(" [{pred}]"));
+                    }
+                    _ => {}
+                }
+                out.push('\n');
+                for c in other.children() {
+                    walk(c, depth + 1, out);
+                }
+            }
+        }
+    }
+    walk(e, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn search_display_matches_paper_shape() {
+        let e = Expr::search(
+            vec![Expr::base("APPEARS_IN"), Expr::base("FILM")],
+            Scalar::eq(Scalar::attr(1, 1), Scalar::attr(2, 1)),
+            vec![Scalar::attr(2, 2), Scalar::attr(2, 3)],
+        );
+        assert_eq!(
+            e.to_string(),
+            "search((APPEARS_IN, FILM), [1.1 = 2.1], (2.2, 2.3))"
+        );
+    }
+
+    #[test]
+    fn fix_display() {
+        let e = Expr::Fix {
+            name: "BT".into(),
+            body: Box::new(Expr::Union(vec![Expr::base("DOMINATE"), Expr::base("BT")])),
+        };
+        assert_eq!(e.to_string(), "fix(BT, union({DOMINATE, BT}))");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let e = Expr::search(
+            vec![Expr::base("FILM")],
+            Scalar::true_(),
+            vec![Scalar::attr(1, 1)],
+        );
+        let p = pretty(&e);
+        assert!(p.starts_with("search\n"));
+        assert!(p.contains("\n  FILM"));
+    }
+}

@@ -1,0 +1,75 @@
+//! LERA-layer errors.
+
+use std::fmt;
+
+use eds_adt::AdtError;
+use eds_esql::EsqlError;
+
+/// Errors raised while translating, inferring schemas, or bridging terms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeraError {
+    /// Relation name not found when inferring a schema.
+    UnknownRelation(String),
+    /// Attribute reference out of range for its relation.
+    BadAttrRef {
+        /// 1-based relation index.
+        rel: usize,
+        /// 1-based attribute index.
+        attr: usize,
+        /// What was available.
+        context: String,
+    },
+    /// Attribute-as-function resolution failed.
+    UnknownAttribute {
+        /// Attribute name.
+        name: String,
+        /// Rendering of the receiver type.
+        receiver: String,
+    },
+    /// The expression is not well typed.
+    Type(String),
+    /// A term could not be interpreted as a LERA expression.
+    BadTerm(String),
+    /// Front-end failure.
+    Esql(EsqlError),
+    /// ADT failure.
+    Adt(AdtError),
+}
+
+impl fmt::Display for LeraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeraError::UnknownRelation(n) => write!(f, "unknown relation '{n}'"),
+            LeraError::BadAttrRef { rel, attr, context } => {
+                write!(
+                    f,
+                    "attribute reference {rel}.{attr} out of range ({context})"
+                )
+            }
+            LeraError::UnknownAttribute { name, receiver } => {
+                write!(f, "type {receiver} has no attribute '{name}'")
+            }
+            LeraError::Type(msg) => write!(f, "type error: {msg}"),
+            LeraError::BadTerm(msg) => write!(f, "malformed LERA term: {msg}"),
+            LeraError::Esql(e) => write!(f, "{e}"),
+            LeraError::Adt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LeraError {}
+
+impl From<EsqlError> for LeraError {
+    fn from(e: EsqlError) -> Self {
+        LeraError::Esql(e)
+    }
+}
+
+impl From<AdtError> for LeraError {
+    fn from(e: AdtError) -> Self {
+        LeraError::Adt(e)
+    }
+}
+
+/// Result alias for the LERA layer.
+pub type LeraResult<T> = Result<T, LeraError>;

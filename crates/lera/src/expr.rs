@@ -1,0 +1,210 @@
+//! The LERA operator tree.
+//!
+//! LERA extends Codd's algebra (Section 3) with: n-ary `union*`, n-ary
+//! `join*` and the compound `search` (projection + restriction + n-ary
+//! join, close to tuple calculus — "optimization opportunities may become
+//! hidden in a particular sequence of algebra operators"); the `fix`point
+//! operator for recursive views; and `nest`/`unnest` for nested relations.
+
+use eds_adt::CollKind;
+
+use crate::scalar::Scalar;
+
+/// A LERA expression (relation-valued).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A stored relation, view placeholder, or — inside a `fix` body —
+    /// the recursion variable.
+    Base(String),
+    /// `filter`: same scheme as the input, tuples satisfying a possibly
+    /// complex condition. Attribute references use `rel = 1`.
+    Filter {
+        /// Input relation.
+        input: Box<Expr>,
+        /// Qualification.
+        pred: Scalar,
+    },
+    /// `project`: computes expressions of source attributes as target
+    /// attributes.
+    Project {
+        /// Input relation.
+        input: Box<Expr>,
+        /// Target attribute expressions.
+        exprs: Vec<Scalar>,
+    },
+    /// Binary join: Cartesian product followed by a filter. Attribute
+    /// references use `rel = 1` (left) and `rel = 2` (right).
+    Join {
+        /// Left input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+        /// Join condition.
+        pred: Scalar,
+    },
+    /// n-ary `union*`.
+    Union(Vec<Expr>),
+    /// Set difference.
+    Difference(Box<Expr>, Box<Expr>),
+    /// Set intersection.
+    Intersect(Box<Expr>, Box<Expr>),
+    /// The compound `search` operator: n-ary join of `inputs`, filtered
+    /// by `pred`, projected onto `proj`. Attribute references `i.j` index
+    /// `inputs` (1-based).
+    Search {
+        /// Input relations.
+        inputs: Vec<Expr>,
+        /// Complex condition.
+        pred: Scalar,
+        /// Projected expressions.
+        proj: Vec<Scalar>,
+    },
+    /// `fix(R, E(R))`: the saturation of `R` under `body`, where
+    /// `Base(name)` occurrences inside `body` denote the recursion
+    /// variable.
+    Fix {
+        /// Recursion variable name.
+        name: String,
+        /// Recursive expression `E(R)`.
+        body: Box<Expr>,
+    },
+    /// `nest`: group by `group` attributes and collect the `nested`
+    /// attributes (as tuples when several) into a collection of `kind`.
+    /// Output scheme: group attributes then the collection attribute.
+    Nest {
+        /// Input relation.
+        input: Box<Expr>,
+        /// 1-based indices of grouping attributes.
+        group: Vec<usize>,
+        /// 1-based indices of collected attributes.
+        nested: Vec<usize>,
+        /// Result collection kind.
+        kind: CollKind,
+    },
+    /// `unnest`: flatten the collection stored in attribute `attr`
+    /// (1-based), producing one tuple per element.
+    Unnest {
+        /// Input relation.
+        input: Box<Expr>,
+        /// 1-based index of the collection attribute.
+        attr: usize,
+    },
+    /// Duplicate elimination (bag → set); the translation of
+    /// `SELECT DISTINCT`.
+    Dedup(Box<Expr>),
+}
+
+impl Expr {
+    /// Base-relation helper.
+    pub fn base(name: impl Into<String>) -> Expr {
+        Expr::Base(name.into())
+    }
+
+    /// Search helper.
+    pub fn search(inputs: Vec<Expr>, pred: Scalar, proj: Vec<Scalar>) -> Expr {
+        Expr::Search { inputs, pred, proj }
+    }
+
+    /// Children of this operator, in order.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Base(_) => vec![],
+            Expr::Filter { input, .. }
+            | Expr::Project { input, .. }
+            | Expr::Nest { input, .. }
+            | Expr::Unnest { input, .. } => vec![input],
+            Expr::Dedup(input) => vec![input],
+            Expr::Join { left, right, .. } => vec![left, right],
+            Expr::Difference(a, b) | Expr::Intersect(a, b) => vec![a, b],
+            Expr::Union(items) => items.iter().collect(),
+            Expr::Search { inputs, .. } => inputs.iter().collect(),
+            Expr::Fix { body, .. } => vec![body],
+        }
+    }
+
+    /// Number of operator nodes (base relations count as one).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
+    /// Names of all base relations referenced (with duplicates).
+    pub fn base_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+            if let Expr::Base(n) = e {
+                out.push(n);
+            }
+            for c in e.children() {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Does the expression reference `name` as a base relation? Used to
+    /// detect recursion variables inside `fix` bodies.
+    pub fn references(&self, name: &str) -> bool {
+        self.base_relations()
+            .iter()
+            .any(|n| n.eq_ignore_ascii_case(name))
+    }
+
+    /// Operator name for diagnostics.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Expr::Base(_) => "base",
+            Expr::Filter { .. } => "filter",
+            Expr::Project { .. } => "project",
+            Expr::Join { .. } => "join",
+            Expr::Union(_) => "union",
+            Expr::Difference(..) => "difference",
+            Expr::Intersect(..) => "intersect",
+            Expr::Search { .. } => "search",
+            Expr::Fix { .. } => "fix",
+            Expr::Nest { .. } => "nest",
+            Expr::Unnest { .. } => "unnest",
+            Expr::Dedup(_) => "dedup",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_and_bases() {
+        let e = Expr::search(
+            vec![Expr::base("APPEARS_IN"), Expr::base("FILM")],
+            Scalar::eq(Scalar::attr(1, 1), Scalar::attr(2, 1)),
+            vec![Scalar::attr(2, 2)],
+        );
+        assert_eq!(e.node_count(), 3);
+        assert_eq!(e.base_relations(), vec!["APPEARS_IN", "FILM"]);
+    }
+
+    #[test]
+    fn fix_references_recursion_variable() {
+        let body = Expr::Union(vec![
+            Expr::base("DOMINATE"),
+            Expr::search(
+                vec![Expr::base("BETTER_THAN"), Expr::base("BETTER_THAN")],
+                Scalar::eq(Scalar::attr(1, 2), Scalar::attr(2, 1)),
+                vec![Scalar::attr(1, 1), Scalar::attr(2, 2)],
+            ),
+        ]);
+        assert!(body.references("better_than"));
+        let fix = Expr::Fix {
+            name: "BETTER_THAN".into(),
+            body: Box::new(body),
+        };
+        assert_eq!(fix.op_name(), "fix");
+        // fix + union + DOMINATE + search + 2 × BETTER_THAN
+        assert_eq!(fix.node_count(), 6);
+    }
+}

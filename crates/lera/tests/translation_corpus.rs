@@ -1,0 +1,96 @@
+//! Translation corpus: canonical-form snapshots for a battery of ESQL
+//! shapes, locking down the exact LERA the rewriter receives.
+
+use eds_esql::{install_source, parse_query, Catalog};
+use eds_lera::{translate_query, SchemaCtx};
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    install_source(
+        &mut c,
+        "TYPE Tag ENUMERATION OF ('a', 'b') ;
+         TYPE Tags SET OF Tag ;
+         TABLE R (K : INT, V : INT, Tags : Tags) ;
+         TABLE S (K : INT, W : INT) ;
+         CREATE VIEW RV (K, V) AS SELECT K, V FROM R WHERE V > 0 ;",
+    )
+    .unwrap();
+    c
+}
+
+fn canonical(sql: &str) -> String {
+    let c = catalog();
+    let ctx = SchemaCtx::new(&c);
+    let q = parse_query(sql).unwrap();
+    let (expr, _) = translate_query(&q, &ctx).unwrap();
+    expr.to_string()
+}
+
+#[test]
+fn snapshot_corpus() {
+    let cases = [
+        (
+            "SELECT V FROM R WHERE K = 1 ;",
+            "search((R), [1.1 = 1], (1.2))",
+        ),
+        (
+            "SELECT R.V, S.W FROM R, S WHERE R.K = S.K ;",
+            "search((R, S), [1.1 = 2.1], (1.2, 2.2))",
+        ),
+        (
+            "SELECT V FROM RV WHERE K <> 2 ;",
+            "search((search((R), [1.2 > 0], (1.1, 1.2))), [1.1 <> 2], (1.2))",
+        ),
+        (
+            "SELECT K FROM R UNION SELECT K FROM S ;",
+            "union({search((R), [TRUE], (1.1)), search((S), [TRUE], (1.1))})",
+        ),
+        (
+            "SELECT DISTINCT V FROM R ;",
+            "dedup(search((R), [TRUE], (1.2)))",
+        ),
+        (
+            "SELECT K, MakeSet(V) FROM R GROUP BY K ;",
+            "nest(search((R), [TRUE], (1.1, 1.2)), (2), (1), SET)",
+        ),
+        (
+            "SELECT K, COUNT(MakeSet(V)) FROM R GROUP BY K ;",
+            "project(nest(search((R), [TRUE], (1.1, 1.2)), (2), (1), SET), (1.1, COUNT(1.2)))",
+        ),
+        (
+            "SELECT K FROM R WHERE V IN (1, 2) ;",
+            "search((R), [MEMBER(1.2, MAKESET(1, 2))], (1.1))",
+        ),
+        (
+            "SELECT K FROM R WHERE K IN (SELECT K FROM S) ;",
+            "search((R, dedup(search((S), [TRUE], (1.1)))), [1.1 = 2.1], (1.1))",
+        ),
+        (
+            "SELECT K FROM R WHERE MEMBER('a', Tags) AND NOT (V > 3) ;",
+            "search((R), [MEMBER('a', 1.3) ∧ ¬(1.2 > 3)], (1.1))",
+        ),
+    ];
+    for (sql, expected) in cases {
+        assert_eq!(canonical(sql), expected, "for {sql}");
+    }
+}
+
+#[test]
+fn recursive_view_canonical_form() {
+    let mut c = catalog();
+    install_source(
+        &mut c,
+        "CREATE VIEW CLOSURE (K, W) AS
+         ( SELECT K, W FROM S
+           UNION SELECT A.K, B.W FROM CLOSURE A, CLOSURE B WHERE A.W = B.K ) ;",
+    )
+    .unwrap();
+    let ctx = SchemaCtx::new(&c);
+    let q = parse_query("SELECT W FROM CLOSURE WHERE K = 0 ;").unwrap();
+    let (expr, _) = translate_query(&q, &ctx).unwrap();
+    assert_eq!(
+        expr.to_string(),
+        "search((fix(CLOSURE, union({search((S), [TRUE], (1.1, 1.2)), \
+         search((CLOSURE, CLOSURE), [1.2 = 2.1], (1.1, 2.2))}))), [1.1 = 0], (1.2))"
+    );
+}

@@ -1,0 +1,797 @@
+//! The rule-definition language of Figure 6.
+//!
+//! Concrete syntax (one item per `;`):
+//!
+//! ```text
+//! // a rewriting rule
+//! SearchMerge : SEARCH(LIST(x*, SEARCH(z, g, b), v*), f, a)
+//!     / --> SEARCH(APPEND(x*, v*, z), f AND g, a')
+//!     / SUBSTITUTE(f, z, f'), SUBSTITUTE(a, z, a') ;
+//!
+//! // meta-rules
+//! block(merging, {SearchMerge, UnionMerge}, INF) ;
+//! seq((typing, merging, permutation), 2) ;
+//! ```
+//!
+//! Lexical conventions follow the paper: identifiers beginning with a
+//! lower-case letter are variables (`x`, `f`, `quali`, primed forms `f'`),
+//! a trailing `*` marks a collection variable (`x*`), and upper-case
+//! identifiers are functors/atoms (`SEARCH`, `LIST`, `FILM`, `TRUE`).
+//! Attribute references are written positionally as `1.2`. Qualification
+//! formulas may use infix `AND`, `OR`, `NOT`, comparisons and `+`/`-`;
+//! `{a, b}` abbreviates `SET(a, b)`. Comments run from `//` to end of
+//! line.
+
+use eds_adt::Value;
+
+use crate::error::{RewriteError, RwResult};
+use crate::rule::{MethodCall, Rule};
+use crate::strategy::{Block, Limit, Sequence};
+use crate::term::Term;
+
+/// One parsed top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceItem {
+    /// A rewriting rule.
+    Rule(Rule),
+    /// A `block(name, {rules}, limit)` definition.
+    Block(Block),
+    /// A `seq((blocks), passes)` meta-rule.
+    Seq(Sequence),
+}
+
+/// Parse a rule-language source text into its items.
+pub fn parse_source(src: &str) -> RwResult<Vec<SourceItem>> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.parse_items()
+}
+
+/// Parse a single term (handy for tests and interactive use).
+pub fn parse_term(src: &str) -> RwResult<Term> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let t = p.parse_expr()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    SeqIdent(String),
+    Int(i64),
+    Attr(i64, i64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Colon,
+    Slash,
+    Arrow,
+    Eq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Ne,
+    Plus,
+    Minus,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn lex_err<T>(line: usize, col: usize, message: impl Into<String>) -> RwResult<T> {
+    Err(RewriteError::Parse {
+        line,
+        column: col,
+        message: message.into(),
+    })
+}
+
+fn lex(src: &str) -> RwResult<Vec<Spanned>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                col,
+            });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            ':' => push!(Tok::Colon, 1),
+            '/' => push!(Tok::Slash, 1),
+            '=' => push!(Tok::Eq, 1),
+            '+' => push!(Tok::Plus, 1),
+            '^' => push!(Tok::Ident("AND".into()), 1),
+            '<' => match chars.get(i + 1) {
+                Some('=') => push!(Tok::Le, 2),
+                Some('>') => push!(Tok::Ne, 2),
+                _ => push!(Tok::Lt, 1),
+            },
+            '>' => match chars.get(i + 1) {
+                Some('=') => push!(Tok::Ge, 2),
+                _ => push!(Tok::Gt, 1),
+            },
+            '-' => {
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) == Some(&'>') {
+                    push!(Tok::Arrow, 3);
+                } else {
+                    push!(Tok::Minus, 1);
+                }
+            }
+            '\'' => {
+                // String literal; '' escapes a quote (SQL style).
+                let start_col = col;
+                let mut j = i + 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(j) {
+                        None => return lex_err(line, start_col, "unterminated string literal"),
+                        Some('\'') if chars.get(j + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some('\'') => {
+                            j += 1;
+                            break;
+                        }
+                        Some(ch) => {
+                            s.push(*ch);
+                            j += 1;
+                        }
+                    }
+                }
+                let len = j - i;
+                push!(Tok::Str(s), len);
+            }
+            d if d.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let first: i64 = chars[i..j]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|_| RewriteError::Parse {
+                        line,
+                        column: col,
+                        message: "integer literal out of range".into(),
+                    })?;
+                // `1.2` is a positional attribute reference.
+                if chars.get(j) == Some(&'.')
+                    && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    let mut k = j + 1;
+                    while k < chars.len() && chars[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    let second: i64 =
+                        chars[j + 1..k]
+                            .iter()
+                            .collect::<String>()
+                            .parse()
+                            .map_err(|_| RewriteError::Parse {
+                                line,
+                                column: col,
+                                message: "attribute index out of range".into(),
+                            })?;
+                    let len = k - i;
+                    push!(Tok::Attr(first, second), len);
+                } else {
+                    let len = j - i;
+                    push!(Tok::Int(first), len);
+                }
+            }
+            a if a.is_ascii_alphabetic() || a == '_' => {
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_alphanumeric() || chars[j] == '_' || chars[j] == '\'')
+                {
+                    j += 1;
+                }
+                let name: String = chars[i..j].iter().collect();
+                if chars.get(j) == Some(&'*') {
+                    let len = j + 1 - i;
+                    push!(Tok::SeqIdent(name), len);
+                } else {
+                    let len = j - i;
+                    push!(Tok::Ident(name), len);
+                }
+            }
+            '*' => {
+                return lex_err(
+                    line,
+                    col,
+                    "'*' is only valid as a collection-variable suffix",
+                )
+            }
+            other => return lex_err(line, col, format!("unexpected character '{other}'")),
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn here(&self) -> (usize, usize) {
+        let s = &self.tokens[self.pos];
+        (s.line, s.col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> RwResult<T> {
+        let (line, column) = self.here();
+        Err(RewriteError::Parse {
+            line,
+            column,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> RwResult<()> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> RwResult<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            self.err("trailing input after term")
+        }
+    }
+
+    fn parse_items(&mut self) -> RwResult<Vec<SourceItem>> {
+        let mut items = Vec::new();
+        while !matches!(self.peek(), Tok::Eof) {
+            items.push(self.parse_item()?);
+        }
+        Ok(items)
+    }
+
+    fn parse_item(&mut self) -> RwResult<SourceItem> {
+        let name = match self.bump() {
+            Tok::Ident(n) => n,
+            other => return self.err(format!("expected item name, found {other:?}")),
+        };
+        match name.as_str() {
+            "block" => self.parse_block(),
+            "seq" => self.parse_seq(),
+            _ => self.parse_rule(name),
+        }
+    }
+
+    /// `name : lhs [/ constraints] --> rhs [/ methods] ;`
+    fn parse_rule(&mut self, name: String) -> RwResult<SourceItem> {
+        self.expect(Tok::Colon, "':' after rule name")?;
+        let lhs = self.parse_expr()?;
+        let mut constraints = Vec::new();
+        if matches!(self.peek(), Tok::Slash) {
+            self.bump();
+            while !matches!(self.peek(), Tok::Arrow) {
+                constraints.push(self.parse_expr()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                }
+            }
+        }
+        self.expect(Tok::Arrow, "'-->'")?;
+        let rhs = self.parse_expr()?;
+        let mut methods = Vec::new();
+        if matches!(self.peek(), Tok::Slash) {
+            self.bump();
+            while !matches!(self.peek(), Tok::Semi) {
+                let m = self.parse_method_call()?;
+                methods.push(m);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                }
+            }
+        }
+        self.expect(Tok::Semi, "';' ending the rule")?;
+        Ok(SourceItem::Rule(Rule {
+            name,
+            lhs,
+            constraints,
+            rhs,
+            methods,
+        }))
+    }
+
+    fn parse_method_call(&mut self) -> RwResult<MethodCall> {
+        let name = match self.bump() {
+            Tok::Ident(n) => n,
+            other => return self.err(format!("expected method name, found {other:?}")),
+        };
+        self.expect(Tok::LParen, "'(' after method name")?;
+        let mut args = Vec::new();
+        if !matches!(self.peek(), Tok::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RParen, "')' closing method call")?;
+        Ok(MethodCall { name, args })
+    }
+
+    /// `block(name, {rule, ...}, limit) ;`
+    fn parse_block(&mut self) -> RwResult<SourceItem> {
+        self.expect(Tok::LParen, "'(' after block")?;
+        let name = match self.bump() {
+            Tok::Ident(n) => n,
+            other => return self.err(format!("expected block name, found {other:?}")),
+        };
+        self.expect(Tok::Comma, "',' after block name")?;
+        self.expect(Tok::LBrace, "'{' starting rule list")?;
+        let mut rules = Vec::new();
+        if !matches!(self.peek(), Tok::RBrace) {
+            loop {
+                match self.bump() {
+                    Tok::Ident(n) => rules.push(n),
+                    other => return self.err(format!("expected rule name, found {other:?}")),
+                }
+                if matches!(self.peek(), Tok::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(Tok::RBrace, "'}' ending rule list")?;
+        self.expect(Tok::Comma, "',' before block limit")?;
+        let limit = match self.bump() {
+            Tok::Int(n) if n >= 0 => Limit::Finite(n as u64),
+            Tok::Ident(kw) if kw.eq_ignore_ascii_case("INF") => Limit::Infinite,
+            other => return self.err(format!("expected limit (integer or INF), found {other:?}")),
+        };
+        self.expect(Tok::RParen, "')' closing block")?;
+        self.expect(Tok::Semi, "';' ending block")?;
+        Ok(SourceItem::Block(Block { name, rules, limit }))
+    }
+
+    /// `seq((block, ...), passes) ;`
+    fn parse_seq(&mut self) -> RwResult<SourceItem> {
+        self.expect(Tok::LParen, "'(' after seq")?;
+        self.expect(Tok::LParen, "'(' starting block list")?;
+        let mut blocks = Vec::new();
+        loop {
+            match self.bump() {
+                Tok::Ident(n) => blocks.push(n),
+                other => return self.err(format!("expected block name, found {other:?}")),
+            }
+            if matches!(self.peek(), Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "')' ending block list")?;
+        self.expect(Tok::Comma, "',' before pass count")?;
+        let passes = match self.bump() {
+            Tok::Int(n) if n >= 0 => n as u64,
+            Tok::Ident(kw) if kw.eq_ignore_ascii_case("INF") => u64::MAX,
+            other => return self.err(format!("expected pass count, found {other:?}")),
+        };
+        self.expect(Tok::RParen, "')' closing seq")?;
+        self.expect(Tok::Semi, "';' ending seq")?;
+        Ok(SourceItem::Seq(Sequence { blocks, passes }))
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < additive < primary.
+    fn parse_expr(&mut self) -> RwResult<Term> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Tok::Ident(k) if k.eq_ignore_ascii_case("OR")) {
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Term::app("OR", vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> RwResult<Term> {
+        let mut lhs = self.parse_cmp()?;
+        while matches!(self.peek(), Tok::Ident(k) if k.eq_ignore_ascii_case("AND")) {
+            self.bump();
+            let rhs = self.parse_cmp()?;
+            lhs = Term::app("AND", vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> RwResult<Term> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Tok::Eq => "=",
+            Tok::Lt => "<",
+            Tok::Gt => ">",
+            Tok::Le => "<=",
+            Tok::Ge => ">=",
+            Tok::Ne => "<>",
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_additive()?;
+        Ok(Term::app(op, vec![lhs, rhs]))
+    }
+
+    fn parse_additive(&mut self) -> RwResult<Term> {
+        let mut lhs = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => "+",
+                Tok::Minus => "-",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_primary()?;
+            lhs = Term::app(op, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_primary(&mut self) -> RwResult<Term> {
+        match self.bump() {
+            Tok::Int(n) => Ok(Term::int(n)),
+            Tok::Attr(i, j) => Ok(Term::attr(i, j)),
+            Tok::Str(s) => Ok(Term::Const(Value::Str(s))),
+            Tok::Minus => match self.bump() {
+                Tok::Int(n) => Ok(Term::int(-n)),
+                other => self.err(format!("expected number after '-', found {other:?}")),
+            },
+            Tok::LParen => {
+                let t = self.parse_expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(t)
+            }
+            Tok::LBrace => {
+                // {a, b, c} is sugar for SET(a, b, c).
+                let mut items = Vec::new();
+                if !matches!(self.peek(), Tok::RBrace) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if matches!(self.peek(), Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBrace, "'}' ending set literal")?;
+                Ok(Term::set(items))
+            }
+            Tok::SeqIdent(name) => Ok(Term::seq(classify_var_name(&name))),
+            Tok::Ident(name) => {
+                if matches!(self.peek(), Tok::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Tok::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if matches!(self.peek(), Tok::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "')' closing argument list")?;
+                    Ok(Term::app(canonical_functor(&name), args))
+                } else if name.eq_ignore_ascii_case("TRUE") {
+                    Ok(Term::bool(true))
+                } else if name.eq_ignore_ascii_case("FALSE") {
+                    Ok(Term::bool(false))
+                } else if starts_lower(&name) {
+                    Ok(Term::var(name))
+                } else {
+                    Ok(Term::atom(canonical_functor(&name)))
+                }
+            }
+            other => self.err(format!("expected a term, found {other:?}")),
+        }
+    }
+}
+
+fn starts_lower(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+}
+
+/// Functors are case-normalized to upper-case so `search` and `SEARCH`
+/// denote the same operator; variables keep their exact spelling.
+fn canonical_functor(name: &str) -> String {
+    name.to_ascii_uppercase()
+}
+
+fn classify_var_name(name: &str) -> String {
+    name.to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(src: &str) -> Rule {
+        match parse_source(src).unwrap().remove(0) {
+            SourceItem::Rule(r) => r,
+            other => panic!("expected rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_simple_term() {
+        let t = parse_term("SEARCH(LIST(FILM), 1.1 = 5, LIST(1.2))").unwrap();
+        assert_eq!(t.to_string(), "SEARCH(LIST(FILM), (1.1 = 5), LIST(1.2))");
+    }
+
+    #[test]
+    fn variables_vs_atoms() {
+        let t = parse_term("F(x, FILM, y*)").unwrap();
+        assert_eq!(
+            t,
+            Term::app(
+                "F",
+                vec![Term::var("x"), Term::atom("FILM"), Term::seq("y")]
+            )
+        );
+    }
+
+    #[test]
+    fn functor_case_insensitive() {
+        assert_eq!(
+            parse_term("search(x)").unwrap(),
+            parse_term("SEARCH(x)").unwrap()
+        );
+    }
+
+    #[test]
+    fn infix_precedence() {
+        let t = parse_term("a = 1 AND b < 2 OR NOT(c)").unwrap();
+        assert_eq!(t.to_string(), "(((a = 1) AND (b < 2)) OR NOT(c))");
+    }
+
+    #[test]
+    fn parse_search_merging_rule_of_fig7() {
+        let r = rule(
+            "SearchMerge : SEARCH(LIST(x*, SEARCH(z, g, b), v*), f, a) / \
+             --> SEARCH(APPEND(x*, v*, z), f AND g, a') / \
+             SUBSTITUTE(f, z, f'), SUBSTITUTE(a, z, a') ;",
+        );
+        assert_eq!(r.name, "SearchMerge");
+        assert!(r.constraints.is_empty());
+        assert_eq!(r.methods.len(), 2);
+        assert_eq!(r.methods[0].name, "SUBSTITUTE");
+        // lhs shape
+        let (h, args) = r.lhs.as_app().unwrap();
+        assert_eq!(h, "SEARCH");
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn parse_union_merging_rule_of_fig7() {
+        let r = rule("UnionMerge : UNION(SET(x*, UNION(z))) / --> UNION(SET_UNION(x*, z)) / ;");
+        assert_eq!(
+            r.lhs,
+            Term::app(
+                "UNION",
+                vec![Term::set(vec![
+                    Term::seq("x"),
+                    Term::app("UNION", vec![Term::var("z")])
+                ])]
+            )
+        );
+    }
+
+    #[test]
+    fn parse_rule_with_constraint() {
+        let r = rule(
+            "PushNest : SEARCH(LIST(x*, NEST(z, a, b), y*), quali AND qualj, exp) / \
+             REFER(a, quali) --> \
+             SEARCH(LIST(x*, NEST(SEARCH(z, quali', exp'), a, b), y*), qualj, exp) / \
+             SUBSTITUTE(quali, z, a, quali'), SCHEMA(z, exp') ;",
+        );
+        assert_eq!(r.constraints.len(), 1);
+        assert!(r.constraints[0].is_app("REFER"));
+        assert_eq!(r.methods.len(), 2);
+    }
+
+    #[test]
+    fn parse_simplification_rules_of_fig12() {
+        let items = parse_source(
+            "GtLeContradiction : x > y AND x <= y / --> FALSE / ;\n\
+             AndFalse : f AND FALSE / --> FALSE / ;\n\
+             DiffZeroIsEq : x - y = 0 / ISA(x, constant), ISA(y, constant) --> x = y / ;",
+        )
+        .unwrap();
+        assert_eq!(items.len(), 3);
+        if let SourceItem::Rule(r) = &items[2] {
+            assert_eq!(r.constraints.len(), 2);
+            assert_eq!(
+                r.lhs,
+                Term::app(
+                    "=",
+                    vec![
+                        Term::app("-", vec![Term::var("x"), Term::var("y")]),
+                        Term::int(0)
+                    ]
+                )
+            );
+        } else {
+            panic!("expected rule");
+        }
+    }
+
+    #[test]
+    fn parse_integrity_constraint_of_fig10() {
+        // x E {...} is written MEMBER(x, {...}).
+        let r = rule(
+            "CategoryDomain : F(x) / ISA(x, Category) --> \
+             F(x) AND MEMBER(x, {'Comedy', 'Adventure', 'Science Fiction', 'Western'}) / ;",
+        );
+        let (h, args) = r.rhs.as_app().unwrap();
+        assert_eq!(h, "AND");
+        let member = &args[1];
+        let (_, margs) = member.as_app().unwrap();
+        let (sh, selems) = margs[1].as_app().unwrap();
+        assert_eq!(sh, "SET");
+        assert_eq!(selems.len(), 4);
+    }
+
+    #[test]
+    fn parse_block_and_seq() {
+        let items = parse_source(
+            "block(merging, {SearchMerge, UnionMerge}, INF) ;\n\
+             block(simplify, {AndFalse}, 100) ;\n\
+             seq((merging, simplify), 2) ;",
+        )
+        .unwrap();
+        assert_eq!(items.len(), 3);
+        match &items[0] {
+            SourceItem::Block(b) => {
+                assert_eq!(b.name, "merging");
+                assert_eq!(b.rules, vec!["SearchMerge", "UnionMerge"]);
+                assert_eq!(b.limit, Limit::Infinite);
+            }
+            other => panic!("expected block, got {other:?}"),
+        }
+        match &items[2] {
+            SourceItem::Seq(s) => {
+                assert_eq!(s.blocks, vec!["merging", "simplify"]);
+                assert_eq!(s.passes, 2);
+            }
+            other => panic!("expected seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let t = parse_term("'it''s'").unwrap();
+        assert_eq!(t, Term::str("it's"));
+    }
+
+    #[test]
+    fn negative_number() {
+        assert_eq!(parse_term("-5").unwrap(), Term::int(-5));
+    }
+
+    #[test]
+    fn primed_variables() {
+        let t = parse_term("F(f', a')").unwrap();
+        assert_eq!(t, Term::app("F", vec![Term::var("f'"), Term::var("a'")]));
+    }
+
+    #[test]
+    fn attr_refs_lexed_not_reals() {
+        assert_eq!(parse_term("1.2").unwrap(), Term::attr(1, 2));
+        assert_eq!(parse_term("12.34").unwrap(), Term::attr(12, 34));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_source("Bad : F(x --> x / ;").unwrap_err();
+        match err {
+            RewriteError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(matches!(
+            parse_term("'abc"),
+            Err(RewriteError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn true_false_are_boolean_constants() {
+        // They must match the bridged form of LERA qualifications, which
+        // uses boolean literals.
+        assert_eq!(parse_term("TRUE").unwrap(), Term::bool(true));
+        assert_eq!(parse_term("false").unwrap(), Term::bool(false));
+    }
+
+    #[test]
+    fn rule_display_reparses() {
+        let original =
+            rule("Example : F(SET(x*, G(y, f))) / MEMBER(y, x*), f = TRUE --> F(SET(x*)) / ;");
+        let redisplayed = format!("{original} ;");
+        let reparsed = rule(&redisplayed);
+        assert_eq!(original.lhs, reparsed.lhs);
+        assert_eq!(original.rhs, reparsed.rhs);
+        assert_eq!(original.constraints, reparsed.constraints);
+    }
+}

@@ -1,0 +1,300 @@
+//! Single-rule application: match, check constraints, run methods, build
+//! the right term.
+
+use crate::error::{RewriteError, RwResult};
+use crate::matching::{match_term, Control};
+use crate::methods::{eval_constraint, normalize_builtins, MethodRegistry, TermEnv};
+use crate::rule::Rule;
+use crate::term::{Bindings, Term};
+
+/// Counters accumulated while rewriting; `condition_checks` implements the
+/// paper's block-limit unit ("each time a rule condition is checked, the
+/// limit of the block is decreased by one").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Number of (rule, query) match attempts — the paper's "condition
+    /// checks".
+    pub condition_checks: u64,
+    /// Number of successful rule applications.
+    pub applications: u64,
+    /// Number of candidate matches rejected by constraints or methods.
+    pub rejected: u64,
+}
+
+impl RewriteStats {
+    /// Merge another stats record into this one.
+    pub fn absorb(&mut self, other: RewriteStats) {
+        self.condition_checks += other.condition_checks;
+        self.applications += other.applications;
+        self.rejected += other.rejected;
+    }
+}
+
+/// Where a rule fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Application {
+    /// Position (path) of the rewritten subterm.
+    pub path: Vec<usize>,
+}
+
+/// Attempt to apply `rule` once, at the outermost-leftmost position where
+/// its pattern matches with satisfied constraints and methods. Returns the
+/// rewritten whole term.
+///
+/// A match whose replacement equals the matched subterm is skipped — this
+/// keeps idempotent rules from looping without consuming the block budget
+/// on no-ops.
+pub fn apply_rule_once(
+    rule: &Rule,
+    term: &Term,
+    methods: &MethodRegistry,
+    env: &dyn TermEnv,
+    stats: &mut RewriteStats,
+) -> RwResult<Option<(Term, Application)>> {
+    stats.condition_checks += 1;
+    let lhs_head = rule.lhs.as_app().map(|(h, _)| h);
+
+    for path in term.positions() {
+        let sub = term.at(&path).expect("position enumerated from term");
+        // Cheap head filter before invoking the matcher.
+        if let Some(h) = lhs_head {
+            match sub.as_app() {
+                Some((sh, _)) if sh == h => {}
+                _ => continue,
+            }
+        }
+
+        let mut rewritten: Option<Term> = None;
+        let mut failure: Option<RewriteError> = None;
+        let mut rejected: u64 = 0;
+
+        let mut binds = Bindings::new();
+        let mut sink = |b: &Bindings| {
+            let mut candidate = b.clone();
+            // 1. Constraints.
+            for c in &rule.constraints {
+                match eval_constraint(c, &mut candidate, methods, env) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        rejected += 1;
+                        return Control::Continue;
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        return Control::Stop;
+                    }
+                }
+            }
+            // 2. Methods (may bind output variables).
+            for m in &rule.methods {
+                match methods.call(&m.name, &m.args, &mut candidate, env) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        rejected += 1;
+                        return Control::Continue;
+                    }
+                    Err(e) => {
+                        failure = Some(e);
+                        return Control::Stop;
+                    }
+                }
+            }
+            // 3. Build the right term.
+            let built = normalize_builtins(&candidate.apply(&rule.rhs));
+            if let Some(v) = built
+                .variables()
+                .into_iter()
+                .find(|v| !candidate.contains(v))
+            {
+                failure = Some(RewriteError::UnboundInRhs {
+                    rule: rule.name.clone(),
+                    variable: v.to_owned(),
+                });
+                return Control::Stop;
+            }
+            if &built == sub {
+                // No-op application; try another match.
+                rejected += 1;
+                return Control::Continue;
+            }
+            rewritten = Some(built);
+            Control::Stop
+        };
+        match_term(&rule.lhs, sub, &mut binds, &mut sink);
+        stats.rejected += rejected;
+
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        if let Some(new_sub) = rewritten {
+            stats.applications += 1;
+            let new_term = term.replace_at(&path, new_sub);
+            return Ok(Some((new_term, Application { path })));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::BasicEnv;
+    use crate::rule::MethodCall;
+
+    fn apply(rule: &Rule, term: &Term) -> Option<Term> {
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let mut stats = RewriteStats::default();
+        apply_rule_once(rule, term, &methods, &env, &mut stats)
+            .unwrap()
+            .map(|(t, _)| t)
+    }
+
+    #[test]
+    fn applies_at_nested_position() {
+        // F(G(x)) --> x, applied inside H(...).
+        let rule = Rule::simple(
+            "collapse",
+            Term::app("F", vec![Term::app("G", vec![Term::var("x")])]),
+            Term::var("x"),
+        );
+        let term = Term::app(
+            "H",
+            vec![Term::app("F", vec![Term::app("G", vec![Term::int(7)])])],
+        );
+        assert_eq!(
+            apply(&rule, &term),
+            Some(Term::app("H", vec![Term::int(7)]))
+        );
+    }
+
+    #[test]
+    fn constraint_vetoes_match() {
+        // F(x) / x > 5 --> G(x)
+        let rule = Rule {
+            name: "gate".into(),
+            lhs: Term::app("F", vec![Term::var("x")]),
+            constraints: vec![Term::app(">", vec![Term::var("x"), Term::int(5)])],
+            rhs: Term::app("G", vec![Term::var("x")]),
+            methods: vec![],
+        };
+        assert_eq!(apply(&rule, &Term::app("F", vec![Term::int(3)])), None);
+        assert_eq!(
+            apply(&rule, &Term::app("F", vec![Term::int(9)])),
+            Some(Term::app("G", vec![Term::int(9)]))
+        );
+    }
+
+    #[test]
+    fn paper_example_rule_fires() {
+        // F(SET(x*, G(y, f))) / MEMBER(y, x*), f = TRUE --> F(x*)
+        // (the syntactically-correct example rule of Section 4.1).
+        let rule = Rule {
+            name: "example".into(),
+            lhs: Term::app(
+                "F",
+                vec![Term::set(vec![
+                    Term::seq("x"),
+                    Term::app("G", vec![Term::var("y"), Term::var("f")]),
+                ])],
+            ),
+            constraints: vec![
+                Term::app("MEMBER", vec![Term::var("y"), Term::seq("x")]),
+                Term::app("=", vec![Term::var("f"), Term::atom("TRUE")]),
+            ],
+            rhs: Term::app("F", vec![Term::seq("x")]),
+            methods: vec![],
+        };
+        let term = Term::app(
+            "F",
+            vec![Term::set(vec![
+                Term::atom("A"),
+                Term::atom("B"),
+                Term::app("G", vec![Term::atom("B"), Term::bool(true)]),
+            ])],
+        );
+        let out = apply(&rule, &term).expect("rule should fire");
+        assert_eq!(out, Term::app("F", vec![Term::atom("A"), Term::atom("B")]));
+        // y not in x* -> no application.
+        let term2 = Term::app(
+            "F",
+            vec![Term::set(vec![
+                Term::atom("A"),
+                Term::app("G", vec![Term::atom("B"), Term::bool(true)]),
+            ])],
+        );
+        assert_eq!(apply(&rule, &term2), None);
+    }
+
+    #[test]
+    fn method_output_used_in_rhs() {
+        // F(x, y) / ISA(x, constant), ISA(y, constant) --> a / EVALUATE(F(x,y), a)
+        // — the constant-folding simplification rule of Figure 12, with
+        // F instantiated as "+".
+        let rule = Rule {
+            name: "fold".into(),
+            lhs: Term::app("+", vec![Term::var("x"), Term::var("y")]),
+            constraints: vec![
+                Term::app("ISA", vec![Term::var("x"), Term::atom("constant")]),
+                Term::app("ISA", vec![Term::var("y"), Term::atom("constant")]),
+            ],
+            rhs: Term::var("a"),
+            methods: vec![MethodCall {
+                name: "EVALUATE".into(),
+                args: vec![
+                    Term::app("+", vec![Term::var("x"), Term::var("y")]),
+                    Term::var("a"),
+                ],
+            }],
+        };
+        let term = Term::app("+", vec![Term::int(40), Term::int(2)]);
+        assert_eq!(apply(&rule, &term), Some(Term::int(42)));
+        // Non-constant argument: no fold.
+        let term2 = Term::app("+", vec![Term::attr(1, 1), Term::int(2)]);
+        assert_eq!(apply(&rule, &term2), None);
+    }
+
+    #[test]
+    fn noop_matches_are_skipped() {
+        // x --> x never "applies".
+        let rule = Rule::simple("identity", Term::var("x"), Term::var("x"));
+        assert_eq!(apply(&rule, &Term::int(1)), None);
+    }
+
+    #[test]
+    fn unbound_rhs_variable_is_an_error() {
+        let rule = Rule::simple(
+            "broken",
+            Term::app("F", vec![Term::var("x")]),
+            Term::app("G", vec![Term::var("zz")]),
+        );
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let mut stats = RewriteStats::default();
+        let err = apply_rule_once(
+            &rule,
+            &Term::app("F", vec![Term::int(1)]),
+            &methods,
+            &env,
+            &mut stats,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RewriteError::UnboundInRhs { .. }));
+    }
+
+    #[test]
+    fn stats_count_checks_and_applications() {
+        let rule = Rule::simple(
+            "collapse",
+            Term::app("F", vec![Term::var("x")]),
+            Term::var("x"),
+        );
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let mut stats = RewriteStats::default();
+        let term = Term::app("F", vec![Term::int(1)]);
+        apply_rule_once(&rule, &term, &methods, &env, &mut stats).unwrap();
+        assert_eq!(stats.condition_checks, 1);
+        assert_eq!(stats.applications, 1);
+    }
+}

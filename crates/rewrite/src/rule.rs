@@ -1,0 +1,157 @@
+//! Rewrite rules: `lhs / constraints --> rhs / methods`.
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// A method invocation in a rule conclusion, e.g.
+/// `SUBSTITUTE(f, z, f')`. Output parameters are unbound variables among
+/// the arguments; the method binds them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodCall {
+    /// Method name, resolved in the [`crate::methods::MethodRegistry`].
+    pub name: String,
+    /// Argument terms (interpreted under the match bindings).
+    pub args: Vec<Term>,
+}
+
+impl fmt::Display for MethodCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A term rewriting rule under constraints (Figure 6): "if the left term
+/// appears in the query under the given set of constraints, it is
+/// rewritten as the given right term after the application of the given
+/// set of methods".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule name (unique within a knowledge base).
+    pub name: String,
+    /// Pattern to match.
+    pub lhs: Term,
+    /// Additional boolean conditions on the matched arguments.
+    pub constraints: Vec<Term>,
+    /// Replacement term; may reference variables bound by the match or by
+    /// methods.
+    pub rhs: Term,
+    /// Methods run after a successful match to compute derived bindings.
+    pub methods: Vec<MethodCall>,
+}
+
+impl Rule {
+    /// Build a rule without constraints or methods.
+    pub fn simple(name: impl Into<String>, lhs: Term, rhs: Term) -> Self {
+        Rule {
+            name: name.into(),
+            lhs,
+            constraints: Vec::new(),
+            rhs,
+            methods: Vec::new(),
+        }
+    }
+
+    /// Variables of the right term that neither the left term nor any
+    /// method argument could bind. A non-empty result indicates a rule
+    /// that can never fire successfully.
+    pub fn unbindable_rhs_vars(&self) -> Vec<&str> {
+        let mut bindable: Vec<&str> = self.lhs.variables();
+        for m in &self.methods {
+            for a in &m.args {
+                bindable.extend(a.variables());
+            }
+        }
+        self.rhs
+            .variables()
+            .into_iter()
+            .filter(|v| !bindable.contains(v))
+            .collect()
+    }
+
+    /// Termination heuristic from Section 4.2: a rule is *decreasing* when
+    /// its right term has strictly fewer nodes than its left term, so a
+    /// block containing only decreasing rules terminates even with an
+    /// infinite limit.
+    pub fn is_decreasing(&self) -> bool {
+        self.rhs.size() < self.lhs.size()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} : {} / ", self.name, self.lhs)?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " --> {} / ", self.rhs)?;
+        for (i, m) in self.methods.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decreasing_detection() {
+        // F(G(x)) --> x is decreasing; x --> F(x) is not.
+        let shrink = Rule::simple(
+            "shrink",
+            Term::app("F", vec![Term::app("G", vec![Term::var("x")])]),
+            Term::var("x"),
+        );
+        assert!(shrink.is_decreasing());
+        let grow = Rule::simple("grow", Term::var("x"), Term::app("F", vec![Term::var("x")]));
+        assert!(!grow.is_decreasing());
+    }
+
+    #[test]
+    fn unbindable_rhs_vars_found() {
+        let rule = Rule {
+            name: "r".into(),
+            lhs: Term::app("F", vec![Term::var("x")]),
+            constraints: vec![],
+            rhs: Term::app("G", vec![Term::var("x"), Term::var("y")]),
+            methods: vec![],
+        };
+        assert_eq!(rule.unbindable_rhs_vars(), vec!["y"]);
+        let with_method = Rule {
+            methods: vec![MethodCall {
+                name: "SCHEMA".into(),
+                args: vec![Term::var("x"), Term::var("y")],
+            }],
+            ..rule
+        };
+        assert!(with_method.unbindable_rhs_vars().is_empty());
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let rule = Rule {
+            name: "UnionMerge".into(),
+            lhs: Term::app("UNION", vec![Term::set(vec![Term::seq("x")])]),
+            constraints: vec![Term::atom("TRUE")],
+            rhs: Term::app("UNION", vec![Term::set(vec![Term::seq("x")])]),
+            methods: vec![],
+        };
+        let s = rule.to_string();
+        assert!(s.contains("UnionMerge : UNION(SET(x*)) / TRUE --> UNION(SET(x*)) /"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Control: blocks of rules and sequences of blocks (Section 4.2).
+//!
+//! `block({rules}, value)` groups rules and bounds the number of condition
+//! checks; `seq((blocks), value)` runs blocks in order, a bounded number
+//! of passes. "Any optimizer generated with the rule language is a
+//! sequence of blocks of rules which can be applied multiple times."
+
+use std::collections::HashMap;
+
+use crate::engine::{apply_rule_once, RewriteStats};
+use crate::error::{RewriteError, RwResult};
+use crate::methods::{MethodRegistry, TermEnv};
+use crate::rule::Rule;
+use crate::term::Term;
+use crate::trace::{Trace, TraceEvent};
+
+/// Block application limit: a finite number of condition checks, or
+/// saturation ("an infinite limit means application up to saturation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limit {
+    /// At most this many condition checks.
+    Finite(u64),
+    /// Run until no rule in the block applies.
+    Infinite,
+}
+
+impl Limit {
+    fn budget(self) -> u64 {
+        match self {
+            Limit::Finite(n) => n,
+            Limit::Infinite => u64::MAX,
+        }
+    }
+}
+
+/// A named block of rules with its application limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block name, referenced by sequences.
+    pub name: String,
+    /// Names of member rules (the same rule may appear in several blocks).
+    pub rules: Vec<String>,
+    /// Condition-check budget.
+    pub limit: Limit,
+}
+
+/// The meta-rule ordering blocks: run `blocks` in sequence, `passes`
+/// times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sequence {
+    /// Block names, applied in order.
+    pub blocks: Vec<String>,
+    /// Maximum number of passes over the whole list.
+    pub passes: u64,
+}
+
+/// An indexed set of rules (the rewriting knowledge base).
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    index: HashMap<String, usize>,
+}
+
+impl RuleSet {
+    /// Empty rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a rule; replaces any rule with the same name.
+    pub fn add(&mut self, rule: Rule) {
+        if let Some(&i) = self.index.get(&rule.name) {
+            self.rules[i] = rule;
+        } else {
+            self.index.insert(rule.name.clone(), self.rules.len());
+            self.rules.push(rule);
+        }
+    }
+
+    /// Remove a rule by name; the database implementor "can add or delete
+    /// rewriting rules".
+    pub fn remove(&mut self, name: &str) -> bool {
+        match self.index.remove(name) {
+            Some(i) => {
+                self.rules.remove(i);
+                // Reindex the tail.
+                for (j, r) in self.rules.iter().enumerate().skip(i) {
+                    self.index.insert(r.name.clone(), j);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Look up a rule.
+    pub fn get(&self, name: &str) -> Option<&Rule> {
+        self.index.get(name).map(|&i| &self.rules[i])
+    }
+
+    /// All rules, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Rule> {
+        self.rules.iter()
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are present.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// A complete control strategy: block definitions plus the sequence
+/// meta-rule. "Changing block definitions or the list of blocks in the
+/// sequence meta-rule may completely change the generated optimizer."
+#[derive(Debug, Clone, Default)]
+pub struct Strategy {
+    blocks: Vec<Block>,
+    by_name: HashMap<String, usize>,
+    /// The sequence meta-rule; defaults to all blocks, one pass.
+    pub sequence: Option<Sequence>,
+}
+
+impl Strategy {
+    /// Empty strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define (or replace) a block.
+    pub fn add_block(&mut self, block: Block) {
+        if let Some(&i) = self.by_name.get(&block.name) {
+            self.blocks[i] = block;
+        } else {
+            self.by_name.insert(block.name.clone(), self.blocks.len());
+            self.blocks.push(block);
+        }
+    }
+
+    /// Set the sequence meta-rule.
+    pub fn set_sequence(&mut self, seq: Sequence) {
+        self.sequence = Some(seq);
+    }
+
+    /// Look up a block.
+    pub fn block(&self, name: &str) -> Option<&Block> {
+        self.by_name.get(name).map(|&i| &self.blocks[i])
+    }
+
+    /// Override the limit of an existing block — the dynamic-limit knob
+    /// discussed in the paper's conclusion ("limits can even be adjusted
+    /// during the query rewriting process").
+    pub fn set_limit(&mut self, block: &str, limit: Limit) -> RwResult<()> {
+        match self.by_name.get(block) {
+            Some(&i) => {
+                self.blocks[i].limit = limit;
+                Ok(())
+            }
+            None => Err(RewriteError::UnknownBlock(block.to_owned())),
+        }
+    }
+
+    /// Blocks in definition order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// The effective block execution order.
+    fn order(&self) -> (Vec<&Block>, u64) {
+        match &self.sequence {
+            Some(seq) => (
+                seq.blocks.iter().filter_map(|n| self.block(n)).collect(),
+                seq.passes,
+            ),
+            None => (self.blocks.iter().collect(), 1),
+        }
+    }
+}
+
+/// Outcome of a strategy run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The rewritten term.
+    pub term: Term,
+    /// Aggregate counters.
+    pub stats: RewriteStats,
+    /// Per-application trace (empty unless tracing was requested).
+    pub trace: Trace,
+    /// True when some block stopped because its limit ran out rather than
+    /// by saturation.
+    pub budget_exhausted: bool,
+}
+
+/// Run one block to saturation or budget exhaustion. Each *condition
+/// check* (attempt to match one rule against the query) costs one unit of
+/// the block's limit, following Section 4.2.
+pub fn apply_block(
+    rules: &RuleSet,
+    block: &Block,
+    methods: &MethodRegistry,
+    env: &dyn TermEnv,
+    mut term: Term,
+    collect_trace: bool,
+) -> RwResult<RunOutcome> {
+    let mut budget = block.limit.budget();
+    let mut stats = RewriteStats::default();
+    let mut trace = Trace::default();
+    let mut exhausted = false;
+
+    // Blocks may reference rules the implementor has since deleted
+    // ("the database implementor can add or delete rewriting rules");
+    // missing members are skipped rather than failing the whole block.
+    let members: Vec<&Rule> = block
+        .rules
+        .iter()
+        .filter_map(|name| rules.get(name))
+        .collect();
+
+    'outer: loop {
+        let mut progressed = false;
+        for rule in &members {
+            if budget == 0 {
+                exhausted = true;
+                break 'outer;
+            }
+            budget -= 1;
+            if let Some((new_term, app)) = apply_rule_once(rule, &term, methods, env, &mut stats)? {
+                if collect_trace {
+                    trace.push(TraceEvent {
+                        block: block.name.clone(),
+                        rule: rule.name.clone(),
+                        path: app.path,
+                        before_size: term.size(),
+                        after_size: new_term.size(),
+                    });
+                }
+                term = new_term;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    Ok(RunOutcome {
+        term,
+        stats,
+        trace,
+        budget_exhausted: exhausted,
+    })
+}
+
+/// Run a full strategy: the sequence of blocks, `passes` times, stopping
+/// early once a whole pass makes no change.
+pub fn run_strategy(
+    rules: &RuleSet,
+    strategy: &Strategy,
+    methods: &MethodRegistry,
+    env: &dyn TermEnv,
+    mut term: Term,
+    collect_trace: bool,
+) -> RwResult<RunOutcome> {
+    let (order, passes) = strategy.order();
+    let mut stats = RewriteStats::default();
+    let mut trace = Trace::default();
+    let mut exhausted = false;
+
+    for _ in 0..passes {
+        let before = term.clone();
+        for block in &order {
+            let outcome = apply_block(rules, block, methods, env, term, collect_trace)?;
+            term = outcome.term;
+            stats.absorb(outcome.stats);
+            trace.extend(outcome.trace);
+            exhausted |= outcome.budget_exhausted;
+        }
+        if term == before {
+            break;
+        }
+    }
+
+    Ok(RunOutcome {
+        term,
+        stats,
+        trace,
+        budget_exhausted: exhausted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::BasicEnv;
+
+    fn shrink_rule() -> Rule {
+        Rule::simple(
+            "unwrap",
+            Term::app("F", vec![Term::var("x")]),
+            Term::var("x"),
+        )
+    }
+
+    fn grow_rule() -> Rule {
+        Rule::simple(
+            "wrap",
+            Term::app("G", vec![Term::var("x")]),
+            Term::app("G", vec![Term::app("F", vec![Term::var("x")])]),
+        )
+    }
+
+    fn nested(n: usize) -> Term {
+        let mut t = Term::int(0);
+        for _ in 0..n {
+            t = Term::app("F", vec![t]);
+        }
+        t
+    }
+
+    #[test]
+    fn saturation_with_decreasing_rule_terminates() {
+        let mut rules = RuleSet::new();
+        rules.add(shrink_rule());
+        let block = Block {
+            name: "b".into(),
+            rules: vec!["unwrap".into()],
+            limit: Limit::Infinite,
+        };
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let out = apply_block(&rules, &block, &methods, &env, nested(10), false).unwrap();
+        assert_eq!(out.term, Term::int(0));
+        assert_eq!(out.stats.applications, 10);
+        assert!(!out.budget_exhausted);
+    }
+
+    #[test]
+    fn finite_limit_stops_looping_rule() {
+        // "wrap" grows forever; the block budget must stop it.
+        let mut rules = RuleSet::new();
+        rules.add(grow_rule());
+        let block = Block {
+            name: "b".into(),
+            rules: vec!["wrap".into()],
+            limit: Limit::Finite(25),
+        };
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let start = Term::app("G", vec![Term::int(1)]);
+        let out = apply_block(&rules, &block, &methods, &env, start, false).unwrap();
+        assert!(out.budget_exhausted);
+        assert_eq!(out.stats.condition_checks, 25);
+        assert_eq!(out.stats.applications, 25);
+    }
+
+    #[test]
+    fn zero_limit_disables_block() {
+        // "Simple queries do not need sophisticated optimization: a 0
+        // limit can then be given to all blocks" (Section 7).
+        let mut rules = RuleSet::new();
+        rules.add(shrink_rule());
+        let block = Block {
+            name: "b".into(),
+            rules: vec!["unwrap".into()],
+            limit: Limit::Finite(0),
+        };
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let start = nested(3);
+        let out = apply_block(&rules, &block, &methods, &env, start.clone(), false).unwrap();
+        assert_eq!(out.term, start);
+        assert_eq!(out.stats.applications, 0);
+    }
+
+    #[test]
+    fn sequence_runs_blocks_in_order() {
+        // Block 1 rewrites A -> B, block 2 rewrites B -> C; order matters.
+        let mut rules = RuleSet::new();
+        rules.add(Rule::simple("ab", Term::atom("A"), Term::atom("B")));
+        rules.add(Rule::simple("bc", Term::atom("B"), Term::atom("C")));
+        let mut strategy = Strategy::new();
+        strategy.add_block(Block {
+            name: "first".into(),
+            rules: vec!["ab".into()],
+            limit: Limit::Infinite,
+        });
+        strategy.add_block(Block {
+            name: "second".into(),
+            rules: vec!["bc".into()],
+            limit: Limit::Infinite,
+        });
+        strategy.set_sequence(Sequence {
+            blocks: vec!["first".into(), "second".into()],
+            passes: 1,
+        });
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), true).unwrap();
+        assert_eq!(out.term, Term::atom("C"));
+        assert_eq!(out.trace.events().len(), 2);
+
+        // Reversed sequence needs two passes to reach C.
+        strategy.set_sequence(Sequence {
+            blocks: vec!["second".into(), "first".into()],
+            passes: 1,
+        });
+        let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
+        assert_eq!(out.term, Term::atom("B"));
+        strategy.set_sequence(Sequence {
+            blocks: vec!["second".into(), "first".into()],
+            passes: 2,
+        });
+        let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
+        assert_eq!(out.term, Term::atom("C"));
+    }
+
+    #[test]
+    fn deleted_rules_are_skipped_by_blocks() {
+        let mut rules = RuleSet::new();
+        rules.add(shrink_rule());
+        let block = Block {
+            name: "b".into(),
+            rules: vec!["missing".into(), "unwrap".into()],
+            limit: Limit::Infinite,
+        };
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let out = apply_block(&rules, &block, &methods, &env, nested(2), false).unwrap();
+        assert_eq!(out.term, Term::int(0)); // remaining rule still runs
+    }
+
+    #[test]
+    fn ruleset_add_replace_remove() {
+        let mut rules = RuleSet::new();
+        rules.add(shrink_rule());
+        rules.add(grow_rule());
+        assert_eq!(rules.len(), 2);
+        rules.add(Rule::simple(
+            "unwrap",
+            Term::app("F", vec![Term::var("x")]),
+            Term::app("H", vec![Term::var("x")]),
+        ));
+        assert_eq!(rules.len(), 2);
+        assert!(rules.get("unwrap").unwrap().rhs.is_app("H"));
+        assert!(rules.remove("unwrap"));
+        assert!(!rules.remove("unwrap"));
+        assert!(rules.get("wrap").is_some());
+    }
+
+    #[test]
+    fn dynamic_limit_adjustment() {
+        let mut strategy = Strategy::new();
+        strategy.add_block(Block {
+            name: "b".into(),
+            rules: vec![],
+            limit: Limit::Infinite,
+        });
+        strategy.set_limit("b", Limit::Finite(3)).unwrap();
+        assert_eq!(strategy.block("b").unwrap().limit, Limit::Finite(3));
+        assert!(strategy.set_limit("nope", Limit::Infinite).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! First-order terms with variables and collection variables.
+//!
+//! Terms are the uniform representation the paper rewrites: LERA operators
+//! are interpreted as functions (`SEARCH`, `UNION`, `FIX`, ...), argument
+//! collections are the `LIST`/`SET`/`BAG` constructors, qualifications are
+//! boolean sub-terms (`AND`, `OR`, comparison functors), and attribute
+//! references are `ATTR(i, j)` terms displayed as `i.j`.
+//!
+//! *Collection variables* (`x*`) stand for argument segments of a
+//! collection constructor, "allowing the specification of strategies
+//! involving long lists of arguments" (Section 4.1).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use eds_adt::Value;
+
+/// Functor names reserved for collection constructors; they get segment
+/// (and for `SET`/`BAG` commutative) matching semantics.
+pub const COLLECTION_FUNCTORS: [&str; 3] = ["LIST", "SET", "BAG"];
+
+/// A term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An ordinary variable (`x`, `f`, `quali`, `exp'`). Matches exactly
+    /// one term.
+    Var(String),
+    /// A collection (sequence) variable (`x*`). Only legal as a direct
+    /// argument of `LIST`/`SET`/`BAG`; matches a segment of arguments.
+    SeqVar(String),
+    /// A literal constant.
+    Const(Value),
+    /// A function application `F(t1, ..., tn)`; nullary applications act
+    /// as symbolic atoms (relation names, type names).
+    App(String, Vec<Term>),
+}
+
+impl Term {
+    /// Symbolic atom (nullary application).
+    pub fn atom(name: impl Into<String>) -> Term {
+        Term::App(name.into(), Vec::new())
+    }
+
+    /// Application helper.
+    pub fn app(name: impl Into<String>, args: Vec<Term>) -> Term {
+        Term::App(name.into(), args)
+    }
+
+    /// Variable helper.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Sequence-variable helper.
+    pub fn seq(name: impl Into<String>) -> Term {
+        Term::SeqVar(name.into())
+    }
+
+    /// Integer literal helper.
+    pub fn int(i: i64) -> Term {
+        Term::Const(Value::Int(i))
+    }
+
+    /// String literal helper.
+    pub fn str(s: impl Into<String>) -> Term {
+        Term::Const(Value::Str(s.into()))
+    }
+
+    /// Boolean literal helper.
+    pub fn bool(b: bool) -> Term {
+        Term::Const(Value::Bool(b))
+    }
+
+    /// `LIST(...)` constructor.
+    pub fn list(items: Vec<Term>) -> Term {
+        Term::App("LIST".into(), items)
+    }
+
+    /// `SET(...)` constructor.
+    pub fn set(items: Vec<Term>) -> Term {
+        Term::App("SET".into(), items)
+    }
+
+    /// An `ATTR(i, j)` positional attribute reference (displayed `i.j`).
+    pub fn attr(rel: i64, attr: i64) -> Term {
+        Term::App("ATTR".into(), vec![Term::int(rel), Term::int(attr)])
+    }
+
+    /// Is this term an application of `head`?
+    pub fn is_app(&self, head: &str) -> bool {
+        matches!(self, Term::App(h, _) if h == head)
+    }
+
+    /// Application view.
+    pub fn as_app(&self) -> Option<(&str, &[Term])> {
+        match self {
+            Term::App(h, args) => Some((h.as_str(), args.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Constant view.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `ATTR(i, j)` view.
+    pub fn as_attr(&self) -> Option<(i64, i64)> {
+        match self.as_app() {
+            Some(("ATTR", [Term::Const(Value::Int(i)), Term::Const(Value::Int(j))])) => {
+                Some((*i, *j))
+            }
+            _ => None,
+        }
+    }
+
+    /// Is the head a collection constructor (segment-matching semantics)?
+    pub fn is_collection_ctor(head: &str) -> bool {
+        COLLECTION_FUNCTORS.contains(&head)
+    }
+
+    /// True when the term contains no variables of either kind.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) | Term::SeqVar(_) => false,
+            Term::Const(_) => true,
+            Term::App(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Collect the names of ordinary and sequence variables (in order of
+    /// first occurrence, deduplicated).
+    pub fn variables(&self) -> Vec<&str> {
+        fn walk<'a>(t: &'a Term, out: &mut Vec<&'a str>) {
+            match t {
+                Term::Var(v) | Term::SeqVar(v) => {
+                    if !out.contains(&v.as_str()) {
+                        out.push(v);
+                    }
+                }
+                Term::Const(_) => {}
+                Term::App(_, args) => args.iter().for_each(|a| walk(a, out)),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Number of nodes in the term (size metric used by termination
+    /// arguments: "subsets of rewriting rules can be isolated that either
+    /// increase or decrease the number of terms in a query").
+    pub fn size(&self) -> usize {
+        match self {
+            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+            _ => 1,
+        }
+    }
+
+    /// Iterate over all positions (paths) in the term, pre-order. The root
+    /// path is empty.
+    pub fn positions(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        fn walk(t: &Term, path: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            out.push(path.clone());
+            if let Term::App(_, args) = t {
+                for (i, a) in args.iter().enumerate() {
+                    path.push(i);
+                    walk(a, path, out);
+                    path.pop();
+                }
+            }
+        }
+        walk(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// The subterm at a position; `None` if the path is invalid.
+    pub fn at(&self, path: &[usize]) -> Option<&Term> {
+        let mut cur = self;
+        for &i in path {
+            match cur {
+                Term::App(_, args) => cur = args.get(i)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Replace the subterm at a position, returning the new term.
+    pub fn replace_at(&self, path: &[usize], replacement: Term) -> Term {
+        if path.is_empty() {
+            return replacement;
+        }
+        match self {
+            Term::App(h, args) => {
+                let mut new_args = args.clone();
+                if let Some(slot) = new_args.get_mut(path[0]) {
+                    *slot = slot.replace_at(&path[1..], replacement);
+                }
+                Term::App(h.clone(), new_args)
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+/// A substitution: ordinary variables map to terms, sequence variables to
+/// term segments.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bindings {
+    vars: HashMap<String, Term>,
+    seqs: HashMap<String, Vec<Term>>,
+}
+
+impl Bindings {
+    /// Empty substitution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binding of an ordinary variable.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.vars.get(name)
+    }
+
+    /// Binding of a sequence variable.
+    pub fn get_seq(&self, name: &str) -> Option<&[Term]> {
+        self.seqs.get(name).map(Vec::as_slice)
+    }
+
+    /// Bind an ordinary variable (overwrites).
+    pub fn bind(&mut self, name: impl Into<String>, term: Term) {
+        self.vars.insert(name.into(), term);
+    }
+
+    /// Bind a sequence variable (overwrites).
+    pub fn bind_seq(&mut self, name: impl Into<String>, terms: Vec<Term>) {
+        self.seqs.insert(name.into(), terms);
+    }
+
+    /// Remove any binding for `name` (used by the matcher to backtrack).
+    pub fn remove(&mut self, name: &str) {
+        self.vars.remove(name);
+        self.seqs.remove(name);
+    }
+
+    /// Whether a name has any binding.
+    pub fn contains(&self, name: &str) -> bool {
+        self.vars.contains_key(name) || self.seqs.contains_key(name)
+    }
+
+    /// Number of bound names.
+    pub fn len(&self) -> usize {
+        self.vars.len() + self.seqs.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty() && self.seqs.is_empty()
+    }
+
+    /// Apply the substitution to a term. Sequence variables are spliced
+    /// into their enclosing argument list. Unbound variables are left in
+    /// place (the engine checks rhs groundness separately).
+    pub fn apply(&self, term: &Term) -> Term {
+        match term {
+            Term::Var(v) => self.vars.get(v).cloned().unwrap_or_else(|| term.clone()),
+            Term::SeqVar(_) => term.clone(), // splicing happens in App args
+            Term::Const(_) => term.clone(),
+            Term::App(h, args) => {
+                let mut new_args = Vec::with_capacity(args.len());
+                for a in args {
+                    match a {
+                        Term::SeqVar(v) => match self.seqs.get(v) {
+                            Some(segment) => new_args.extend(segment.iter().cloned()),
+                            None => new_args.push(a.clone()),
+                        },
+                        other => new_args.push(self.apply(other)),
+                    }
+                }
+                Term::App(h.clone(), new_args)
+            }
+        }
+    }
+
+    /// Names of all bound variables (unsorted).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.vars
+            .keys()
+            .map(String::as_str)
+            .chain(self.seqs.keys().map(String::as_str))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::SeqVar(v) => write!(f, "{v}*"),
+            Term::Const(v) => write!(f, "{v}"),
+            Term::App(h, args) => {
+                if let Some((i, j)) = self.as_attr() {
+                    return write!(f, "{i}.{j}");
+                }
+                match (h.as_str(), args.len()) {
+                    ("AND", 2) => write!(f, "({} AND {})", args[0], args[1]),
+                    ("OR", 2) => write!(f, "({} OR {})", args[0], args[1]),
+                    ("NOT", 1) => write!(f, "NOT({})", args[0]),
+                    ("=" | "<" | ">" | "<=" | ">=" | "<>" | "+" | "-" | "*" | "/", 2) => {
+                        write!(f, "({} {} {})", args[0], h, args[1])
+                    }
+                    (_, 0) => f.write_str(h),
+                    _ => {
+                        write!(f, "{h}(")?;
+                        for (i, a) in args.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str(", ")?;
+                            }
+                            write!(f, "{a}")?;
+                        }
+                        f.write_str(")")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let t = Term::app(
+            "SEARCH",
+            vec![
+                Term::list(vec![Term::atom("FILM")]),
+                Term::app("=", vec![Term::attr(1, 1), Term::int(5)]),
+                Term::list(vec![Term::attr(1, 2)]),
+            ],
+        );
+        assert_eq!(t.to_string(), "SEARCH(LIST(FILM), (1.1 = 5), LIST(1.2))");
+    }
+
+    #[test]
+    fn seqvar_display() {
+        let t = Term::list(vec![Term::seq("x"), Term::var("u"), Term::seq("y")]);
+        assert_eq!(t.to_string(), "LIST(x*, u, y*)");
+    }
+
+    #[test]
+    fn apply_splices_sequences() {
+        let mut b = Bindings::new();
+        b.bind_seq("x", vec![Term::atom("A"), Term::atom("B")]);
+        b.bind("u", Term::atom("C"));
+        let t = Term::list(vec![Term::seq("x"), Term::var("u")]);
+        assert_eq!(
+            b.apply(&t),
+            Term::list(vec![Term::atom("A"), Term::atom("B"), Term::atom("C")])
+        );
+    }
+
+    #[test]
+    fn apply_empty_segment_vanishes() {
+        let mut b = Bindings::new();
+        b.bind_seq("x", vec![]);
+        let t = Term::list(vec![Term::seq("x"), Term::atom("A")]);
+        assert_eq!(b.apply(&t), Term::list(vec![Term::atom("A")]));
+    }
+
+    #[test]
+    fn positions_and_replace() {
+        let t = Term::app("F", vec![Term::app("G", vec![Term::int(1)]), Term::int(2)]);
+        let positions = t.positions();
+        assert_eq!(positions.len(), 4); // F, G, 1, 2
+        assert_eq!(t.at(&[0, 0]), Some(&Term::int(1)));
+        let replaced = t.replace_at(&[0, 0], Term::int(9));
+        assert_eq!(replaced.at(&[0, 0]), Some(&Term::int(9)));
+        assert_eq!(replaced.at(&[1]), Some(&Term::int(2)));
+    }
+
+    #[test]
+    fn variables_in_order() {
+        let t = Term::app(
+            "F",
+            vec![
+                Term::var("y"),
+                Term::seq("x"),
+                Term::var("y"),
+                Term::var("z"),
+            ],
+        );
+        assert_eq!(t.variables(), vec!["y", "x", "z"]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let t = Term::app("F", vec![Term::app("G", vec![Term::int(1)]), Term::int(2)]);
+        assert_eq!(t.size(), 4);
+    }
+
+    #[test]
+    fn attr_roundtrip() {
+        let t = Term::attr(2, 3);
+        assert_eq!(t.as_attr(), Some((2, 3)));
+        assert_eq!(t.to_string(), "2.3");
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::app("F", vec![Term::int(1)]).is_ground());
+        assert!(!Term::app("F", vec![Term::var("x")]).is_ground());
+        assert!(!Term::list(vec![Term::seq("x")]).is_ground());
+    }
+}

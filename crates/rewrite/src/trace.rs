@@ -1,0 +1,65 @@
+//! Rewrite traces: which rule fired where, for EXPLAIN-style output.
+
+use std::fmt;
+
+/// One rule application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Block the rule ran in.
+    pub block: String,
+    /// Rule name.
+    pub rule: String,
+    /// Position (path) of the rewritten subterm.
+    pub path: Vec<usize>,
+    /// Term size before the application.
+    pub before_size: usize,
+    /// Term size after the application.
+    pub after_size: usize,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} at {:?}: {} -> {} nodes",
+            self.block, self.rule, self.path, self.before_size, self.after_size
+        )
+    }
+}
+
+/// Ordered list of rule applications.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Append one event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Concatenate another trace.
+    pub fn extend(&mut self, other: Trace) {
+        self.events.extend(other.events);
+    }
+
+    /// All events in application order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Count applications of a given rule.
+    pub fn count_rule(&self, rule: &str) -> usize {
+        self.events.iter().filter(|e| e.rule == rule).count()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}

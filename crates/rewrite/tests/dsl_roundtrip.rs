@@ -1,0 +1,92 @@
+//! Property test: random rules survive `display → parse` unchanged, so
+//! the knowledge base can always be exported and re-imported as rule
+//! language source.
+
+use eds_rewrite::{parse_source, parse_term, MethodCall, Rule, SourceItem, Term};
+use proptest::prelude::*;
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["x", "y", "z", "f", "g", "a", "b", "quali", "exp'"])
+        .prop_map(str::to_owned)
+}
+
+fn functor_name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["F", "G", "SEARCH", "UNION", "NEST", "MEMBER", "FILM"])
+        .prop_map(str::to_owned)
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        var_name().prop_map(Term::var),
+        functor_name().prop_map(Term::atom),
+        (-99i64..99).prop_map(Term::int),
+        prop::sample::select(vec!["a", "it's", "Science Fiction"]).prop_map(Term::str),
+        any::<bool>().prop_map(Term::bool),
+        (1i64..5, 1i64..5).prop_map(|(r, a)| Term::attr(r, a)),
+    ];
+    leaf.prop_recursive(3, 20, 4, |inner| {
+        prop_oneof![
+            (functor_name(), prop::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(h, args)| Term::app(h, args)),
+            // Collections with an optional sequence variable.
+            (prop::collection::vec(inner.clone(), 0..3), any::<bool>()).prop_map(
+                |(mut items, with_seq)| {
+                    if with_seq {
+                        items.insert(0, Term::seq("w"));
+                    }
+                    Term::list(items)
+                }
+            ),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Term::set),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("AND", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("=", vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("<=", vec![a, b])),
+            inner.clone().prop_map(|a| Term::app("NOT", vec![a])),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn term_display_reparses(t in term_strategy()) {
+        let rendered = t.to_string();
+        let reparsed = parse_term(&rendered)
+            .unwrap_or_else(|e| panic!("cannot reparse {rendered}: {e}"));
+        prop_assert_eq!(reparsed, t, "{}", rendered);
+    }
+
+    #[test]
+    fn rule_display_reparses(
+        lhs in term_strategy(),
+        rhs in term_strategy(),
+        constraints in prop::collection::vec(term_strategy(), 0..3),
+        with_method in any::<bool>(),
+    ) {
+        let rule = Rule {
+            name: "Prop".into(),
+            lhs,
+            constraints,
+            rhs,
+            methods: if with_method {
+                vec![MethodCall {
+                    name: "EVALUATE".into(),
+                    args: vec![Term::var("x"), Term::var("a")],
+                }]
+            } else {
+                vec![]
+            },
+        };
+        let rendered = format!("{rule} ;");
+        let items = parse_source(&rendered)
+            .unwrap_or_else(|e| panic!("cannot reparse {rendered}: {e}"));
+        let SourceItem::Rule(back) = &items[0] else {
+            panic!("expected rule back");
+        };
+        prop_assert_eq!(&back.lhs, &rule.lhs);
+        prop_assert_eq!(&back.rhs, &rule.rhs);
+        prop_assert_eq!(&back.constraints, &rule.constraints);
+        prop_assert_eq!(&back.methods, &rule.methods);
+    }
+}

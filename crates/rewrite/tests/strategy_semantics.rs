@@ -1,0 +1,152 @@
+//! Strategy-layer semantics: budgets, sequencing, rule sharing across
+//! blocks — the Section-4.2 control machinery under adversarial inputs.
+
+use eds_rewrite::{
+    apply_block, parse_source, run_strategy, BasicEnv, Block, Limit, MethodRegistry, RuleSet,
+    Sequence, SourceItem, Strategy, Term,
+};
+
+fn load(src: &str) -> (RuleSet, Strategy) {
+    let mut rules = RuleSet::new();
+    let mut strategy = Strategy::new();
+    for item in parse_source(src).unwrap() {
+        match item {
+            SourceItem::Rule(r) => rules.add(r),
+            SourceItem::Block(b) => strategy.add_block(b),
+            SourceItem::Seq(s) => strategy.set_sequence(s),
+        }
+    }
+    (rules, strategy)
+}
+
+#[test]
+fn same_rule_in_two_blocks_with_different_limits() {
+    // "Note that the same rule may appear in different blocks."
+    let (rules, strategy) = load(
+        "Unwrap : F(x) / --> x / ;\n\
+         block(first, {Unwrap}, 2) ;\n\
+         block(second, {Unwrap}, INF) ;\n\
+         seq((first, second), 1) ;",
+    );
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let mut t = Term::int(0);
+    for _ in 0..10 {
+        t = Term::app("F", vec![t]);
+    }
+    let out = run_strategy(&rules, &strategy, &methods, &env, t, false).unwrap();
+    // first strips at most 2, second strips the rest.
+    assert_eq!(out.term, Term::int(0));
+}
+
+#[test]
+fn blocks_not_in_sequence_do_not_run() {
+    let (rules, strategy) = load(
+        "AB : A / --> B / ;\n\
+         BC : B / --> C / ;\n\
+         block(one, {AB}, INF) ;\n\
+         block(two, {BC}, INF) ;\n\
+         seq((one), 1) ;",
+    );
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
+    assert_eq!(out.term, Term::atom("B")); // two never ran
+}
+
+#[test]
+fn later_block_redefinition_wins() {
+    // add_source semantics: re-defining a block replaces it.
+    let (rules, mut strategy) = load(
+        "AB : A / --> B / ;\n\
+         BC : B / --> C / ;\n\
+         block(one, {AB}, INF) ;\n\
+         seq((one), 1) ;",
+    );
+    // Redefine block `one` to contain BC instead.
+    for item in parse_source("block(one, {BC}, INF) ;").unwrap() {
+        if let SourceItem::Block(b) = item {
+            strategy.add_block(b);
+        }
+    }
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("B"), false).unwrap();
+    assert_eq!(out.term, Term::atom("C"));
+    let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
+    assert_eq!(out.term, Term::atom("A")); // AB no longer in any block
+}
+
+#[test]
+fn infinite_passes_stop_at_global_fixpoint() {
+    // seq((...), INF) parses (passes = u64::MAX) and must still stop as
+    // soon as a full pass changes nothing.
+    let (rules, strategy) = load(
+        "AB : A / --> B / ;\n\
+         block(one, {AB}, INF) ;\n\
+         seq((one), INF) ;",
+    );
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
+    assert_eq!(out.term, Term::atom("B"));
+    // Two checks in the converging pass + one pass of no progress.
+    assert!(out.stats.condition_checks < 10);
+}
+
+#[test]
+fn budget_is_per_block_execution_not_global() {
+    // A block with limit 3 appearing twice in the sequence gets 3 checks
+    // each time.
+    let (rules, strategy) = load(
+        "Unwrap : F(x) / --> x / ;\n\
+         block(b, {Unwrap}, 3) ;\n\
+         seq((b, b), 1) ;",
+    );
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let mut t = Term::int(0);
+    for _ in 0..6 {
+        t = Term::app("F", vec![t]);
+    }
+    let out = run_strategy(&rules, &strategy, &methods, &env, t, false).unwrap();
+    // 3 + 3 applications strip all six wrappers.
+    assert_eq!(out.term, Term::int(0));
+    assert!(out.budget_exhausted);
+}
+
+#[test]
+fn empty_block_is_a_noop() {
+    let mut rules = RuleSet::new();
+    rules.add(eds_rewrite::Rule::simple(
+        "unused",
+        Term::atom("A"),
+        Term::atom("B"),
+    ));
+    let block = Block {
+        name: "empty".into(),
+        rules: vec![],
+        limit: Limit::Infinite,
+    };
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let out = apply_block(&rules, &block, &methods, &env, Term::atom("A"), false).unwrap();
+    assert_eq!(out.term, Term::atom("A"));
+    assert_eq!(out.stats.condition_checks, 0);
+}
+
+#[test]
+fn sequence_referencing_missing_block_skips_it() {
+    let (rules, mut strategy) = load(
+        "AB : A / --> B / ;\n\
+         block(one, {AB}, INF) ;",
+    );
+    strategy.set_sequence(Sequence {
+        blocks: vec!["ghost".into(), "one".into()],
+        passes: 1,
+    });
+    let env = BasicEnv::new();
+    let methods = MethodRegistry::with_builtins();
+    let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
+    assert_eq!(out.term, Term::atom("B"));
+}

@@ -1,0 +1,104 @@
+//! Recursive query processing: the fix operator, naive vs semi-naive
+//! evaluation, and the Alexander/magic-sets reduction (Figure 9).
+//!
+//! Builds a random graph, defines its transitive closure as a recursive
+//! ESQL view, and measures the engine work for a bound query
+//! `TC(src = c)` under each strategy.
+//!
+//! ```sh
+//! cargo run --release --example recursive_queries
+//! ```
+
+use eds_core::Dbms;
+use eds_engine::{EvalOptions, FixMode, FixOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build(nodes: i64, edges_per_node: usize, seed: u64) -> Result<Dbms, Box<dyn std::error::Error>> {
+    let mut dbms = Dbms::new()?;
+    dbms.execute_ddl(
+        "TABLE EDGE (Src : INT, Dst : INT);
+         CREATE VIEW TC (Src, Dst) AS
+         ( SELECT Src, Dst FROM EDGE
+           UNION
+           SELECT T1.Src, T2.Dst FROM TC T1, TC T2 WHERE T1.Dst = T2.Src ) ;",
+    )?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for src in 0..nodes {
+        for _ in 0..edges_per_node {
+            // Mostly-forward edges keep the closure size manageable.
+            let dst = (src + 1 + rng.gen_range(0..4)).min(nodes - 1);
+            if dst != src {
+                dbms.insert("EDGE", vec![src.into(), dst.into()])?;
+            }
+        }
+    }
+    Ok(dbms)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nodes = 60;
+    let mut dbms = build(nodes, 2, 42)?;
+    let sql = format!("SELECT Dst FROM TC WHERE Src = {} ;", nodes - 10);
+
+    let prepared = dbms.prepare(&sql)?;
+    let rewritten = dbms.rewrite(&prepared)?;
+    println!("canonical: {}", prepared.expr);
+    println!("rewritten: {}", rewritten.expr);
+    println!();
+
+    let report = |label: &str, expr: &eds_lera::Expr, mode: FixMode, dbms: &mut Dbms| {
+        dbms.eval_options = EvalOptions {
+            fix: FixOptions {
+                mode,
+                max_iterations: 100_000,
+            },
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let (rel, stats) = dbms.run_expr_with_stats(expr).unwrap();
+        println!(
+            "{label:<34} rows={:<4} combos={:<10} fix_iters={:<3} wall={:?}",
+            rel.deduped().len(),
+            stats.combinations_tried,
+            stats.fix_iterations,
+            start.elapsed()
+        );
+        rel.deduped().len()
+    };
+
+    println!("strategy comparison for: {sql}");
+    let a = report(
+        "naive, no rewriting",
+        &prepared.expr,
+        FixMode::Naive,
+        &mut dbms,
+    );
+    let b = report(
+        "semi-naive, no rewriting",
+        &prepared.expr,
+        FixMode::SemiNaive,
+        &mut dbms,
+    );
+    let c = report(
+        "naive + Alexander",
+        &rewritten.expr,
+        FixMode::Naive,
+        &mut dbms,
+    );
+    let d = report(
+        "semi-naive + Alexander",
+        &rewritten.expr,
+        FixMode::SemiNaive,
+        &mut dbms,
+    );
+    assert!(
+        a == b && b == c && c == d,
+        "strategies must agree on results"
+    );
+
+    println!("\nall four strategies return identical answers; the work");
+    println!("counters show the multiplicative effect of semi-naive");
+    println!("evaluation and the Alexander fixpoint reduction.");
+    Ok(())
+}

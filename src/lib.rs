@@ -1,0 +1,9 @@
+//! # eds-repro — reproduction of "A Rule-Based Query Rewriter in an
+//! Extensible DBMS" (Finance & Gardarin, ICDE 1991)
+//!
+//! Thin facade over the workspace crates; see [`eds_core`] for the main
+//! API and the repository README for the architecture overview.
+
+#![warn(missing_docs)]
+
+pub use eds_core::*;

@@ -1,0 +1,58 @@
+//! Robustness: random garbage must never panic any parser — every input
+//! either parses or produces a positioned error.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn esql_parser_never_panics(input in "[ -~\\n]{0,120}") {
+        let _ = eds_esql::parse_statements(&input);
+    }
+
+    #[test]
+    fn esql_parser_never_panics_on_tokenish_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "UNION", "TYPE",
+                "TABLE", "CREATE", "VIEW", "AS", "INSERT", "INTO", "VALUES",
+                "(", ")", ",", ";", ".", ":", "=", "<", ">", "<=", "<>",
+                "AND", "OR", "NOT", "IN", "ALL", "MEMBER", "MakeSet",
+                "T", "X", "Y", "'lit'", "42", "1.5", "*", "+", "-",
+            ]),
+            0..30,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = eds_esql::parse_statements(&input);
+    }
+
+    #[test]
+    fn rule_parser_never_panics(input in "[ -~\\n]{0,120}") {
+        let _ = eds_rewrite::parse_source(&input);
+    }
+
+    #[test]
+    fn rule_parser_never_panics_on_tokenish_soup(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "Rule", ":", "/", "-->", ";", "(", ")", "{", "}", ",",
+                "SEARCH", "LIST", "SET", "FIX", "x", "f", "a", "x*", "y*",
+                "AND", "OR", "NOT", "TRUE", "FALSE", "=", "<=", "1.2",
+                "42", "'s'", "block", "seq", "INF", "ISA", "EVALUATE",
+            ]),
+            0..30,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = eds_rewrite::parse_source(&input);
+    }
+
+    #[test]
+    fn lexers_handle_unicode_gracefully(input in "\\PC{0,60}") {
+        // Non-ASCII input must produce errors, not panics.
+        let _ = eds_esql::parse_statements(&input);
+        let _ = eds_rewrite::parse_source(&input);
+    }
+}

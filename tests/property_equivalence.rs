@@ -1,0 +1,280 @@
+//! Property-based tests of the system's core invariants:
+//!
+//! 1. **Rewriting preserves results** — for randomly generated databases
+//!    and queries, the rewritten plan returns the same relation as the
+//!    canonical plan (the rewriter's fundamental contract).
+//! 2. **Fixpoint strategies agree** — semi-naive and naive evaluation of
+//!    random recursive queries produce identical closures.
+//! 3. **Term bridge round-trips** — random LERA plans survive
+//!    `expr → term → expr` unchanged.
+//! 4. **Matcher soundness** — every match reported for a random
+//!    segment pattern reconstructs the subject when substituted back.
+
+use eds_core::Dbms;
+use eds_engine::{EvalOptions, FixMode, FixOptions};
+use eds_lera::{expr_from_term, expr_to_term, CmpOp, Expr, Scalar};
+use eds_rewrite::{all_matches, Term};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ workloads
+
+fn small_db(rows_a: &[(i64, i64)], rows_b: &[(i64, i64)]) -> Dbms {
+    let mut dbms = Dbms::new().unwrap();
+    dbms.execute_ddl(
+        "TABLE RA (X : INT, Y : INT); TABLE RB (X : INT, Y : INT);
+         CREATE VIEW VA (X, Y) AS SELECT X, Y FROM RA WHERE X >= 0 ;
+         CREATE VIEW VU (X, Y) AS
+           ( SELECT X, Y FROM RA UNION SELECT X, Y FROM RB ) ;",
+    )
+    .unwrap();
+    for &(x, y) in rows_a {
+        dbms.insert("RA", vec![x.into(), y.into()]).unwrap();
+    }
+    for &(x, y) in rows_b {
+        dbms.insert("RB", vec![x.into(), y.into()]).unwrap();
+    }
+    dbms
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..20, -5i64..15), 0..25)
+}
+
+/// A small pool of query shapes parameterized by constants.
+fn query_strategy() -> impl Strategy<Value = String> {
+    (
+        0i64..20,
+        -5i64..15,
+        prop::sample::select(vec![0usize, 1, 2, 3, 4, 5, 6, 7, 8]),
+    )
+        .prop_map(|(c1, c2, shape)| match shape {
+            0 => format!("SELECT X FROM RA WHERE X = {c1} ;"),
+            1 => format!("SELECT X, Y FROM VA WHERE Y < {c2} AND X <> {c1} ;"),
+            2 => format!("SELECT RA.X FROM RA, RB WHERE RA.X = RB.X AND RB.Y > {c2} ;"),
+            3 => format!("SELECT X FROM VU WHERE X = {c1} ;"),
+            4 => format!("SELECT X FROM VA WHERE X = {c1} AND X = {} ;", c1 + 1),
+            5 => format!("SELECT A.X FROM VA A, VU B WHERE A.X = B.X AND A.Y = {c2} ;"),
+            6 => format!("SELECT DISTINCT Y FROM VU WHERE Y >= {c2} ;"),
+            7 => format!("SELECT X, SUM(MakeBag(Y)) FROM RA WHERE Y > {c2} GROUP BY X ;"),
+            _ => format!("SELECT X FROM RA WHERE X IN (SELECT X FROM RB) AND Y <> {c2} ;"),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn join_modes_agree(
+        rows_a in row_strategy(),
+        rows_b in row_strategy(),
+        sql in query_strategy(),
+    ) {
+        use eds_engine::JoinMode;
+        let dbms = small_db(&rows_a, &rows_b);
+        let prepared = dbms.prepare(&sql).unwrap();
+        let nested = eds_engine::eval_with(
+            &prepared.expr, &dbms.db, EvalOptions::default()
+        ).unwrap().0;
+        let hashed = eds_engine::eval_with(
+            &prepared.expr,
+            &dbms.db,
+            EvalOptions { join: JoinMode::Hash, ..Default::default() },
+        ).unwrap().0;
+        prop_assert!(
+            nested.bag_eq(&hashed),
+            "join modes disagree on {sql}: {:?} vs {:?}",
+            nested.sorted_rows(),
+            hashed.sorted_rows()
+        );
+    }
+
+    #[test]
+    fn rewriting_preserves_results(
+        rows_a in row_strategy(),
+        rows_b in row_strategy(),
+        sql in query_strategy(),
+    ) {
+        let dbms = small_db(&rows_a, &rows_b);
+        let baseline = dbms.query_unoptimized(&sql).unwrap();
+        let optimized = dbms.query(&sql).unwrap();
+        prop_assert!(
+            baseline.set_eq(&optimized),
+            "rewrite changed results of {sql}: {:?} vs {:?}",
+            baseline.sorted_rows(),
+            optimized.sorted_rows()
+        );
+    }
+
+    #[test]
+    fn fixpoint_strategies_agree(
+        edges in prop::collection::vec((0i64..12, 0i64..12), 1..20),
+        src in 0i64..12,
+    ) {
+        let mut dbms = Dbms::new().unwrap();
+        dbms.execute_ddl(
+            "TABLE EDGE (S : INT, D : INT);
+             CREATE VIEW TC (S, D) AS
+             ( SELECT S, D FROM EDGE
+               UNION SELECT A.S, B.D FROM TC A, TC B WHERE A.D = B.S ) ;",
+        ).unwrap();
+        for (s, d) in &edges {
+            dbms.insert("EDGE", vec![(*s).into(), (*d).into()]).unwrap();
+        }
+        let sql = format!("SELECT D FROM TC WHERE S = {src} ;");
+        let prepared = dbms.prepare(&sql).unwrap();
+        let rewritten = dbms.rewrite(&prepared).unwrap();
+
+        let mut results = Vec::new();
+        for mode in [FixMode::Naive, FixMode::SemiNaive] {
+            for expr in [&prepared.expr, &rewritten.expr] {
+                let (rel, _) = eds_engine::eval_with(
+                    expr,
+                    &dbms.db,
+                    EvalOptions { fix: FixOptions { mode, max_iterations: 10_000 }, ..Default::default() },
+                ).unwrap();
+                results.push(rel.sorted_rows());
+            }
+        }
+        for r in &results[1..] {
+            prop_assert_eq!(r, &results[0]);
+        }
+    }
+}
+
+// --------------------------- semantic-rule soundness on random filters
+
+/// Random conjunctions of comparisons between two columns and constants:
+/// the EQSUBST / TRANSITIVITY / SIMPLIFYQ chain must never change which
+/// rows qualify — even when it proves the qualification inconsistent.
+fn conjunct_strategy() -> impl Strategy<Value = String> {
+    let atom = (
+        prop::sample::select(vec!["X", "Y"]),
+        prop::sample::select(vec!["=", "<>", "<", ">", "<=", ">="]),
+        prop_oneof![
+            (-4i64..8).prop_map(|c| c.to_string()),
+            Just("X".to_owned()),
+            Just("Y".to_owned()),
+        ],
+    )
+        .prop_map(|(l, op, r)| format!("{l} {op} {r}"));
+    prop::collection::vec(atom, 1..6).prop_map(|cs| cs.join(" AND "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn semantic_rules_preserve_filter_semantics(
+        rows in prop::collection::vec((-4i64..8, -4i64..8), 0..15),
+        cond in conjunct_strategy(),
+    ) {
+        let mut dbms = Dbms::new().unwrap();
+        dbms.execute_ddl("TABLE T (X : INT, Y : INT);").unwrap();
+        for (x, y) in &rows {
+            dbms.insert("T", vec![(*x).into(), (*y).into()]).unwrap();
+        }
+        let sql = format!("SELECT X, Y FROM T WHERE {cond} ;");
+        let baseline = dbms.query_unoptimized(&sql).unwrap();
+        let optimized = dbms.query(&sql).unwrap();
+        prop_assert!(
+            baseline.set_eq(&optimized),
+            "semantic rules changed {sql}: {:?} vs {:?}",
+            baseline.sorted_rows(),
+            optimized.sorted_rows()
+        );
+    }
+}
+
+// --------------------------------------------- term bridge round-trips
+
+fn scalar_strategy() -> impl Strategy<Value = Scalar> {
+    let leaf = prop_oneof![
+        (1usize..3, 1usize..4).prop_map(|(r, a)| Scalar::attr(r, a)),
+        (-50i64..50).prop_map(Scalar::lit),
+        prop::sample::select(vec!["a", "b", "Quinn"]).prop_map(Scalar::lit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::sample::select(vec![CmpOp::Eq, CmpOp::Lt, CmpOp::Ge])
+            )
+                .prop_map(|(l, r, op)| Scalar::cmp(op, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Scalar::and(l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Scalar::Or(Box::new(l), Box::new(r))),
+            inner.clone().prop_map(|e| Scalar::Not(Box::new(e))),
+            prop::collection::vec(inner.clone(), 0..3)
+                .prop_map(|args| Scalar::call("MEMBER2", args)),
+            inner.clone().prop_map(|e| Scalar::field(e, "Salary")),
+        ]
+    })
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop::sample::select(vec!["R", "S", "T"]).prop_map(Expr::base);
+    leaf.prop_recursive(3, 16, 3, move |inner| {
+        prop_oneof![
+            (
+                prop::collection::vec(inner.clone(), 1..3),
+                scalar_strategy(),
+                prop::collection::vec(scalar_strategy(), 1..3)
+            )
+                .prop_map(|(inputs, pred, proj)| Expr::Search { inputs, pred, proj }),
+            (inner.clone(), scalar_strategy()).prop_map(|(input, pred)| Expr::Filter {
+                input: Box::new(input),
+                pred,
+            }),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::Union),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Difference(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Fix {
+                name: "V".into(),
+                body: Box::new(e),
+            }),
+            inner.clone().prop_map(|e| Expr::Nest {
+                input: Box::new(e),
+                group: vec![1],
+                nested: vec![2],
+                kind: eds_adt::CollKind::Set,
+            }),
+            inner.clone().prop_map(|e| Expr::Dedup(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn term_bridge_roundtrips(expr in expr_strategy()) {
+        let term = expr_to_term(&expr);
+        let back = expr_from_term(&term).unwrap();
+        // Round-trip is exact up to functor-name canonicalization, which
+        // a second trip makes stable.
+        prop_assert_eq!(expr_to_term(&back), term);
+    }
+
+    #[test]
+    fn matcher_matches_reconstruct_subject(
+        atoms in prop::collection::vec(prop::sample::select(vec!["A", "B", "C"]), 0..7)
+    ) {
+        let subject = Term::list(atoms.iter().map(|a| Term::atom(*a)).collect());
+        let pattern = Term::list(vec![Term::seq("x"), Term::var("v"), Term::seq("y")]);
+        for binding in all_matches(&pattern, &subject) {
+            let rebuilt = binding.apply(&pattern);
+            prop_assert_eq!(&rebuilt, &subject);
+        }
+    }
+
+    #[test]
+    fn set_matcher_finds_all_elements(
+        atoms in prop::collection::vec(0i64..100, 1..8)
+    ) {
+        let subject = Term::set(atoms.iter().map(|i| Term::int(*i)).collect());
+        let pattern = Term::set(vec![Term::seq("x"), Term::var("v")]);
+        let matches = all_matches(&pattern, &subject);
+        // One match per element choice.
+        prop_assert_eq!(matches.len(), atoms.len());
+    }
+}
