@@ -1,8 +1,10 @@
 //! Algebraic laws of the Figure-1 collection functions, checked by
-//! property-based testing.
+//! randomized testing over 256 seeded cases per property.
 
 use eds_adt::{collection as c, CollKind, Value};
-use proptest::prelude::*;
+use eds_testkit::StdRng;
+
+const CASES: u64 = 256;
 
 fn set(xs: &[i64]) -> Value {
     Value::set(xs.iter().copied().map(Value::Int).collect())
@@ -16,130 +18,152 @@ fn count_of(v: &Value) -> usize {
     v.as_coll().unwrap().1.len()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn ints(rng: &mut StdRng, bound: i64, max_len: usize) -> Vec<i64> {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| rng.gen_range(0..bound)).collect()
+}
 
-    #[test]
-    fn set_union_is_commutative_associative_idempotent(
-        a in prop::collection::vec(0i64..40, 0..20),
-        b in prop::collection::vec(0i64..40, 0..20),
-        d in prop::collection::vec(0i64..40, 0..20),
-    ) {
-        let (a, b, d) = (set(&a), set(&b), set(&d));
-        prop_assert_eq!(c::union(&a, &b).unwrap(), c::union(&b, &a).unwrap());
-        prop_assert_eq!(
+#[test]
+fn set_union_is_commutative_associative_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0001);
+    for _ in 0..CASES {
+        let a = set(&ints(&mut rng, 40, 19));
+        let b = set(&ints(&mut rng, 40, 19));
+        let d = set(&ints(&mut rng, 40, 19));
+        assert_eq!(c::union(&a, &b).unwrap(), c::union(&b, &a).unwrap());
+        assert_eq!(
             c::union(&c::union(&a, &b).unwrap(), &d).unwrap(),
             c::union(&a, &c::union(&b, &d).unwrap()).unwrap()
         );
-        prop_assert_eq!(c::union(&a, &a).unwrap(), a);
+        assert_eq!(c::union(&a, &a).unwrap(), a);
     }
+}
 
-    #[test]
-    fn inclusion_exclusion_on_sets(
-        a in prop::collection::vec(0i64..40, 0..20),
-        b in prop::collection::vec(0i64..40, 0..20),
-    ) {
-        let (a, b) = (set(&a), set(&b));
+#[test]
+fn inclusion_exclusion_on_sets() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0002);
+    for _ in 0..CASES {
+        let a = set(&ints(&mut rng, 40, 19));
+        let b = set(&ints(&mut rng, 40, 19));
         let inter = count_of(&c::intersection(&a, &b).unwrap());
         let diff = count_of(&c::difference(&a, &b).unwrap());
-        prop_assert_eq!(inter + diff, count_of(&a));
+        assert_eq!(inter + diff, count_of(&a));
         let uni = count_of(&c::union(&a, &b).unwrap());
-        prop_assert_eq!(uni + inter, count_of(&a) + count_of(&b));
+        assert_eq!(uni + inter, count_of(&a) + count_of(&b));
     }
+}
 
-    #[test]
-    fn bag_multiplicities_conserved(
-        a in prop::collection::vec(0i64..10, 0..25),
-        b in prop::collection::vec(0i64..10, 0..25),
-    ) {
-        let (a, b) = (bag(&a), bag(&b));
+#[test]
+fn bag_multiplicities_conserved() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0003);
+    for _ in 0..CASES {
+        let a = bag(&ints(&mut rng, 10, 24));
+        let b = bag(&ints(&mut rng, 10, 24));
         // |A ∪ B| = |A| + |B| (additive bag union)
-        prop_assert_eq!(
+        assert_eq!(
             count_of(&c::union(&a, &b).unwrap()),
             count_of(&a) + count_of(&b)
         );
         // |A \ B| + |A ∩ B| = |A| (min-multiplicity laws)
-        prop_assert_eq!(
-            count_of(&c::difference(&a, &b).unwrap())
-                + count_of(&c::intersection(&a, &b).unwrap()),
+        assert_eq!(
+            count_of(&c::difference(&a, &b).unwrap()) + count_of(&c::intersection(&a, &b).unwrap()),
             count_of(&a)
         );
     }
+}
 
-    #[test]
-    fn include_is_a_partial_order(
-        a in prop::collection::vec(0i64..15, 0..12),
-        b in prop::collection::vec(0i64..15, 0..12),
-        d in prop::collection::vec(0i64..15, 0..12),
-    ) {
-        let (a, b, d) = (set(&a), set(&b), set(&d));
+#[test]
+fn include_is_a_partial_order() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0004);
+    for _ in 0..CASES {
+        let a = set(&ints(&mut rng, 15, 11));
+        let b = set(&ints(&mut rng, 15, 11));
+        let d = set(&ints(&mut rng, 15, 11));
         // Reflexive.
-        prop_assert_eq!(c::include(&a, &a).unwrap(), Value::Bool(true));
+        assert_eq!(c::include(&a, &a).unwrap(), Value::Bool(true));
         // Transitive.
         if c::include(&a, &b).unwrap() == Value::Bool(true)
             && c::include(&b, &d).unwrap() == Value::Bool(true)
         {
-            prop_assert_eq!(c::include(&a, &d).unwrap(), Value::Bool(true));
+            assert_eq!(c::include(&a, &d).unwrap(), Value::Bool(true));
         }
         // Antisymmetric.
         if c::include(&a, &b).unwrap() == Value::Bool(true)
             && c::include(&b, &a).unwrap() == Value::Bool(true)
         {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    #[test]
-    fn insert_remove_roundtrip(
-        xs in prop::collection::vec(0i64..30, 0..15),
-        x in 0i64..30,
-    ) {
+#[test]
+fn insert_remove_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0005);
+    for _ in 0..CASES {
+        let xs = ints(&mut rng, 30, 14);
+        let x = rng.gen_range(0i64..30);
         let s = set(&xs);
         let inserted = c::insert(&s, &Value::Int(x)).unwrap();
-        prop_assert_eq!(c::member(&Value::Int(x), &inserted).unwrap(), Value::Bool(true));
+        assert_eq!(
+            c::member(&Value::Int(x), &inserted).unwrap(),
+            Value::Bool(true)
+        );
         let removed = c::remove(&inserted, &Value::Int(x)).unwrap();
-        prop_assert_eq!(c::member(&Value::Int(x), &removed).unwrap(), Value::Bool(false));
+        assert_eq!(
+            c::member(&Value::Int(x), &removed).unwrap(),
+            Value::Bool(false)
+        );
         // For bags, insert then remove is the identity.
         let bq = bag(&xs);
         let round = c::remove(&c::insert(&bq, &Value::Int(x)).unwrap(), &Value::Int(x)).unwrap();
-        prop_assert_eq!(round, bq);
+        assert_eq!(round, bq);
     }
+}
 
-    #[test]
-    fn convert_respects_kinds(xs in prop::collection::vec(0i64..10, 0..20)) {
-        let b = bag(&xs);
+#[test]
+fn convert_respects_kinds() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0006);
+    for _ in 0..CASES {
+        let b = bag(&ints(&mut rng, 10, 19));
         // bag -> set drops duplicates; set size <= bag size.
         let s = c::convert(&b, CollKind::Set).unwrap();
-        prop_assert!(count_of(&s) <= count_of(&b));
+        assert!(count_of(&s) <= count_of(&b));
         // bag -> list -> bag is the identity (canonical order).
         let l = c::convert(&b, CollKind::List).unwrap();
-        prop_assert_eq!(c::convert(&l, CollKind::Bag).unwrap(), b);
+        assert_eq!(c::convert(&l, CollKind::Bag).unwrap(), b);
         // set -> set is the identity.
-        prop_assert_eq!(c::convert(&s, CollKind::Set).unwrap(), s);
+        assert_eq!(c::convert(&s, CollKind::Set).unwrap(), s);
     }
+}
 
-    #[test]
-    fn quantifiers_match_iterator_semantics(bools in prop::collection::vec(any::<bool>(), 0..12)) {
+#[test]
+fn quantifiers_match_iterator_semantics() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0007);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..12);
+        let bools: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
         let coll = Value::list(bools.iter().map(|b| Value::Bool(*b)).collect());
-        prop_assert_eq!(
+        assert_eq!(
             c::quant_all(&coll).unwrap(),
             Value::Bool(bools.iter().all(|b| *b))
         );
-        prop_assert_eq!(
+        assert_eq!(
             c::quant_exist(&coll).unwrap(),
             Value::Bool(bools.iter().any(|b| *b))
         );
     }
+}
 
-    #[test]
-    fn append_concatenates(
-        a in prop::collection::vec(0i64..30, 0..10),
-        b in prop::collection::vec(0i64..30, 0..10),
-    ) {
+#[test]
+fn append_concatenates() {
+    let mut rng = StdRng::seed_from_u64(0xC011_0008);
+    for _ in 0..CASES {
+        let a = ints(&mut rng, 30, 9);
+        let b = ints(&mut rng, 30, 9);
         let la = Value::list(a.iter().copied().map(Value::Int).collect());
         let lb = Value::list(b.iter().copied().map(Value::Int).collect());
         let joined = c::append(&la, &lb).unwrap();
         let expected: Vec<Value> = a.iter().chain(b.iter()).copied().map(Value::Int).collect();
-        prop_assert_eq!(joined, Value::list(expected));
+        assert_eq!(joined, Value::list(expected));
     }
 }

@@ -2,8 +2,9 @@
 //! microbenchmarks of the built-in collection functions the engine and
 //! the constraint evaluator call.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_adt::{collection, EvalContext, FunctionRegistry, ObjectStore, TypeRegistry, Value};
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn set_of(n: i64) -> Value {
     Value::set((0..n).map(Value::Int).collect())

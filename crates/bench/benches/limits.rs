@@ -7,9 +7,10 @@
 //! a complex (view + recursion + semantic) query, reporting rewrite
 //! effort and resulting execution work.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_bench::{graph_dbms, product_dbms};
 use eds_rewrite::Limit;
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn sweep(label: &str, mut dbms: eds_core::Dbms, sql: &str) {
     println!("\n# E13 limit sweep — {label}: {sql}");

@@ -2,11 +2,12 @@
 //! under collection variables (segment enumeration), rule-application
 //! throughput, and bounded saturation on a looping rule set.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_rewrite::{
     all_matches, apply_block, parse_source, BasicEnv, Block, Limit, MethodRegistry, RuleSet,
     SourceItem, Term,
 };
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn wide_list(n: usize) -> Term {
     Term::list((0..n).map(|i| Term::atom(format!("R{i}"))).collect())

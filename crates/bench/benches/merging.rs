@@ -6,9 +6,10 @@
 //! the size of a LERA program" and "provides more opportunity to find
 //! the best access plan".
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_bench::view_stack;
 use eds_lera::CostModel;
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn series() {
     println!("\n# F7 operation merging: view-stack depth sweep (1000 base rows)");

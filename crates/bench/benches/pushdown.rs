@@ -2,8 +2,9 @@
 //! through nest (Figure 8). Measures engine work with and without the
 //! pushing rules across workload scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_bench::{nested_view, union_view};
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn series() {
     println!("\n# F8a search-through-union: branches sweep (200 rows/branch)");

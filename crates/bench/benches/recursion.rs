@@ -2,9 +2,10 @@
 //! (Figure 9), crossed with naive vs semi-naive fixpoint evaluation.
 //! Graph-size sweep for the bound query `TC(Src = c)`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_bench::graph_dbms;
 use eds_engine::{EvalOptions, FixMode, FixOptions};
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn opts(mode: FixMode) -> EvalOptions {
     EvalOptions {

@@ -3,8 +3,9 @@
 //! payoff ("the potential time saving that can be realized with proper
 //! use of inference rules").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_bench::product_dbms;
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn series() {
     println!("\n# F10/F11 semantic optimization: inconsistent vs consistent queries");

@@ -2,8 +2,9 @@
 //! sweep (how rewrite time scales with qualification size) and the
 //! execution payoff of folded qualifications.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eds_bench::{simple_table, wide_conjunction_sql};
+use eds_testkit::bench::{BenchmarkId, Criterion};
+use eds_testkit::{criterion_group, criterion_main};
 
 fn series() {
     println!("\n# F12 predicate simplification: conjunct-width sweep (500 rows)");

@@ -2,9 +2,10 @@
 //! paper's Figure-3/4/5 queries (the canonical-form production the
 //! rewriter consumes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use eds_bench::film_dbms;
 use eds_esql::parse_statements;
+use eds_testkit::bench::Criterion;
+use eds_testkit::{criterion_group, criterion_main};
 
 const FIG3: &str = "SELECT Title, Categories, Salary(Refactor) \
                     FROM FILM, APPEARS_IN \

@@ -9,8 +9,7 @@
 
 use eds_adt::Value;
 use eds_core::Dbms;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eds_testkit::StdRng;
 
 /// The film database of Figure 2 scaled to `films` films and
 /// `actors` actors, with ~3 appearances per film.

@@ -56,10 +56,7 @@ pub fn map_attr_refs(t: &Term, f: &impl Fn(i64, i64) -> Term) -> Term {
         return f(rel, attr);
     }
     match t {
-        Term::App(h, args) => Term::App(
-            h.clone(),
-            args.iter().map(|a| map_attr_refs(a, f)).collect(),
-        ),
+        Term::App(h, args) => Term::App(*h, args.iter().map(|a| map_attr_refs(a, f)).collect()),
         other => other.clone(),
     }
 }
@@ -410,7 +407,7 @@ fn subst_var(t: &Term, var: &str, replacement: &Term) -> Term {
     match t {
         Term::Var(v) if v == var => replacement.clone(),
         Term::App(h, args) => Term::App(
-            h.clone(),
+            *h,
             args.iter()
                 .map(|a| subst_var(a, var, replacement))
                 .collect(),
@@ -537,10 +534,7 @@ fn subst_term(t: &Term, from: &Term, to: &Term) -> Term {
         return to.clone();
     }
     match t {
-        Term::App(h, args) => Term::App(
-            h.clone(),
-            args.iter().map(|a| subst_term(a, from, to)).collect(),
-        ),
+        Term::App(h, args) => Term::App(*h, args.iter().map(|a| subst_term(a, from, to)).collect()),
         other => other.clone(),
     }
 }

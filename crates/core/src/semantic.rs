@@ -113,7 +113,7 @@ fn constraint_from_rule(
 ) -> Result<IntegrityConstraint, String> {
     // lhs must be F(x).
     let var = match lhs.as_app() {
-        Some(("F", [Term::Var(v)])) => v.clone(),
+        Some(("F", [Term::Var(v)])) => *v,
         _ => return Err("left-hand side must be F(x)".into()),
     };
     // Exactly one ISA(x, T) constraint.
@@ -137,7 +137,7 @@ fn constraint_from_rule(
         return Err("predicate may only reference the constrained variable".into());
     }
     // Canonicalize the variable name to `x`.
-    let template = rename_var(&template, &var, "x");
+    let template = rename_var(&template, var.as_str(), "x");
     Ok(IntegrityConstraint {
         name: name.to_owned(),
         ty,
@@ -148,10 +148,7 @@ fn constraint_from_rule(
 fn rename_var(t: &Term, from: &str, to: &str) -> Term {
     match t {
         Term::Var(v) if v == from => Term::var(to),
-        Term::App(h, args) => Term::App(
-            h.clone(),
-            args.iter().map(|a| rename_var(a, from, to)).collect(),
-        ),
+        Term::App(h, args) => Term::App(*h, args.iter().map(|a| rename_var(a, from, to)).collect()),
         other => other.clone(),
     }
 }

@@ -88,8 +88,7 @@ fn tc_shape_requires_strict_composition() {
 
 #[test]
 fn reduced_fixpoint_correct_on_dense_random_graph() {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use eds_testkit::StdRng;
 
     let mut dbms = Dbms::new().unwrap();
     dbms.execute_ddl(

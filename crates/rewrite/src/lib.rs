@@ -50,6 +50,7 @@ pub mod matching;
 pub mod methods;
 pub mod rule;
 pub mod strategy;
+pub mod symbol;
 pub mod term;
 pub mod trace;
 
@@ -63,7 +64,8 @@ pub use methods::{
 };
 pub use rule::{MethodCall, Rule};
 pub use strategy::{
-    apply_block, run_strategy, Block, Limit, RuleSet, RunOutcome, Sequence, Strategy,
+    apply_block, run_strategy, Block, Limit, RuleIndex, RuleSet, RunOutcome, Sequence, Strategy,
 };
-pub use term::{Bindings, Term};
+pub use symbol::{Symbol, ToSymbol};
+pub use term::{Args, Bindings, Term};
 pub use trace::{Trace, TraceEvent};

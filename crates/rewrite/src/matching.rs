@@ -9,6 +9,7 @@
 //! engine's callback checks rule constraints and accepts the first
 //! satisfying match.
 
+use crate::symbol::{well_known, Symbol};
 use crate::term::{Bindings, Term};
 
 /// Continue enumeration or stop (match accepted)?
@@ -40,10 +41,10 @@ pub fn match_term(
                     Control::Continue
                 }
             } else {
-                binds.bind(v.clone(), subject.clone());
+                binds.bind(*v, subject.clone());
                 let ctl = sink(binds);
                 if ctl == Control::Continue {
-                    unbind(binds, v);
+                    binds.remove(v);
                 }
                 ctl
             }
@@ -57,12 +58,12 @@ pub fn match_term(
         },
         Term::App(ph, pargs) => match subject {
             Term::App(sh, sargs) if ph == sh => {
-                if Term::is_collection_ctor(ph) {
-                    if ph == "LIST" {
-                        match_segments(pargs, sargs, binds, sink)
-                    } else {
-                        match_multiset(pargs, sargs, binds, sink, ph == "SET")
-                    }
+                if *ph == well_known::list() {
+                    match_segments(pargs, sargs, binds, sink)
+                } else if *ph == well_known::set() {
+                    match_multiset(pargs, sargs, binds, sink, true)
+                } else if *ph == well_known::bag() {
+                    match_multiset(pargs, sargs, binds, sink, false)
                 } else if pargs.len() == sargs.len() {
                     match_pairwise(pargs, sargs, binds, sink)
                 } else {
@@ -72,12 +73,6 @@ pub fn match_term(
             _ => Control::Continue,
         },
     }
-}
-
-fn unbind(binds: &mut Bindings, name: &str) {
-    // Bindings has no public remove; re-create by filtering. To keep the
-    // hot path allocation-free we expose an internal remove below.
-    binds.remove(name);
 }
 
 /// Fixed-arity argument matching.
@@ -130,8 +125,14 @@ fn match_segments(
                 .filter(|p| !matches!(p, Term::SeqVar(_)))
                 .count();
             let max_take = subs.len().saturating_sub(min_rest);
-            for take in 0..=max_take {
-                binds.bind_seq(v.clone(), subs[..take].to_vec());
+            // With no sequence variable left in the tail, every later
+            // pattern consumes exactly one subject, so this segment's
+            // length is forced — trying shorter prefixes would always
+            // fail at the end of the list.
+            let any_seq_left = prest.iter().any(|p| matches!(p, Term::SeqVar(_)));
+            let min_take = if any_seq_left { 0 } else { max_take };
+            for take in min_take..=max_take {
+                binds.bind_seq(*v, subs[..take].to_vec());
                 let ctl = match_segments(prest, &subs[take..], binds, sink);
                 if ctl == Control::Stop {
                     return Control::Stop;
@@ -170,10 +171,10 @@ fn match_multiset(
         .iter()
         .filter(|p| !matches!(p, Term::SeqVar(_)))
         .collect();
-    let seq_vars: Vec<&str> = pats
+    let seq_vars: Vec<Symbol> = pats
         .iter()
         .filter_map(|p| match p {
-            Term::SeqVar(v) => Some(v.as_str()),
+            Term::SeqVar(v) => Some(*v),
             _ => None,
         })
         .collect();
@@ -192,7 +193,7 @@ fn match_multiset(
 fn match_elems(
     elem_pats: &[&Term],
     remaining: &[Term],
-    seq_vars: &[&str],
+    seq_vars: &[Symbol],
     binds: &mut Bindings,
     sink: &mut MatchSink<'_>,
     canonical_order: bool,
@@ -220,7 +221,7 @@ fn match_elems(
 /// Distribute the leftover multiset elements over the sequence variables.
 fn distribute_rest(
     remaining: &[Term],
-    seq_vars: &[&str],
+    seq_vars: &[Symbol],
     binds: &mut Bindings,
     sink: &mut MatchSink<'_>,
     canonical_order: bool,
@@ -250,7 +251,7 @@ fn distribute_rest(
             if canonical_order {
                 seg.sort();
             }
-            binds.bind_seq((*v).to_owned(), seg);
+            binds.bind_seq(*v, seg);
             let ctl = sink(binds);
             if ctl == Control::Continue {
                 binds.remove(v);
@@ -287,7 +288,7 @@ fn distribute_rest(
                     if canonical_order {
                         mine.sort();
                     }
-                    binds.bind_seq((*v).to_owned(), mine);
+                    binds.bind_seq(*v, mine);
                     let ctl = distribute_rest(&rest, vrest, binds, sink, canonical_order);
                     binds.remove(v);
                     if ctl == Control::Stop {

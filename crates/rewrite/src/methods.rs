@@ -208,7 +208,7 @@ pub fn bind_output(arg: &Term, value: Term, binds: &mut Bindings, method: &str) 
             if let Some(existing) = binds.get(v) {
                 Ok(existing == &value)
             } else {
-                binds.bind(v.clone(), value);
+                binds.bind(*v, value);
                 Ok(true)
             }
         }
@@ -237,7 +237,7 @@ pub fn eval_value(term: &Term, binds: &Bindings, env: &dyn TermEnv) -> RwResult<
 fn eval_resolved(term: &Term, env: &dyn TermEnv) -> RwResult<Value> {
     match term {
         Term::Const(v) => Ok(v.clone()),
-        Term::Var(v) => Err(RewriteError::UnboundVariable(v.clone())),
+        Term::Var(v) => Err(RewriteError::UnboundVariable(v.to_string())),
         Term::SeqVar(v) => Err(RewriteError::UnboundVariable(format!("{v}*"))),
         Term::App(head, args) => match (head.as_str(), args.as_slice()) {
             ("TRUE", []) => Ok(Value::Bool(true)),
@@ -261,7 +261,7 @@ fn eval_resolved(term: &Term, env: &dyn TermEnv) -> RwResult<Value> {
             ("=" | "<" | ">" | "<=" | ">=" | "<>", [a, b]) => {
                 let va = eval_resolved(a, env)?;
                 let vb = eval_resolved(b, env)?;
-                Ok(eval_cmp(head, &va, &vb))
+                Ok(eval_cmp(head.as_str(), &va, &vb))
             }
             // Collection constructors evaluate their elements.
             ("LIST", elems) => Ok(Value::list(eval_all(elems, env)?)),
@@ -420,13 +420,13 @@ fn eval_isa(
 ) -> RwResult<bool> {
     let subject = resolve(subject, binds);
     let spec_name = match spec {
-        Term::App(h, args) if args.is_empty() => h.clone(),
+        Term::App(h, args) if args.is_empty() => h.as_str().to_owned(),
         // Lower-case specification names (like `constant` in Figure 12)
         // lex as variables; an unbound variable in specification
         // position is read as the name itself.
         Term::Var(v) => match binds.get(v) {
-            Some(Term::App(h, a)) if a.is_empty() => h.clone(),
-            None => v.clone(),
+            Some(Term::App(h, a)) if a.is_empty() => h.as_str().to_owned(),
+            None => v.as_str().to_owned(),
             _ => return Ok(false),
         },
         Term::Const(Value::Str(s)) => s.clone(),
@@ -486,7 +486,7 @@ pub fn normalize_builtins(term: &Term) -> Term {
                     Term::list(flatten(&args, "LIST"))
                 }
                 "SET_UNION" | "SETUNION" => Term::set(flatten(&args, "SET")),
-                _ => Term::App(head.clone(), args),
+                _ => Term::App(*head, args.into()),
             }
         }
         other => other.clone(),

@@ -4,13 +4,28 @@
 //! checks; `seq((blocks), value)` runs blocks in order, a bounded number
 //! of passes. "Any optimizer generated with the rule language is a
 //! sequence of blocks of rules which can be applied multiple times."
+//!
+//! The block loop here is the kernel's hot path, and two structures keep
+//! it fast without changing observable semantics (rewrite results,
+//! application order, and `condition_checks` accounting are identical to
+//! the naive loop):
+//!
+//! * [`RuleIndex`] resolves each member rule's LHS root functor once per
+//!   block run, so every attempt starts with an O(1) fingerprint test
+//!   ("does this functor occur anywhere in the query?") instead of a term
+//!   walk;
+//! * an incremental *position worklist*: once a rule has scanned the term
+//!   and failed, it is only re-scanned against the regions later
+//!   applications actually changed (the rewritten subtree plus its
+//!   ancestor spine), not the whole term.
 
 use std::collections::HashMap;
 
-use crate::engine::{apply_rule_once, RewriteStats};
+use crate::engine::{apply_rule_once, apply_rule_once_dirty, RewriteStats};
 use crate::error::{RewriteError, RwResult};
 use crate::methods::{MethodRegistry, TermEnv};
 use crate::rule::Rule;
+use crate::symbol::Symbol;
 use crate::term::Term;
 use crate::trace::{Trace, TraceEvent};
 
@@ -55,10 +70,15 @@ pub struct Sequence {
 }
 
 /// An indexed set of rules (the rewriting knowledge base).
+///
+/// Removal tombstones the slot instead of shifting the tail, so both
+/// `remove` and `get` are O(1); iteration stays in insertion order. The
+/// slot vector is compacted once tombstones outnumber live rules.
 #[derive(Debug, Clone, Default)]
 pub struct RuleSet {
-    rules: Vec<Rule>,
+    slots: Vec<Option<Rule>>,
     index: HashMap<String, usize>,
+    live: usize,
 }
 
 impl RuleSet {
@@ -70,22 +90,23 @@ impl RuleSet {
     /// Add a rule; replaces any rule with the same name.
     pub fn add(&mut self, rule: Rule) {
         if let Some(&i) = self.index.get(&rule.name) {
-            self.rules[i] = rule;
+            self.slots[i] = Some(rule);
         } else {
-            self.index.insert(rule.name.clone(), self.rules.len());
-            self.rules.push(rule);
+            self.index.insert(rule.name.clone(), self.slots.len());
+            self.slots.push(Some(rule));
+            self.live += 1;
         }
     }
 
     /// Remove a rule by name; the database implementor "can add or delete
-    /// rewriting rules".
+    /// rewriting rules". O(1): the slot is tombstoned, not shifted over.
     pub fn remove(&mut self, name: &str) -> bool {
         match self.index.remove(name) {
             Some(i) => {
-                self.rules.remove(i);
-                // Reindex the tail.
-                for (j, r) in self.rules.iter().enumerate().skip(i) {
-                    self.index.insert(r.name.clone(), j);
+                self.slots[i] = None;
+                self.live -= 1;
+                if self.slots.len() >= 16 && self.live * 2 < self.slots.len() {
+                    self.compact();
                 }
                 true
             }
@@ -93,24 +114,36 @@ impl RuleSet {
         }
     }
 
+    /// Drop tombstones and rebuild the name index. Amortized against the
+    /// removals that created the tombstones.
+    fn compact(&mut self) {
+        self.slots.retain(Option::is_some);
+        self.index.clear();
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some(r) = slot {
+                self.index.insert(r.name.clone(), i);
+            }
+        }
+    }
+
     /// Look up a rule.
     pub fn get(&self, name: &str) -> Option<&Rule> {
-        self.index.get(name).map(|&i| &self.rules[i])
+        self.index.get(name).and_then(|&i| self.slots[i].as_ref())
     }
 
     /// All rules, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Rule> {
-        self.rules.iter()
+        self.slots.iter().filter_map(Option::as_ref)
     }
 
     /// Number of rules.
     pub fn len(&self) -> usize {
-        self.rules.len()
+        self.live
     }
 
     /// True when no rules are present.
     pub fn is_empty(&self) -> bool {
-        self.rules.is_empty()
+        self.live == 0
     }
 }
 
@@ -181,6 +214,111 @@ impl Strategy {
     }
 }
 
+/// What a member rule still has to look at. After a rule scans the whole
+/// term and fails, only later applications can make it match again — and
+/// only at the rewritten position's spine or subtree.
+#[derive(Debug, Clone)]
+enum Dirty {
+    /// The rule has untested positions anywhere in the term (initial
+    /// state, and the state of a rule right after it fires: the scan
+    /// stopped at the application site, so later positions were never
+    /// examined).
+    All,
+    /// The rule failed on the term as of its last scan; only these
+    /// positions (spine + subtree each) have changed since.
+    Paths(Vec<Vec<usize>>),
+    /// The rule failed and nothing changed since: the attempt can be
+    /// resolved without touching the term.
+    Clean,
+}
+
+/// Beyond this many accumulated dirty paths a full rescan is cheaper than
+/// a restricted one.
+const DIRTY_PATH_CAP: usize = 64;
+
+impl Dirty {
+    fn note(&mut self, path: &[usize]) {
+        match self {
+            Dirty::All => {}
+            Dirty::Paths(paths) => {
+                if paths.last().map(Vec::as_slice) != Some(path) {
+                    paths.push(path.to_vec());
+                    if paths.len() > DIRTY_PATH_CAP {
+                        *self = Dirty::All;
+                    }
+                }
+            }
+            Dirty::Clean => *self = Dirty::Paths(vec![path.to_vec()]),
+        }
+    }
+}
+
+/// Root-functor index over a block's member rules.
+///
+/// Built once per block run: resolves member names against the
+/// [`RuleSet`], records each rule's LHS head [`Symbol`], and ORs their
+/// fingerprint bits into a mask. During the saturation loop an attempt
+/// against a rule whose head functor does not occur in the query is
+/// rejected by one AND against the term's cached fingerprint — the term
+/// is never walked. Rules whose LHS is not an application (a bare
+/// variable or constant pattern) are *wildcards* and always scan.
+///
+/// Missing members are skipped, matching the block semantics for deleted
+/// rules.
+#[derive(Debug)]
+pub struct RuleIndex<'r> {
+    members: Vec<IndexedRule<'r>>,
+    head_mask: u64,
+    wildcards: usize,
+}
+
+#[derive(Debug)]
+struct IndexedRule<'r> {
+    rule: &'r Rule,
+    head: Option<Symbol>,
+}
+
+impl<'r> RuleIndex<'r> {
+    /// Index `block`'s members against `rules`.
+    pub fn build(rules: &'r RuleSet, block: &Block) -> Self {
+        let mut members = Vec::with_capacity(block.rules.len());
+        let mut head_mask = 0u64;
+        let mut wildcards = 0usize;
+        for name in &block.rules {
+            let Some(rule) = rules.get(name) else {
+                continue;
+            };
+            let head = rule.lhs.head();
+            match head {
+                Some(h) => head_mask |= h.fp_bit(),
+                None => wildcards += 1,
+            }
+            members.push(IndexedRule { rule, head });
+        }
+        RuleIndex {
+            members,
+            head_mask,
+            wildcards,
+        }
+    }
+
+    /// Number of resolvable member rules.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the block has no resolvable members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// O(1) pretest: can *any* member rule possibly match `term`? False
+    /// means every member's head functor is provably absent.
+    pub fn any_head_present(&self, term: &Term) -> bool {
+        self.wildcards > 0 || self.head_mask & term.fingerprint() != 0
+    }
+}
+
 /// Outcome of a strategy run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
@@ -197,7 +335,9 @@ pub struct RunOutcome {
 
 /// Run one block to saturation or budget exhaustion. Each *condition
 /// check* (attempt to match one rule against the query) costs one unit of
-/// the block's limit, following Section 4.2.
+/// the block's limit, following Section 4.2 — including attempts resolved
+/// by the fingerprint pretest or the worklist without scanning, so a
+/// block's `Limit` means exactly what it meant under the naive loop.
 pub fn apply_block(
     rules: &RuleSet,
     block: &Block,
@@ -214,32 +354,58 @@ pub fn apply_block(
     // Blocks may reference rules the implementor has since deleted
     // ("the database implementor can add or delete rewriting rules");
     // missing members are skipped rather than failing the whole block.
-    let members: Vec<&Rule> = block
-        .rules
-        .iter()
-        .filter_map(|name| rules.get(name))
-        .collect();
+    let index = RuleIndex::build(rules, block);
+    let mut dirty: Vec<Dirty> = vec![Dirty::All; index.members.len()];
 
     'outer: loop {
         let mut progressed = false;
-        for rule in &members {
+        for (i, member) in index.members.iter().enumerate() {
             if budget == 0 {
                 exhausted = true;
                 break 'outer;
             }
             budget -= 1;
-            if let Some((new_term, app)) = apply_rule_once(rule, &term, methods, env, &mut stats)? {
-                if collect_trace {
-                    trace.push(TraceEvent {
-                        block: block.name.clone(),
-                        rule: rule.name.clone(),
-                        path: app.path,
-                        before_size: term.size(),
-                        after_size: new_term.size(),
-                    });
+            // Resolve the attempt as cheaply as its state allows; every
+            // branch costs exactly one condition check.
+            let outcome = match &dirty[i] {
+                Dirty::Clean => {
+                    stats.condition_checks += 1;
+                    None
                 }
-                term = new_term;
-                progressed = true;
+                _ if member.head.is_some_and(|h| !term.may_contain(h)) => {
+                    stats.condition_checks += 1;
+                    None
+                }
+                Dirty::All => apply_rule_once(member.rule, &term, methods, env, &mut stats)?,
+                Dirty::Paths(paths) => {
+                    apply_rule_once_dirty(member.rule, &term, paths, methods, env, &mut stats)?
+                }
+            };
+            match outcome {
+                Some((new_term, app)) => {
+                    if collect_trace {
+                        trace.push(TraceEvent {
+                            block: block.name.clone(),
+                            rule: member.rule.name.clone(),
+                            path: app.path.clone(),
+                            before_size: term.size(),
+                            after_size: new_term.size(),
+                        });
+                    }
+                    term = new_term;
+                    progressed = true;
+                    // The firing rule's scan stopped at the application
+                    // site: everything after it is untested. Every other
+                    // rule only needs to revisit the changed region.
+                    for (j, d) in dirty.iter_mut().enumerate() {
+                        if j == i {
+                            *d = Dirty::All;
+                        } else {
+                            d.note(&app.path);
+                        }
+                    }
+                }
+                None => dirty[i] = Dirty::Clean,
             }
         }
         if !progressed {
@@ -449,6 +615,110 @@ mod tests {
         assert!(rules.remove("unwrap"));
         assert!(!rules.remove("unwrap"));
         assert!(rules.get("wrap").is_some());
+    }
+
+    #[test]
+    fn removal_keeps_iteration_order_and_lookups() {
+        let mut rules = RuleSet::new();
+        for i in 0..40 {
+            rules.add(Rule::simple(
+                format!("r{i}"),
+                Term::app(format!("F{i}"), vec![Term::var("x")]),
+                Term::var("x"),
+            ));
+        }
+        // Remove every other rule; enough removals to trigger compaction.
+        for i in (0..40).step_by(2) {
+            assert!(rules.remove(&format!("r{i}")));
+        }
+        assert_eq!(rules.len(), 20);
+        let names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+        let expected: Vec<String> = (1..40).step_by(2).map(|i| format!("r{i}")).collect();
+        assert_eq!(names, expected);
+        // Survivors still resolve after compaction rebuilt the index.
+        for i in (1..40).step_by(2) {
+            assert!(rules.get(&format!("r{i}")).is_some(), "r{i} lost");
+        }
+        assert!(rules.get("r0").is_none());
+    }
+
+    #[test]
+    fn rule_index_pretest_and_wildcards() {
+        let mut rules = RuleSet::new();
+        rules.add(shrink_rule());
+        let block = Block {
+            name: "b".into(),
+            rules: vec!["unwrap".into(), "missing".into()],
+            limit: Limit::Infinite,
+        };
+        let index = RuleIndex::build(&rules, &block);
+        assert_eq!(index.len(), 1);
+        assert!(index.any_head_present(&Term::app("F", vec![Term::int(1)])));
+        assert!(!index.any_head_present(&Term::app("G", vec![Term::int(1)])));
+
+        // A bare-variable LHS is a wildcard: it must always pass the
+        // pretest.
+        rules.add(Rule::simple("any", Term::var("x"), Term::atom("DONE")));
+        let block2 = Block {
+            name: "b2".into(),
+            rules: vec!["any".into()],
+            limit: Limit::Infinite,
+        };
+        let index2 = RuleIndex::build(&rules, &block2);
+        assert!(index2.any_head_present(&Term::app("G", vec![Term::int(1)])));
+    }
+
+    #[test]
+    fn worklist_matches_naive_results_on_interacting_rules() {
+        // Two rules that enable each other repeatedly: G(F(x)) -> F(G(x))
+        // sinks G below F; F(F(x)) -> F(x) merges. The worklist must
+        // reach the same normal form and the same counters as the naive
+        // full-rescan loop (fixed by the stats assertions elsewhere).
+        let mut rules = RuleSet::new();
+        rules.add(Rule::simple(
+            "sink",
+            Term::app("G", vec![Term::app("F", vec![Term::var("x")])]),
+            Term::app("F", vec![Term::app("G", vec![Term::var("x")])]),
+        ));
+        rules.add(Rule::simple(
+            "merge",
+            Term::app("F", vec![Term::app("F", vec![Term::var("x")])]),
+            Term::app("F", vec![Term::var("x")]),
+        ));
+        let block = Block {
+            name: "b".into(),
+            rules: vec!["sink".into(), "merge".into()],
+            limit: Limit::Infinite,
+        };
+        // G(G(F(F(G(F(0)))))) — plenty of interaction.
+        let term = Term::app(
+            "G",
+            vec![Term::app(
+                "G",
+                vec![Term::app(
+                    "F",
+                    vec![Term::app(
+                        "F",
+                        vec![Term::app("G", vec![Term::app("F", vec![Term::int(0)])])],
+                    )],
+                )],
+            )],
+        );
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let out = apply_block(&rules, &block, &methods, &env, term, false).unwrap();
+        // Normal form: one F on top, Gs below, no F-F pairs: F(G(G(G(0)))).
+        assert_eq!(
+            out.term,
+            Term::app(
+                "F",
+                vec![Term::app(
+                    "G",
+                    vec![Term::app("G", vec![Term::app("G", vec![Term::int(0)])])]
+                )]
+            )
+        );
+        assert!(!out.budget_exhausted);
     }
 
     #[test]

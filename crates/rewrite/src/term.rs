@@ -9,50 +9,169 @@
 //! *Collection variables* (`x*`) stand for argument segments of a
 //! collection constructor, "allowing the specification of strategies
 //! involving long lists of arguments" (Section 4.1).
+//!
+//! # Representation
+//!
+//! The kernel is built for cheap traversal and rebuilding:
+//!
+//! * names are interned [`Symbol`]s — comparison and hashing never touch
+//!   string bytes;
+//! * `App` argument vectors are shared [`Args`] nodes (`Arc<[Term]>`), so
+//!   cloning a term is one reference-count bump and [`Term::replace_at`]
+//!   rebuilds only the spine from the root to the replaced position;
+//! * every `App` node caches its subtree size, a structural hash, a
+//!   64-bit functor Bloom fingerprint, and a groundness flag. Equality
+//!   short-circuits on the hash, [`Term::size`] and [`Term::is_ground`]
+//!   are O(1), and the engine prunes whole subtrees that cannot contain a
+//!   rule's head functor via the fingerprint.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use eds_adt::Value;
+
+use crate::symbol::{well_known, Symbol, ToSymbol};
 
 /// Functor names reserved for collection constructors; they get segment
 /// (and for `SET`/`BAG` commutative) matching semantics.
 pub const COLLECTION_FUNCTORS: [&str; 3] = ["LIST", "SET", "BAG"];
 
 /// A term.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone)]
 pub enum Term {
     /// An ordinary variable (`x`, `f`, `quali`, `exp'`). Matches exactly
     /// one term.
-    Var(String),
+    Var(Symbol),
     /// A collection (sequence) variable (`x*`). Only legal as a direct
     /// argument of `LIST`/`SET`/`BAG`; matches a segment of arguments.
-    SeqVar(String),
+    SeqVar(Symbol),
     /// A literal constant.
     Const(Value),
     /// A function application `F(t1, ..., tn)`; nullary applications act
     /// as symbolic atoms (relation names, type names).
-    App(String, Vec<Term>),
+    App(Symbol, Args),
 }
+
+/// Shared, metadata-carrying argument list of an `App` node.
+///
+/// The arguments live behind an `Arc`, so cloning is O(1) and siblings
+/// are structurally shared between a term and its rewritten versions.
+/// Construction precomputes the aggregate data equality, sizing, and the
+/// engine's fingerprint pruning rely on.
+#[derive(Clone)]
+pub struct Args {
+    items: Arc<[Term]>,
+    /// Total node count of the children.
+    size: usize,
+    /// Order-sensitive combination of the children's structural hashes.
+    hash: u64,
+    /// OR of the children's functor fingerprints.
+    fp: u64,
+    /// True when no child contains a variable of either kind.
+    ground: bool,
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    // xorshift-multiply combiner; collisions only cost a slice compare.
+    let mut h = a.rotate_left(23) ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 29;
+    h.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+impl Args {
+    /// Build from a child vector, computing the cached aggregates.
+    pub fn from_vec(items: Vec<Term>) -> Args {
+        let mut size = 0usize;
+        let mut hash = 0x517C_C1B7_2722_0A95_u64;
+        let mut fp = 0u64;
+        let mut ground = true;
+        for t in &items {
+            size += t.size();
+            hash = mix(hash, t.hash64());
+            fp |= t.fingerprint();
+            ground &= t.is_ground();
+        }
+        Args {
+            items: items.into(),
+            size,
+            hash,
+            fp,
+            ground,
+        }
+    }
+
+    /// The children as a slice.
+    pub fn as_slice(&self) -> &[Term] {
+        &self.items
+    }
+}
+
+impl std::ops::Deref for Args {
+    type Target = [Term];
+
+    fn deref(&self) -> &[Term] {
+        &self.items
+    }
+}
+
+impl From<Vec<Term>> for Args {
+    fn from(items: Vec<Term>) -> Args {
+        Args::from_vec(items)
+    }
+}
+
+impl FromIterator<Term> for Args {
+    fn from_iter<I: IntoIterator<Item = Term>>(iter: I) -> Args {
+        Args::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Args {
+    type Item = &'a Term;
+    type IntoIter = std::slice::Iter<'a, Term>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl fmt::Debug for Args {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+impl PartialEq for Args {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.items, &other.items)
+            || (self.hash == other.hash
+                && self.size == other.size
+                && self.items[..] == other.items[..])
+    }
+}
+
+impl Eq for Args {}
 
 impl Term {
     /// Symbolic atom (nullary application).
-    pub fn atom(name: impl Into<String>) -> Term {
-        Term::App(name.into(), Vec::new())
+    pub fn atom(name: impl Into<Symbol>) -> Term {
+        Term::App(name.into(), Args::from_vec(Vec::new()))
     }
 
     /// Application helper.
-    pub fn app(name: impl Into<String>, args: Vec<Term>) -> Term {
-        Term::App(name.into(), args)
+    pub fn app(name: impl Into<Symbol>, args: Vec<Term>) -> Term {
+        Term::App(name.into(), Args::from_vec(args))
     }
 
     /// Variable helper.
-    pub fn var(name: impl Into<String>) -> Term {
+    pub fn var(name: impl Into<Symbol>) -> Term {
         Term::Var(name.into())
     }
 
     /// Sequence-variable helper.
-    pub fn seq(name: impl Into<String>) -> Term {
+    pub fn seq(name: impl Into<Symbol>) -> Term {
         Term::SeqVar(name.into())
     }
 
@@ -73,28 +192,47 @@ impl Term {
 
     /// `LIST(...)` constructor.
     pub fn list(items: Vec<Term>) -> Term {
-        Term::App("LIST".into(), items)
+        Term::App(well_known::list(), Args::from_vec(items))
     }
 
     /// `SET(...)` constructor.
     pub fn set(items: Vec<Term>) -> Term {
-        Term::App("SET".into(), items)
+        Term::App(well_known::set(), Args::from_vec(items))
     }
 
     /// An `ATTR(i, j)` positional attribute reference (displayed `i.j`).
     pub fn attr(rel: i64, attr: i64) -> Term {
-        Term::App("ATTR".into(), vec![Term::int(rel), Term::int(attr)])
+        Term::App(
+            well_known::attr(),
+            Args::from_vec(vec![Term::int(rel), Term::int(attr)]),
+        )
     }
 
     /// Is this term an application of `head`?
     pub fn is_app(&self, head: &str) -> bool {
-        matches!(self, Term::App(h, _) if h == head)
+        matches!(self, Term::App(h, _) if *h == head)
     }
 
     /// Application view.
     pub fn as_app(&self) -> Option<(&str, &[Term])> {
         match self {
             Term::App(h, args) => Some((h.as_str(), args.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Application view with the interned head symbol.
+    pub fn as_app_sym(&self) -> Option<(Symbol, &[Term])> {
+        match self {
+            Term::App(h, args) => Some((*h, args.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// The head symbol, when the term is an application.
+    pub fn head(&self) -> Option<Symbol> {
+        match self {
+            Term::App(h, _) => Some(*h),
             _ => None,
         }
     }
@@ -122,12 +260,13 @@ impl Term {
         COLLECTION_FUNCTORS.contains(&head)
     }
 
-    /// True when the term contains no variables of either kind.
+    /// True when the term contains no variables of either kind. O(1): the
+    /// flag is cached per `App` node.
     pub fn is_ground(&self) -> bool {
         match self {
             Term::Var(_) | Term::SeqVar(_) => false,
             Term::Const(_) => true,
-            Term::App(_, args) => args.iter().all(Term::is_ground),
+            Term::App(_, args) => args.ground,
         }
     }
 
@@ -138,11 +277,15 @@ impl Term {
             match t {
                 Term::Var(v) | Term::SeqVar(v) => {
                     if !out.contains(&v.as_str()) {
-                        out.push(v);
+                        out.push(v.as_str());
                     }
                 }
                 Term::Const(_) => {}
-                Term::App(_, args) => args.iter().for_each(|a| walk(a, out)),
+                Term::App(_, args) => {
+                    if !args.ground {
+                        args.iter().for_each(|a| walk(a, out));
+                    }
+                }
             }
         }
         let mut out = Vec::new();
@@ -152,12 +295,45 @@ impl Term {
 
     /// Number of nodes in the term (size metric used by termination
     /// arguments: "subsets of rewriting rules can be isolated that either
-    /// increase or decrease the number of terms in a query").
+    /// increase or decrease the number of terms in a query"). O(1): sizes
+    /// are cached per `App` node.
     pub fn size(&self) -> usize {
         match self {
-            Term::App(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
+            Term::App(_, args) => 1 + args.size,
             _ => 1,
         }
+    }
+
+    /// Structural hash of the term; equal terms always hash equal. O(1)
+    /// for `App` nodes thanks to the cached child combination.
+    pub fn hash64(&self) -> u64 {
+        match self {
+            Term::Var(v) => mix(0x11, v.hash64()),
+            Term::SeqVar(v) => mix(0x22, v.hash64()),
+            Term::Const(v) => {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                v.hash(&mut h);
+                mix(0x33, h.finish())
+            }
+            Term::App(head, args) => mix(mix(0x44, head.hash64()), args.hash),
+        }
+    }
+
+    /// Bloom fingerprint of the functors applied anywhere in this term:
+    /// bit `fp_bit(F)` is set iff some `App` node below (or at) this term
+    /// has head `F`. No false negatives — a clear bit proves absence.
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            Term::App(head, args) => head.fp_bit() | args.fp,
+            _ => 0,
+        }
+    }
+
+    /// Can an application of `head` occur anywhere in this term? O(1)
+    /// conservative test: `false` is definite, `true` may be a Bloom
+    /// false positive.
+    pub fn may_contain(&self, head: Symbol) -> bool {
+        self.fingerprint() & head.fp_bit() != 0
     }
 
     /// Iterate over all positions (paths) in the term, pre-order. The root
@@ -190,20 +366,72 @@ impl Term {
         Some(cur)
     }
 
-    /// Replace the subterm at a position, returning the new term.
+    /// Replace the subterm at a position, returning the new term. Only
+    /// the spine from the root to `path` is rebuilt; all sibling subtrees
+    /// are shared with `self`.
     pub fn replace_at(&self, path: &[usize], replacement: Term) -> Term {
         if path.is_empty() {
             return replacement;
         }
         match self {
             Term::App(h, args) => {
-                let mut new_args = args.clone();
+                let mut new_args: Vec<Term> = args.as_slice().to_vec();
                 if let Some(slot) = new_args.get_mut(path[0]) {
                     *slot = slot.replace_at(&path[1..], replacement);
                 }
-                Term::App(h.clone(), new_args)
+                Term::App(*h, Args::from_vec(new_args))
             }
             other => other.clone(),
+        }
+    }
+}
+
+impl PartialEq for Term {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Term::Var(a), Term::Var(b)) | (Term::SeqVar(a), Term::SeqVar(b)) => a == b,
+            (Term::Const(a), Term::Const(b)) => a == b,
+            (Term::App(h1, a1), Term::App(h2, a2)) => h1 == h2 && a1 == a2,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Term {}
+
+impl Hash for Term {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash64());
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Term {
+    /// Structural order identical to the pre-interning derived order
+    /// (variant rank, then fields; names compare as strings) — the
+    /// matcher's canonical `SET` segment order depends on it being
+    /// deterministic across processes.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        fn rank(t: &Term) -> u8 {
+            match t {
+                Term::Var(_) => 0,
+                Term::SeqVar(_) => 1,
+                Term::Const(_) => 2,
+                Term::App(..) => 3,
+            }
+        }
+        match (self, other) {
+            (Term::Var(a), Term::Var(b)) | (Term::SeqVar(a), Term::SeqVar(b)) => a.cmp(b),
+            (Term::Const(a), Term::Const(b)) => a.cmp(b),
+            (Term::App(h1, a1), Term::App(h2, a2)) => h1
+                .cmp(h2)
+                .then_with(|| a1.items.iter().cmp(a2.items.iter())),
+            _ => rank(self).cmp(&rank(other)),
         }
     }
 }
@@ -212,8 +440,8 @@ impl Term {
 /// term segments.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Bindings {
-    vars: HashMap<String, Term>,
-    seqs: HashMap<String, Vec<Term>>,
+    vars: HashMap<Symbol, Term>,
+    seqs: HashMap<Symbol, Vec<Term>>,
 }
 
 impl Bindings {
@@ -223,34 +451,36 @@ impl Bindings {
     }
 
     /// Binding of an ordinary variable.
-    pub fn get(&self, name: &str) -> Option<&Term> {
-        self.vars.get(name)
+    pub fn get(&self, name: impl ToSymbol) -> Option<&Term> {
+        self.vars.get(&name.to_symbol())
     }
 
     /// Binding of a sequence variable.
-    pub fn get_seq(&self, name: &str) -> Option<&[Term]> {
-        self.seqs.get(name).map(Vec::as_slice)
+    pub fn get_seq(&self, name: impl ToSymbol) -> Option<&[Term]> {
+        self.seqs.get(&name.to_symbol()).map(Vec::as_slice)
     }
 
     /// Bind an ordinary variable (overwrites).
-    pub fn bind(&mut self, name: impl Into<String>, term: Term) {
-        self.vars.insert(name.into(), term);
+    pub fn bind(&mut self, name: impl ToSymbol, term: Term) {
+        self.vars.insert(name.to_symbol(), term);
     }
 
     /// Bind a sequence variable (overwrites).
-    pub fn bind_seq(&mut self, name: impl Into<String>, terms: Vec<Term>) {
-        self.seqs.insert(name.into(), terms);
+    pub fn bind_seq(&mut self, name: impl ToSymbol, terms: Vec<Term>) {
+        self.seqs.insert(name.to_symbol(), terms);
     }
 
     /// Remove any binding for `name` (used by the matcher to backtrack).
-    pub fn remove(&mut self, name: &str) {
-        self.vars.remove(name);
-        self.seqs.remove(name);
+    pub fn remove(&mut self, name: impl ToSymbol) {
+        let sym = name.to_symbol();
+        self.vars.remove(&sym);
+        self.seqs.remove(&sym);
     }
 
     /// Whether a name has any binding.
-    pub fn contains(&self, name: &str) -> bool {
-        self.vars.contains_key(name) || self.seqs.contains_key(name)
+    pub fn contains(&self, name: impl ToSymbol) -> bool {
+        let sym = name.to_symbol();
+        self.vars.contains_key(&sym) || self.seqs.contains_key(&sym)
     }
 
     /// Number of bound names.
@@ -265,13 +495,17 @@ impl Bindings {
 
     /// Apply the substitution to a term. Sequence variables are spliced
     /// into their enclosing argument list. Unbound variables are left in
-    /// place (the engine checks rhs groundness separately).
+    /// place (the engine checks rhs groundness separately). Ground
+    /// subtrees are returned as O(1) shared clones.
     pub fn apply(&self, term: &Term) -> Term {
         match term {
             Term::Var(v) => self.vars.get(v).cloned().unwrap_or_else(|| term.clone()),
             Term::SeqVar(_) => term.clone(), // splicing happens in App args
             Term::Const(_) => term.clone(),
             Term::App(h, args) => {
+                if args.ground {
+                    return term.clone();
+                }
                 let mut new_args = Vec::with_capacity(args.len());
                 for a in args {
                     match a {
@@ -282,24 +516,24 @@ impl Bindings {
                         other => new_args.push(self.apply(other)),
                     }
                 }
-                Term::App(h.clone(), new_args)
+                Term::App(*h, Args::from_vec(new_args))
             }
         }
     }
 
     /// Names of all bound variables (unsorted).
-    pub fn names(&self) -> impl Iterator<Item = &str> {
+    pub fn names(&self) -> impl Iterator<Item = &'static str> + '_ {
         self.vars
             .keys()
-            .map(String::as_str)
-            .chain(self.seqs.keys().map(String::as_str))
+            .map(Symbol::as_str)
+            .chain(self.seqs.keys().map(Symbol::as_str))
     }
 }
 
 impl fmt::Display for Term {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Term::Var(v) => f.write_str(v),
+            Term::Var(v) => f.write_str(v.as_str()),
             Term::SeqVar(v) => write!(f, "{v}*"),
             Term::Const(v) => write!(f, "{v}"),
             Term::App(h, args) => {
@@ -313,7 +547,7 @@ impl fmt::Display for Term {
                     ("=" | "<" | ">" | "<=" | ">=" | "<>" | "+" | "-" | "*" | "/", 2) => {
                         write!(f, "({} {} {})", args[0], h, args[1])
                     }
-                    (_, 0) => f.write_str(h),
+                    (_, 0) => f.write_str(h.as_str()),
                     _ => {
                         write!(f, "{h}(")?;
                         for (i, a) in args.iter().enumerate() {
@@ -416,5 +650,71 @@ mod tests {
         assert!(Term::app("F", vec![Term::int(1)]).is_ground());
         assert!(!Term::app("F", vec![Term::var("x")]).is_ground());
         assert!(!Term::list(vec![Term::seq("x")]).is_ground());
+    }
+
+    #[test]
+    fn replace_at_shares_siblings() {
+        let big = Term::app("G", vec![Term::int(1), Term::int(2)]);
+        let t = Term::app("F", vec![big.clone(), Term::int(3)]);
+        let replaced = t.replace_at(&[1], Term::int(9));
+        let (_, args) = replaced.as_app().unwrap();
+        // The untouched first child is the same allocation, not a copy.
+        match (&args[0], &big) {
+            (Term::App(_, a), Term::App(_, b)) => {
+                assert!(Arc::ptr_eq(&a.items, &b.items));
+            }
+            _ => panic!("expected App"),
+        }
+    }
+
+    #[test]
+    fn equal_terms_hash_equal() {
+        let a = Term::app("F", vec![Term::attr(1, 2), Term::str("x")]);
+        let b = Term::app("F", vec![Term::attr(1, 2), Term::str("x")]);
+        assert_eq!(a, b);
+        assert_eq!(a.hash64(), b.hash64());
+        assert_ne!(
+            a.hash64(),
+            Term::app("F", vec![Term::attr(1, 2), Term::str("y")]).hash64()
+        );
+    }
+
+    #[test]
+    fn fingerprint_proves_absence() {
+        let t = Term::app("SEARCH", vec![Term::list(vec![Term::atom("FILM")])]);
+        assert!(t.may_contain(Symbol::intern("FILM")));
+        assert!(t.may_contain(Symbol::intern("LIST")));
+        assert!(t.may_contain(Symbol::intern("SEARCH")));
+        // Not guaranteed false for arbitrary symbols (Bloom), but a
+        // symbol with a distinct bit must be reported absent.
+        let absent = Symbol::intern("DEFINITELY_NOT_PRESENT_F");
+        if absent.fp_bit() & t.fingerprint() == 0 {
+            assert!(!t.may_contain(absent));
+        }
+    }
+
+    #[test]
+    fn ordering_matches_structural_order() {
+        // Var < SeqVar < Const < App; Apps by head then args.
+        let mut v = vec![
+            Term::app("B", vec![]),
+            Term::int(1),
+            Term::seq("s"),
+            Term::var("a"),
+            Term::app("A", vec![Term::int(2)]),
+            Term::app("A", vec![Term::int(1)]),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Term::var("a"),
+                Term::seq("s"),
+                Term::int(1),
+                Term::app("A", vec![Term::int(1)]),
+                Term::app("A", vec![Term::int(2)]),
+                Term::app("B", vec![]),
+            ]
+        );
     }
 }

@@ -1,0 +1,200 @@
+//! Edge cases for collection-variable (`x*`) matching: empty segments,
+//! multiple sequence variables per collection, and commutative `SET`/`BAG`
+//! matching — the corners of the Section-4.1 matcher that ordinary rule
+//! suites rarely exercise.
+
+use eds_rewrite::{all_matches, find_match, parse_term, Term};
+
+fn t(src: &str) -> Term {
+    parse_term(src).unwrap()
+}
+
+fn seq_of(binds: &eds_rewrite::Bindings, name: &str) -> Vec<String> {
+    binds
+        .get_seq(name)
+        .unwrap_or_else(|| panic!("{name}* unbound"))
+        .iter()
+        .map(|t| t.to_string())
+        .collect()
+}
+
+// ---------------------------------------------------------------- empty
+
+#[test]
+fn seqvar_matches_empty_list() {
+    let b = find_match(&t("F(LIST(x*))"), &t("F(LIST())")).expect("must match");
+    assert_eq!(seq_of(&b, "x"), Vec::<String>::new());
+}
+
+#[test]
+fn seqvar_matches_empty_set_and_bag() {
+    let b = find_match(&t("F(SET(x*))"), &t("F(SET())")).expect("SET must match");
+    assert_eq!(seq_of(&b, "x"), Vec::<String>::new());
+    let b = find_match(&t("F(BAG(x*))"), &t("F(BAG())")).expect("BAG must match");
+    assert_eq!(seq_of(&b, "x"), Vec::<String>::new());
+}
+
+#[test]
+fn leading_and_trailing_seqvars_can_be_empty() {
+    // x* and z* flank a single fixed element: both must bind empty.
+    let b = find_match(&t("F(LIST(x*, A, z*))"), &t("F(LIST(A))")).expect("must match");
+    assert_eq!(seq_of(&b, "x"), Vec::<String>::new());
+    assert_eq!(seq_of(&b, "z"), Vec::<String>::new());
+}
+
+#[test]
+fn empty_segment_between_fixed_elements() {
+    // y* sits between A and B which are adjacent in the subject.
+    let b = find_match(&t("F(LIST(A, y*, B))"), &t("F(LIST(A, B))")).expect("must match");
+    assert_eq!(seq_of(&b, "y"), Vec::<String>::new());
+    // ...and absorbs the middle when there is one.
+    let b = find_match(&t("F(LIST(A, y*, B))"), &t("F(LIST(A, C, D, B))")).expect("must match");
+    assert_eq!(seq_of(&b, "y"), vec!["C", "D"]);
+}
+
+#[test]
+fn set_seqvar_can_be_empty_next_to_element_pattern() {
+    // SET(x*, G(y)) against a one-element set: x* must bind empty.
+    let b = find_match(&t("F(SET(x*, G(A)))"), &t("F(SET(G(A)))")).expect("must match");
+    assert_eq!(seq_of(&b, "x"), Vec::<String>::new());
+    assert_eq!(b.get("y"), None); // y was a literal A inside the pattern
+}
+
+// ------------------------------------------------- two seqvars per LIST
+
+#[test]
+fn two_seqvars_enumerate_every_split_in_order() {
+    // x*, y* over a 3-element list: 4 splits, enumerated leftmost-first
+    // (x takes as little as possible first — the matcher's documented
+    // enumeration order, which rules rely on for determinism).
+    let matches = all_matches(&t("F(LIST(x*, y*))"), &t("F(LIST(A, B, C))"));
+    let splits: Vec<(Vec<String>, Vec<String>)> = matches
+        .iter()
+        .map(|b| (seq_of(b, "x"), seq_of(b, "y")))
+        .collect();
+    let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert_eq!(
+        splits,
+        vec![
+            (s(&[]), s(&["A", "B", "C"])),
+            (s(&["A"]), s(&["B", "C"])),
+            (s(&["A", "B"]), s(&["C"])),
+            (s(&["A", "B", "C"]), s(&[])),
+        ]
+    );
+}
+
+#[test]
+fn two_seqvars_around_pivot_element() {
+    // The pivot B can appear at several positions; every occurrence
+    // yields one split.
+    let matches = all_matches(&t("F(LIST(x*, B, y*))"), &t("F(LIST(B, A, B))"));
+    let splits: Vec<(Vec<String>, Vec<String>)> = matches
+        .iter()
+        .map(|b| (seq_of(b, "x"), seq_of(b, "y")))
+        .collect();
+    let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    assert_eq!(
+        splits,
+        vec![(s(&[]), s(&["A", "B"])), (s(&["B", "A"]), s(&[])),]
+    );
+}
+
+#[test]
+fn repeated_seqvar_in_one_list_must_repeat_segment() {
+    // LIST(x*, x*) — the same collection variable twice must bind the
+    // same segment: only even-length subjects with equal halves match.
+    assert!(find_match(&t("F(LIST(x*, x*))"), &t("F(LIST(A, B, A, B))")).is_some());
+    assert!(find_match(&t("F(LIST(x*, x*))"), &t("F(LIST(A, B, B, A))")).is_none());
+    assert!(find_match(&t("F(LIST(x*, x*))"), &t("F(LIST(A, B, A))")).is_none());
+    let b = find_match(&t("F(LIST(x*, x*))"), &t("F(LIST(A, A))")).unwrap();
+    assert_eq!(seq_of(&b, "x"), vec!["A"]);
+}
+
+#[test]
+fn seqvar_shared_across_two_lists_must_agree() {
+    let pat = t("PAIR(LIST(x*), LIST(x*))");
+    assert!(find_match(&pat, &t("PAIR(LIST(A, B), LIST(A, B))")).is_some());
+    assert!(find_match(&pat, &t("PAIR(LIST(A, B), LIST(B, A))")).is_none());
+}
+
+// ------------------------------------------------ SET/BAG commutativity
+
+#[test]
+fn set_matching_ignores_subject_order() {
+    // G(y, f) must be found wherever it sits in the set.
+    let pat = t("F(SET(x*, G(y, f)))");
+    for subject in [
+        "F(SET(G(B, TRUE), A, C))",
+        "F(SET(A, G(B, TRUE), C))",
+        "F(SET(A, C, G(B, TRUE)))",
+    ] {
+        let b = find_match(&pat, &t(subject)).unwrap_or_else(|| panic!("no match in {subject}"));
+        assert_eq!(b.get("y").unwrap().to_string(), "B");
+        // Rest segment is canonically ordered regardless of source order.
+        assert_eq!(seq_of(&b, "x"), vec!["A", "C"]);
+    }
+}
+
+#[test]
+fn bag_matching_is_commutative_and_keeps_duplicates() {
+    let pat = t("F(BAG(x*, G(y)))");
+    let b = find_match(&pat, &t("F(BAG(A, G(B), A))")).expect("must match");
+    assert_eq!(b.get("y").unwrap().to_string(), "B");
+    // Both copies of A survive into the rest segment.
+    let mut rest = seq_of(&b, "x");
+    rest.sort();
+    assert_eq!(rest, vec!["A", "A"]);
+}
+
+#[test]
+fn set_duplicate_pattern_elements_need_distinct_subject_elements() {
+    // SET(G(a), G(b)) consumes two distinct occurrences, so a 1-element
+    // subject cannot satisfy it even though both pattern elements unify
+    // with the single G(..).
+    let pat = t("F(SET(G(a), G(b)))");
+    assert!(find_match(&pat, &t("F(SET(G(A)))")).is_none());
+    let b = find_match(&pat, &t("F(SET(G(A), G(B)))")).expect("must match");
+    let mut pair = vec![
+        b.get("a").unwrap().to_string(),
+        b.get("b").unwrap().to_string(),
+    ];
+    pair.sort();
+    assert_eq!(pair, vec!["A", "B"]);
+}
+
+#[test]
+fn two_seqvars_in_set_enumerate_complementary_partitions() {
+    // Every match partitions the set into two segments; together they
+    // must always cover the whole subject.
+    let matches = all_matches(&t("F(SET(x*, y*))"), &t("F(SET(A, B, C))"));
+    assert!(!matches.is_empty());
+    for b in &matches {
+        let mut all: Vec<String> = seq_of(b, "x");
+        all.extend(seq_of(b, "y"));
+        all.sort();
+        assert_eq!(all, vec!["A", "B", "C"]);
+    }
+    // 2^3 subsets for x*, complement goes to y*.
+    assert_eq!(matches.len(), 8);
+}
+
+#[test]
+fn set_canonical_rest_order_is_stable_across_subject_orders() {
+    // The canonical (sorted) order of the x* binding must not depend on
+    // how the subject spelled the set — rules that splice x* back into a
+    // new collection rely on this for deterministic output.
+    let pat = t("F(SET(x*, PIVOT))");
+    let b1 = find_match(&pat, &t("F(SET(C, A, PIVOT, B))")).unwrap();
+    let b2 = find_match(&pat, &t("F(SET(B, PIVOT, C, A))")).unwrap();
+    assert_eq!(seq_of(&b1, "x"), seq_of(&b2, "x"));
+    assert_eq!(seq_of(&b1, "x"), vec!["A", "B", "C"]);
+}
+
+#[test]
+fn list_order_still_matters_where_set_order_does_not() {
+    let list_pat = t("F(LIST(A, B))");
+    assert!(find_match(&list_pat, &t("F(LIST(B, A))")).is_none());
+    let set_pat = t("F(SET(A, B))");
+    assert!(find_match(&set_pat, &t("F(SET(B, A))")).is_some());
+}

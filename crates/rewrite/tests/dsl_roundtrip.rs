@@ -1,69 +1,92 @@
 //! Property test: random rules survive `display → parse` unchanged, so
 //! the knowledge base can always be exported and re-imported as rule
-//! language source.
+//! language source. Runs 256 seeded random cases per property.
 
 use eds_rewrite::{parse_source, parse_term, MethodCall, Rule, SourceItem, Term};
-use proptest::prelude::*;
+use eds_testkit::StdRng;
 
-fn var_name() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["x", "y", "z", "f", "g", "a", "b", "quali", "exp'"])
-        .prop_map(str::to_owned)
-}
+const CASES: u64 = 256;
 
-fn functor_name() -> impl Strategy<Value = String> {
-    prop::sample::select(vec!["F", "G", "SEARCH", "UNION", "NEST", "MEMBER", "FILM"])
-        .prop_map(str::to_owned)
-}
+const VARS: &[&str] = &["x", "y", "z", "f", "g", "a", "b", "quali", "exp'"];
+const FUNCTORS: &[&str] = &["F", "G", "SEARCH", "UNION", "NEST", "MEMBER", "FILM"];
+const STRINGS: &[&str] = &["a", "it's", "Science Fiction"];
 
-fn term_strategy() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        var_name().prop_map(Term::var),
-        functor_name().prop_map(Term::atom),
-        (-99i64..99).prop_map(Term::int),
-        prop::sample::select(vec!["a", "it's", "Science Fiction"]).prop_map(Term::str),
-        any::<bool>().prop_map(Term::bool),
-        (1i64..5, 1i64..5).prop_map(|(r, a)| Term::attr(r, a)),
-    ];
-    leaf.prop_recursive(3, 20, 4, |inner| {
-        prop_oneof![
-            (functor_name(), prop::collection::vec(inner.clone(), 0..4))
-                .prop_map(|(h, args)| Term::app(h, args)),
-            // Collections with an optional sequence variable.
-            (prop::collection::vec(inner.clone(), 0..3), any::<bool>()).prop_map(
-                |(mut items, with_seq)| {
-                    if with_seq {
-                        items.insert(0, Term::seq("w"));
-                    }
-                    Term::list(items)
-                }
-            ),
-            prop::collection::vec(inner.clone(), 0..3).prop_map(Term::set),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("AND", vec![a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("=", vec![a, b])),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::app("<=", vec![a, b])),
-            inner.clone().prop_map(|a| Term::app("NOT", vec![a])),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn term_display_reparses(t in term_strategy()) {
-        let rendered = t.to_string();
-        let reparsed = parse_term(&rendered)
-            .unwrap_or_else(|e| panic!("cannot reparse {rendered}: {e}"));
-        prop_assert_eq!(reparsed, t, "{}", rendered);
+fn leaf(rng: &mut StdRng) -> Term {
+    match rng.gen_range(0u32..6) {
+        0 => Term::var(*rng.choose(VARS).unwrap()),
+        1 => Term::atom(*rng.choose(FUNCTORS).unwrap()),
+        2 => Term::int(rng.gen_range(-99i64..99)),
+        3 => Term::str(*rng.choose(STRINGS).unwrap()),
+        4 => Term::bool(rng.gen_bool(0.5)),
+        _ => Term::attr(rng.gen_range(1i64..5), rng.gen_range(1i64..5)),
     }
+}
 
-    #[test]
-    fn rule_display_reparses(
-        lhs in term_strategy(),
-        rhs in term_strategy(),
-        constraints in prop::collection::vec(term_strategy(), 0..3),
-        with_method in any::<bool>(),
-    ) {
+/// Random term with at most `depth` levels of nesting, mirroring the
+/// shapes the display/parse pair must round-trip: applications,
+/// LIST (optionally led by a sequence variable), SET, infix booleans
+/// and comparisons, and NOT.
+fn random_term(rng: &mut StdRng, depth: u32) -> Term {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return leaf(rng);
+    }
+    match rng.gen_range(0u32..7) {
+        0 => {
+            let head = *rng.choose(FUNCTORS).unwrap();
+            let n = rng.gen_range(0usize..4);
+            Term::app(head, (0..n).map(|_| random_term(rng, depth - 1)).collect())
+        }
+        1 => {
+            let n = rng.gen_range(0usize..3);
+            let mut items: Vec<Term> = (0..n).map(|_| random_term(rng, depth - 1)).collect();
+            if rng.gen_bool(0.5) {
+                items.insert(0, Term::seq("w"));
+            }
+            Term::list(items)
+        }
+        2 => {
+            let n = rng.gen_range(0usize..3);
+            Term::set((0..n).map(|_| random_term(rng, depth - 1)).collect())
+        }
+        3 => Term::app(
+            "AND",
+            vec![random_term(rng, depth - 1), random_term(rng, depth - 1)],
+        ),
+        4 => Term::app(
+            "=",
+            vec![random_term(rng, depth - 1), random_term(rng, depth - 1)],
+        ),
+        5 => Term::app(
+            "<=",
+            vec![random_term(rng, depth - 1), random_term(rng, depth - 1)],
+        ),
+        _ => Term::app("NOT", vec![random_term(rng, depth - 1)]),
+    }
+}
+
+#[test]
+fn term_display_reparses() {
+    let mut rng = StdRng::seed_from_u64(0xD51_0001);
+    for _ in 0..CASES {
+        let t = random_term(&mut rng, 3);
+        let rendered = t.to_string();
+        let reparsed =
+            parse_term(&rendered).unwrap_or_else(|e| panic!("cannot reparse {rendered}: {e}"));
+        assert_eq!(reparsed, t, "{rendered}");
+    }
+}
+
+#[test]
+fn rule_display_reparses() {
+    let mut rng = StdRng::seed_from_u64(0xD51_0002);
+    for _ in 0..CASES {
+        let lhs = random_term(&mut rng, 3);
+        let rhs = random_term(&mut rng, 3);
+        let n_constraints = rng.gen_range(0usize..3);
+        let constraints: Vec<Term> = (0..n_constraints)
+            .map(|_| random_term(&mut rng, 3))
+            .collect();
+        let with_method = rng.gen_bool(0.5);
         let rule = Rule {
             name: "Prop".into(),
             lhs,
@@ -79,14 +102,14 @@ proptest! {
             },
         };
         let rendered = format!("{rule} ;");
-        let items = parse_source(&rendered)
-            .unwrap_or_else(|e| panic!("cannot reparse {rendered}: {e}"));
+        let items =
+            parse_source(&rendered).unwrap_or_else(|e| panic!("cannot reparse {rendered}: {e}"));
         let SourceItem::Rule(back) = &items[0] else {
             panic!("expected rule back");
         };
-        prop_assert_eq!(&back.lhs, &rule.lhs);
-        prop_assert_eq!(&back.rhs, &rule.rhs);
-        prop_assert_eq!(&back.constraints, &rule.constraints);
-        prop_assert_eq!(&back.methods, &rule.methods);
+        assert_eq!(&back.lhs, &rule.lhs);
+        assert_eq!(&back.rhs, &rule.rhs);
+        assert_eq!(&back.constraints, &rule.constraints);
+        assert_eq!(&back.methods, &rule.methods);
     }
 }

@@ -11,8 +11,7 @@
 
 use eds_core::Dbms;
 use eds_engine::{EvalOptions, FixMode, FixOptions};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use eds_testkit::StdRng;
 
 fn build(nodes: i64, edges_per_node: usize, seed: u64) -> Result<Dbms, Box<dyn std::error::Error>> {
     let mut dbms = Dbms::new()?;

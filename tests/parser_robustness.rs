@@ -1,57 +1,97 @@
 //! Robustness: random garbage must never panic any parser — every input
-//! either parses or produces a positioned error.
+//! either parses or produces a positioned error. 512 seeded cases each.
 
-use proptest::prelude::*;
+use eds_testkit::StdRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+const CASES: u64 = 512;
 
-    #[test]
-    fn esql_parser_never_panics(input in "[ -~\\n]{0,120}") {
+fn ascii_soup(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.05) {
+                '\n'
+            } else {
+                // Printable ASCII: ' ' ..= '~'.
+                (rng.gen_range(0x20u8..0x7F)) as char
+            }
+        })
+        .collect()
+}
+
+fn unicode_soup(rng: &mut StdRng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| match rng.gen_range(0u32..4) {
+            0 => (rng.gen_range(0x20u8..0x7F)) as char,
+            1 => char::from_u32(rng.gen_range(0xA1u32..0x500)).unwrap_or('¿'),
+            2 => char::from_u32(rng.gen_range(0x2190u32..0x2600)).unwrap_or('→'),
+            _ => char::from_u32(rng.gen_range(0x1F300u32..0x1F600)).unwrap_or('🌀'),
+        })
+        .collect()
+}
+
+fn token_soup(rng: &mut StdRng, tokens: &[&str]) -> String {
+    let n = rng.gen_range(0usize..30);
+    (0..n)
+        .map(|_| *rng.choose(tokens).unwrap())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn esql_parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xE50_0001);
+    for _ in 0..CASES {
+        let input = ascii_soup(&mut rng, 120);
         let _ = eds_esql::parse_statements(&input);
     }
+}
 
-    #[test]
-    fn esql_parser_never_panics_on_tokenish_soup(
-        tokens in prop::collection::vec(
-            prop::sample::select(vec![
-                "SELECT", "FROM", "WHERE", "GROUP", "BY", "UNION", "TYPE",
-                "TABLE", "CREATE", "VIEW", "AS", "INSERT", "INTO", "VALUES",
-                "(", ")", ",", ";", ".", ":", "=", "<", ">", "<=", "<>",
-                "AND", "OR", "NOT", "IN", "ALL", "MEMBER", "MakeSet",
-                "T", "X", "Y", "'lit'", "42", "1.5", "*", "+", "-",
-            ]),
-            0..30,
-        )
-    ) {
-        let input = tokens.join(" ");
+#[test]
+fn esql_parser_never_panics_on_tokenish_soup() {
+    const TOKENS: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "UNION", "TYPE", "TABLE", "CREATE", "VIEW", "AS",
+        "INSERT", "INTO", "VALUES", "(", ")", ",", ";", ".", ":", "=", "<", ">", "<=", "<>", "AND",
+        "OR", "NOT", "IN", "ALL", "MEMBER", "MakeSet", "T", "X", "Y", "'lit'", "42", "1.5", "*",
+        "+", "-",
+    ];
+    let mut rng = StdRng::seed_from_u64(0xE50_0002);
+    for _ in 0..CASES {
+        let input = token_soup(&mut rng, TOKENS);
         let _ = eds_esql::parse_statements(&input);
     }
+}
 
-    #[test]
-    fn rule_parser_never_panics(input in "[ -~\\n]{0,120}") {
+#[test]
+fn rule_parser_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0xE50_0003);
+    for _ in 0..CASES {
+        let input = ascii_soup(&mut rng, 120);
         let _ = eds_rewrite::parse_source(&input);
     }
+}
 
-    #[test]
-    fn rule_parser_never_panics_on_tokenish_soup(
-        tokens in prop::collection::vec(
-            prop::sample::select(vec![
-                "Rule", ":", "/", "-->", ";", "(", ")", "{", "}", ",",
-                "SEARCH", "LIST", "SET", "FIX", "x", "f", "a", "x*", "y*",
-                "AND", "OR", "NOT", "TRUE", "FALSE", "=", "<=", "1.2",
-                "42", "'s'", "block", "seq", "INF", "ISA", "EVALUATE",
-            ]),
-            0..30,
-        )
-    ) {
-        let input = tokens.join(" ");
+#[test]
+fn rule_parser_never_panics_on_tokenish_soup() {
+    const TOKENS: &[&str] = &[
+        "Rule", ":", "/", "-->", ";", "(", ")", "{", "}", ",", "SEARCH", "LIST", "SET", "FIX", "x",
+        "f", "a", "x*", "y*", "AND", "OR", "NOT", "TRUE", "FALSE", "=", "<=", "1.2", "42", "'s'",
+        "block", "seq", "INF", "ISA", "EVALUATE",
+    ];
+    let mut rng = StdRng::seed_from_u64(0xE50_0004);
+    for _ in 0..CASES {
+        let input = token_soup(&mut rng, TOKENS);
         let _ = eds_rewrite::parse_source(&input);
     }
+}
 
-    #[test]
-    fn lexers_handle_unicode_gracefully(input in "\\PC{0,60}") {
+#[test]
+fn lexers_handle_unicode_gracefully() {
+    let mut rng = StdRng::seed_from_u64(0xE50_0005);
+    for _ in 0..CASES {
         // Non-ASCII input must produce errors, not panics.
+        let input = unicode_soup(&mut rng, 60);
         let _ = eds_esql::parse_statements(&input);
         let _ = eds_rewrite::parse_source(&input);
     }
