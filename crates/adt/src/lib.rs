@@ -44,6 +44,6 @@ pub mod value;
 
 pub use error::{AdtError, AdtResult};
 pub use object::{ObjectStore, Oid};
-pub use registry::{Arity, EvalContext, FunctionRegistry};
+pub use registry::{Arity, EvalContext, FunctionDef, FunctionRegistry, NativeFn};
 pub use types::{Field, MethodSig, Type, TypeBody, TypeDef, TypeRegistry};
 pub use value::{CollKind, OrderedF64, Value};

@@ -5,7 +5,6 @@
 //! (Section 2.1). The store maps OIDs to `(type name, value)` pairs and is
 //! the target of the system `VALUE` built-in that dereferences an OID.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use crate::error::{AdtError, AdtResult};
@@ -31,10 +30,16 @@ struct StoredObject {
 }
 
 /// In-memory object store.
+///
+/// OIDs are allocated sequentially, so objects live in a slot vector
+/// indexed directly by OID — a dereference (the `VALUE` built-in, which
+/// query evaluation performs once per object-valued attribute per row)
+/// is a bounds check and an index, with no hashing. Deleted objects
+/// leave a `None` slot so their OIDs stay dangling forever.
 #[derive(Debug, Default, Clone)]
 pub struct ObjectStore {
-    next: u64,
-    objects: HashMap<u64, StoredObject>,
+    slots: Vec<Option<StoredObject>>,
+    live: usize,
 }
 
 impl ObjectStore {
@@ -46,70 +51,74 @@ impl ObjectStore {
     /// Allocate a fresh object of type `type_name` bound to `value` and
     /// return its identifier.
     pub fn create(&mut self, type_name: impl Into<String>, value: Value) -> Oid {
-        let oid = Oid(self.next);
-        self.next += 1;
-        self.objects.insert(
-            oid.0,
-            StoredObject {
-                type_name: type_name.into(),
-                value,
-            },
-        );
+        let oid = Oid(self.slots.len() as u64);
+        self.slots.push(Some(StoredObject {
+            type_name: type_name.into(),
+            value,
+        }));
+        self.live += 1;
         oid
     }
 
     /// Dereference: the `VALUE` system built-in.
+    #[inline]
     pub fn value(&self, oid: Oid) -> AdtResult<&Value> {
-        self.objects
-            .get(&oid.0)
-            .map(|o| &o.value)
-            .ok_or(AdtError::DanglingOid(oid.0))
+        match self.slots.get(oid.0 as usize) {
+            Some(Some(o)) => Ok(&o.value),
+            _ => Err(AdtError::DanglingOid(oid.0)),
+        }
     }
 
     /// Dynamic type name of an object.
     pub fn type_of(&self, oid: Oid) -> AdtResult<&str> {
-        self.objects
-            .get(&oid.0)
-            .map(|o| o.type_name.as_str())
-            .ok_or(AdtError::DanglingOid(oid.0))
+        match self.slots.get(oid.0 as usize) {
+            Some(Some(o)) => Ok(o.type_name.as_str()),
+            _ => Err(AdtError::DanglingOid(oid.0)),
+        }
     }
 
     /// Rebind the value of an existing object (object update preserves
     /// identity; all shared references observe the new value).
     pub fn update(&mut self, oid: Oid, value: Value) -> AdtResult<()> {
-        match self.objects.get_mut(&oid.0) {
-            Some(slot) => {
+        match self.slots.get_mut(oid.0 as usize) {
+            Some(Some(slot)) => {
                 slot.value = value;
                 Ok(())
             }
-            None => Err(AdtError::DanglingOid(oid.0)),
+            _ => Err(AdtError::DanglingOid(oid.0)),
         }
     }
 
-    /// Delete an object. Later dereferences of its OID fail.
+    /// Delete an object. Later dereferences of its OID fail; the slot is
+    /// never reused, so the OID stays dangling.
     pub fn delete(&mut self, oid: Oid) -> AdtResult<()> {
-        self.objects
-            .remove(&oid.0)
-            .map(|_| ())
-            .ok_or(AdtError::DanglingOid(oid.0))
+        match self.slots.get_mut(oid.0 as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.live -= 1;
+                Ok(())
+            }
+            _ => Err(AdtError::DanglingOid(oid.0)),
+        }
     }
 
     /// Number of live objects.
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.live
     }
 
     /// True when no objects are stored.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.live == 0
     }
 
     /// Iterate over `(oid, type name, value)` of all live objects, in
     /// unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Oid, &str, &Value)> {
-        self.objects
-            .iter()
-            .map(|(k, v)| (Oid(*k), v.type_name.as_str(), &v.value))
+        self.slots.iter().enumerate().filter_map(|(k, v)| {
+            v.as_ref()
+                .map(|o| (Oid(k as u64), o.type_name.as_str(), &o.value))
+        })
     }
 }
 

@@ -36,7 +36,9 @@ pub enum Arity {
 }
 
 impl Arity {
-    fn check(&self, name: &str, n: usize) -> AdtResult<()> {
+    /// Check an argument count against the declared arity, reporting the
+    /// standard arity error on mismatch.
+    pub fn check(&self, name: &str, n: usize) -> AdtResult<()> {
         let ok = match self {
             Arity::Exact(k) => n == *k,
             Arity::AtLeast(k) => n >= *k,
@@ -135,6 +137,13 @@ impl FunctionRegistry {
         let mut names: Vec<&str> = self.funcs.values().map(|d| d.name.as_str()).collect();
         names.sort_unstable();
         names
+    }
+
+    /// Look up a function definition by (case-insensitive) name — used by
+    /// callers that resolve a function once and invoke it many times,
+    /// such as the engine's compiled predicates.
+    pub fn get(&self, name: &str) -> Option<&FunctionDef> {
+        self.funcs.get(&name.to_ascii_uppercase())
     }
 
     /// Invoke a function by name with arity checking.

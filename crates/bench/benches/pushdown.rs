@@ -132,7 +132,7 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("rewrite_time", branches),
             &branches,
-            |b, _| b.iter(|| dbms.rewrite(&prepared).unwrap()),
+            |b, _| b.iter(|| dbms.rewrite_uncached(&prepared).unwrap()),
         );
     }
     group.finish();

@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
         });
         let prepared = dbms.prepare(sql).unwrap();
         group.bench_function(format!("rewrite_{label}"), |b| {
-            b.iter(|| dbms.rewrite(&prepared).unwrap())
+            b.iter(|| dbms.rewrite_uncached(&prepared).unwrap())
         });
     }
     group.finish();

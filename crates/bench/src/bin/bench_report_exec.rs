@@ -1,0 +1,147 @@
+//! Assemble `BENCH_exec.json` from the executor bench's TSV dumps.
+//!
+//! Inputs:
+//! * `crates/bench/baselines/before/exec.tsv` — medians recorded with the
+//!   seed tree-walking executor (ids `<workload>/seq`; committed,
+//!   regenerated only when a PR intentionally re-baselines);
+//! * `target/bench-tsv/exec.tsv` — medians from the current tree, written
+//!   by `cargo bench -p eds-bench --bench exec` (ids `<workload>/p1` and
+//!   `<workload>/p4` for `EvalOptions::parallelism` 1 and 4).
+//!
+//! Output: `BENCH_exec.json` at the workspace root with per-workload
+//! before/after medians and speedups at both parallelism levels, plus
+//! median speedups over the exec entries. The `repeat_rewrite` workload
+//! measures the rewrite-output plan cache (kind `rewrite`) and is excluded
+//! from the exec medians.
+//!
+//! Usage: `cargo bench -p eds-bench --bench exec && cargo run -p eds-bench
+//! --bin bench_report_exec`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            panic!("no workspace root (Cargo.lock) above the current directory");
+        }
+    }
+}
+
+fn read_tsv(path: &Path) -> BTreeMap<String, f64> {
+    let text =
+        fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let mut cols = line.split('\t');
+        let (Some(id), Some(ns)) = (cols.next(), cols.next()) else {
+            continue;
+        };
+        let ns: f64 = ns
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("bad median in {} for {id}: {e}", path.display()));
+        out.insert(id.to_owned(), ns);
+    }
+    out
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    assert!(!xs.is_empty(), "median of empty set");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let root = workspace_root();
+    let before = read_tsv(&root.join("crates/bench/baselines/before/exec.tsv"));
+    let after = read_tsv(&root.join("target/bench-tsv/exec.tsv"));
+
+    // Workloads in baseline order: `<workload>/seq` in the before file.
+    let workloads: Vec<String> = before
+        .keys()
+        .filter_map(|id| id.strip_suffix("/seq").map(str::to_owned))
+        .collect();
+
+    let mut entries = String::new();
+    let mut speedups_p1: Vec<f64> = Vec::new();
+    let mut speedups_p4: Vec<f64> = Vec::new();
+    let mut first = true;
+    for w in &workloads {
+        let before_ns = before[&format!("{w}/seq")];
+        let Some(&p1) = after.get(&format!("{w}/p1")) else {
+            eprintln!("warning: {w}/p1 missing from current run, skipping");
+            continue;
+        };
+        let kind = if w == "repeat_rewrite" {
+            "rewrite"
+        } else {
+            "exec"
+        };
+        let s1 = before_ns / p1;
+        if !first {
+            entries.push_str(",\n");
+        }
+        first = false;
+        match after.get(&format!("{w}/p4")) {
+            Some(&p4) => {
+                let s4 = before_ns / p4;
+                if kind == "exec" {
+                    speedups_p1.push(s1);
+                    speedups_p4.push(s4);
+                }
+                let _ = write!(
+                    entries,
+                    "    {{\"id\": \"{w}\", \"kind\": \"{kind}\", \"before_ns\": {before_ns:.1}, \
+                     \"after_p1_ns\": {p1:.1}, \"after_p4_ns\": {p4:.1}, \
+                     \"speedup_p1\": {s1:.2}, \"speedup_p4\": {s4:.2}}}"
+                );
+            }
+            None => {
+                // The plan-cache workload is parallelism-independent and
+                // only measured once.
+                if kind == "exec" {
+                    speedups_p1.push(s1);
+                }
+                let _ = write!(
+                    entries,
+                    "    {{\"id\": \"{w}\", \"kind\": \"{kind}\", \"before_ns\": {before_ns:.1}, \
+                     \"after_p1_ns\": {p1:.1}, \"speedup_p1\": {s1:.2}}}"
+                );
+            }
+        }
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"unit\": \"ns/iter (median)\",\n");
+    json.push_str(
+        "  \"note\": \"before = seed tree-walking executor (committed baseline, sequential); \
+         after = overhauled executor at EvalOptions.parallelism 1 and 4. Every configuration is \
+         asserted byte-identical to the reference executor before timing. repeat_rewrite \
+         measures the rewrite-output plan cache and is excluded from the exec medians.\",\n",
+    );
+    let _ = write!(
+        json,
+        "  \"entries\": [\n{entries}\n  ],\n  \
+         \"median_speedup_exec_p1\": {:.2},\n  \
+         \"median_speedup_exec_p4\": {:.2}\n}}\n",
+        median(speedups_p1),
+        median(speedups_p4),
+    );
+
+    let out = root.join("BENCH_exec.json");
+    fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
+    println!("wrote {}", out.display());
+    print!("{json}");
+}

@@ -216,6 +216,56 @@ pub fn simple_table(rows: i64) -> Dbms {
     dbms
 }
 
+/// The executor-bench workload suite: `(id, dbms, sql)` triples shared
+/// by the `exec` bench and its committed `before` baseline so the two
+/// sides of `BENCH_exec.json` always measure identical data and queries.
+///
+/// Workloads are chosen to exercise the executor's hot paths: per-row
+/// predicate evaluation over object dereferences (`Salary(Refactor)`),
+/// n-ary joins, merged filter chains, union pushdown output, recursive
+/// fixpoints, and duplicate elimination.
+pub fn exec_workloads() -> Vec<(&'static str, Dbms, String)> {
+    vec![
+        (
+            "film_salary_filter",
+            film_dbms(1000, 200, 7),
+            "SELECT Numf FROM APPEARS_IN WHERE Salary(Refactor) > 20000 ;".to_owned(),
+        ),
+        (
+            "film_join",
+            film_dbms(150, 80, 7),
+            "SELECT Title FROM FILM, APPEARS_IN \
+             WHERE Salary(Refactor) > 20000 AND FILM.Numf = APPEARS_IN.Numf ;"
+                .to_owned(),
+        ),
+        (
+            "dominate_names",
+            film_dbms(300, 400, 7),
+            "SELECT Numf FROM DOMINATE WHERE Name(Refactor1) = Name(Refactor2) ;".to_owned(),
+        ),
+        (
+            "stack_filter",
+            view_stack(8, 4000),
+            "SELECT K FROM V8 WHERE B = 3 ;".to_owned(),
+        ),
+        (
+            "union_filter",
+            union_view(8, 2000),
+            "SELECT K FROM ALLPARTS WHERE P = 3 ;".to_owned(),
+        ),
+        (
+            "tc_bound",
+            graph_dbms(60, 15, 7),
+            "SELECT Dst FROM TC WHERE Src = 50 ;".to_owned(),
+        ),
+        (
+            "distinct_parts",
+            union_view(4, 3000),
+            "SELECT DISTINCT P FROM ALLPARTS ;".to_owned(),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,80 @@
+//! Differential suite: the overhauled executor must return *byte-identical*
+//! results — same rows, same order — as the reference executor (the seed
+//! tree-walking interpreter preserved in `eds_engine::reference`) across
+//! every physical configuration: both join modes, both fixpoint modes, and
+//! parallelism 1 and 4.
+
+use eds_bench::exec_workloads;
+use eds_core::Dbms;
+use eds_engine::{eval_reference, EvalOptions, FixMode, FixOptions, JoinMode};
+use eds_lera::Expr;
+
+fn all_configs() -> Vec<EvalOptions> {
+    let mut out = Vec::new();
+    for join in [JoinMode::NestedLoop, JoinMode::Hash] {
+        for fix_mode in [FixMode::Naive, FixMode::SemiNaive] {
+            for parallelism in [1usize, 4] {
+                out.push(EvalOptions {
+                    fix: FixOptions {
+                        mode: fix_mode,
+                        ..Default::default()
+                    },
+                    join,
+                    parallelism,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn assert_equivalent(id: &str, dbms: &Dbms, expr: &Expr) {
+    for opts in all_configs() {
+        let fast = eds_engine::eval_with(expr, &dbms.db, opts)
+            .unwrap_or_else(|e| panic!("{id}: overhauled executor failed under {opts:?}: {e}"))
+            .0;
+        let reference = eval_reference(expr, &dbms.db, opts)
+            .unwrap_or_else(|e| panic!("{id}: reference executor failed under {opts:?}: {e}"));
+        assert_eq!(
+            fast.schema, reference.schema,
+            "{id}: schema diverges under {opts:?}"
+        );
+        assert_eq!(
+            fast.rows, reference.rows,
+            "{id}: rows diverge from the reference interpreter under {opts:?}"
+        );
+    }
+}
+
+/// Every benchmark workload, pre- and post-rewrite, across all configs.
+#[test]
+fn workloads_match_reference_in_every_configuration() {
+    for (id, dbms, sql) in exec_workloads() {
+        let prepared = dbms.prepare(&sql).unwrap();
+        assert_equivalent(&format!("{id}/raw"), &dbms, &prepared.expr);
+        let rewritten = dbms.rewrite(&prepared).unwrap();
+        assert_equivalent(&format!("{id}/rewritten"), &dbms, &rewritten.expr);
+    }
+}
+
+/// The rewritten plan must produce the same rows as the raw plan — the
+/// rewriter is only allowed to change *how*, never *what*.
+#[test]
+fn rewritten_plans_preserve_results() {
+    for (id, dbms, sql) in exec_workloads() {
+        let prepared = dbms.prepare(&sql).unwrap();
+        let rewritten = dbms.rewrite(&prepared).unwrap();
+        let opts = EvalOptions::default();
+        let raw = eds_engine::eval_with(&prepared.expr, &dbms.db, opts)
+            .unwrap()
+            .0;
+        let opt = eds_engine::eval_with(&rewritten.expr, &dbms.db, opts)
+            .unwrap()
+            .0;
+        let mut raw_rows = raw.sorted_rows();
+        let mut opt_rows = opt.sorted_rows();
+        raw_rows.sort();
+        opt_rows.sort();
+        assert_eq!(raw_rows, opt_rows, "{id}: rewrite changed the result set");
+    }
+}

@@ -81,13 +81,14 @@ pub struct Dbms {
 }
 
 impl Dbms {
-    /// A DBMS with the built-in optimization knowledge base.
+    /// A DBMS with the built-in optimization knowledge base. Engine
+    /// options honor the `EDS_PARALLELISM` environment variable.
     pub fn new() -> CoreResult<Self> {
         Ok(Dbms {
             db: Database::new(),
             rewriter: QueryRewriter::with_default_rules()?,
             constraints: ConstraintStore::new(),
-            eval_options: EvalOptions::default(),
+            eval_options: EvalOptions::from_env(),
         })
     }
 
@@ -97,12 +98,14 @@ impl Dbms {
             db: Database::new(),
             rewriter: QueryRewriter::empty(),
             constraints: ConstraintStore::new(),
-            eval_options: EvalOptions::default(),
+            eval_options: EvalOptions::from_env(),
         }
     }
 
-    /// Install DDL (types, tables, views).
+    /// Install DDL (types, tables, views). Invalidates cached rewrites:
+    /// view expansion and typing consult the catalog.
     pub fn execute_ddl(&mut self, src: &str) -> CoreResult<Vec<Stmt>> {
+        self.rewriter.invalidate_plan_cache();
         Ok(self.db.execute_ddl(src)?)
     }
 
@@ -128,6 +131,7 @@ impl Dbms {
                     out.push(Executed::Inserted(self.db.execute_insert(&ins)?));
                 }
                 ddl => {
+                    self.rewriter.invalidate_plan_cache();
                     self.db.install_stmt(&ddl)?;
                     out.push(Executed::Ddl);
                 }
@@ -150,8 +154,10 @@ impl Dbms {
         Ok(self.db.insert_all(table, rows)?)
     }
 
-    /// Create an object and return a reference value.
+    /// Create an object and return a reference value. Invalidates cached
+    /// rewrites (object creation can install new dynamic types).
     pub fn create_object(&mut self, type_name: &str, value: eds_adt::Value) -> eds_adt::Value {
+        self.rewriter.invalidate_plan_cache();
         self.db.create_object(type_name, value)
     }
 
@@ -162,8 +168,10 @@ impl Dbms {
     }
 
     /// Declare integrity constraints written in the rule language
-    /// (Figure-10 shape).
+    /// (Figure-10 shape). Invalidates cached rewrites: the semantic
+    /// block matches against the constraint store.
     pub fn add_constraint_source(&mut self, src: &str) -> CoreResult<usize> {
+        self.rewriter.invalidate_plan_cache();
         self.constraints.load_source(src)
     }
 
@@ -179,10 +187,19 @@ impl Dbms {
         })
     }
 
-    /// Run the rewriter over a prepared plan.
+    /// Run the rewriter over a prepared plan (through the plan cache:
+    /// repeated rewrites of the same canonical plan return the cached
+    /// output).
     pub fn rewrite(&self, prepared: &Prepared) -> CoreResult<RewriteOutcome> {
         self.rewriter
             .rewrite(&prepared.expr, &self.db, &self.constraints)
+    }
+
+    /// Run the rewriter over a prepared plan, bypassing the plan cache —
+    /// for benchmarking the rewriter itself.
+    pub fn rewrite_uncached(&self, prepared: &Prepared) -> CoreResult<RewriteOutcome> {
+        self.rewriter
+            .rewrite_uncached(&prepared.expr, &self.db, &self.constraints)
     }
 
     /// Evaluate a plan.

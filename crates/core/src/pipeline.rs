@@ -6,6 +6,10 @@
 //! method registry, and is extensible at runtime: the database
 //! implementor adds or removes rules, redefines blocks, changes limits.
 
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
 use eds_engine::Database;
 use eds_lera::{expr_from_term, expr_to_term, Expr};
 use eds_rewrite::{
@@ -45,14 +49,60 @@ pub struct RewriteOutcome {
     pub budget_exhausted: bool,
 }
 
+/// One cached rewrite result. Traces are never cached: tracing rewrites
+/// bypass the cache entirely.
+#[derive(Clone)]
+struct CachedPlan {
+    term: Term,
+    stats: RewriteStats,
+    budget_exhausted: bool,
+}
+
+/// Cached rewrites above this count evict the whole cache (simple, and a
+/// workload with more than this many distinct prepared shapes is already
+/// re-preparing, not re-executing).
+const PLAN_CACHE_CAP: usize = 256;
+
 /// The extensible query rewriter.
-#[derive(Debug, Clone)]
 pub struct QueryRewriter {
     rules: RuleSet,
     strategy: Strategy,
     methods: MethodRegistry,
     /// Collect a rule-application trace on every rewrite.
     pub collect_trace: bool,
+    /// Rewrite-output cache, keyed on the canonical input term (terms
+    /// carry their hash from interning, so lookups cost one table probe,
+    /// not a plan traversal). Interior-mutable so `rewrite(&self)` can
+    /// fill it; invalidated by every knowledge-base mutation and, via
+    /// [`QueryRewriter::invalidate_plan_cache`], by catalog/constraint
+    /// changes in the embedding DBMS.
+    plan_cache: Mutex<HashMap<Term, CachedPlan>>,
+}
+
+impl fmt::Debug for QueryRewriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryRewriter")
+            .field("rules", &self.rules)
+            .field("strategy", &self.strategy)
+            .field("methods", &self.methods)
+            .field("collect_trace", &self.collect_trace)
+            .field("plan_cache_len", &self.plan_cache_len())
+            .finish()
+    }
+}
+
+impl Clone for QueryRewriter {
+    fn clone(&self) -> Self {
+        QueryRewriter {
+            rules: self.rules.clone(),
+            strategy: self.strategy.clone(),
+            methods: self.methods.clone(),
+            collect_trace: self.collect_trace,
+            // The clone starts cold: cached plans are cheap to recompute
+            // and sharing them would couple invalidation across copies.
+            plan_cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl QueryRewriter {
@@ -65,6 +115,7 @@ impl QueryRewriter {
             strategy: Strategy::new(),
             methods,
             collect_trace: false,
+            plan_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -90,11 +141,13 @@ impl QueryRewriter {
                 SourceItem::Seq(seq) => self.strategy.set_sequence(seq),
             }
         }
+        self.invalidate_plan_cache();
         Ok(n)
     }
 
     /// Remove a rule by name.
     pub fn remove_rule(&mut self, name: &str) -> bool {
+        self.invalidate_plan_cache();
         self.rules.remove(name)
     }
 
@@ -108,13 +161,17 @@ impl QueryRewriter {
         &self.strategy
     }
 
-    /// Mutable strategy access (block limits, sequence changes).
+    /// Mutable strategy access (block limits, sequence changes). Drops
+    /// every cached plan: the caller may change rewrite behavior.
     pub fn strategy_mut(&mut self) -> &mut Strategy {
+        self.invalidate_plan_cache();
         &mut self.strategy
     }
 
-    /// The method registry (for registering user methods).
+    /// The method registry (for registering user methods). Drops every
+    /// cached plan: the caller may change rewrite behavior.
     pub fn methods_mut(&mut self) -> &mut MethodRegistry {
+        self.invalidate_plan_cache();
         &mut self.methods
     }
 
@@ -126,11 +183,13 @@ impl QueryRewriter {
         for name in names {
             let _ = self.strategy.set_limit(&name, limit);
         }
+        self.invalidate_plan_cache();
     }
 
     /// Replace the sequence meta-rule.
     pub fn set_sequence(&mut self, seq: Sequence) {
         self.strategy.set_sequence(seq);
+        self.invalidate_plan_cache();
     }
 
     /// Allocate block limits dynamically from the query's complexity —
@@ -150,8 +209,64 @@ impl QueryRewriter {
         self.set_all_limits(limit);
     }
 
-    /// Rewrite a term directly.
+    /// Drop every cached rewrite. Called automatically on knowledge-base
+    /// mutations; the embedding DBMS calls it when the catalog or the
+    /// constraint store changes (rewrites consult both).
+    pub fn invalidate_plan_cache(&self) {
+        self.plan_cache.lock().expect("plan cache poisoned").clear();
+    }
+
+    /// Number of cached rewrites.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Rewrite a term directly, consulting the plan cache. Tracing
+    /// rewrites bypass the cache (a cache hit has no applications to
+    /// trace, which would make `explain` output misleading).
     pub fn rewrite_term(
+        &self,
+        term: Term,
+        db: &Database,
+        constraints: &ConstraintStore,
+    ) -> CoreResult<(Term, RewriteStats, Trace, bool)> {
+        if self.collect_trace {
+            return self.rewrite_term_uncached(term, db, constraints);
+        }
+        if let Some(hit) = self
+            .plan_cache
+            .lock()
+            .expect("plan cache poisoned")
+            .get(&term)
+        {
+            return Ok((
+                hit.term.clone(),
+                hit.stats,
+                Trace::default(),
+                hit.budget_exhausted,
+            ));
+        }
+        let key = term.clone();
+        let (out_term, stats, trace, budget_exhausted) =
+            self.rewrite_term_uncached(term, db, constraints)?;
+        let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(
+            key,
+            CachedPlan {
+                term: out_term.clone(),
+                stats,
+                budget_exhausted,
+            },
+        );
+        Ok((out_term, stats, trace, budget_exhausted))
+    }
+
+    /// Rewrite a term without touching the plan cache (neither lookup
+    /// nor fill) — for benchmarking the rewriter itself.
+    pub fn rewrite_term_uncached(
         &self,
         term: Term,
         db: &Database,
@@ -174,7 +289,7 @@ impl QueryRewriter {
         ))
     }
 
-    /// Rewrite a LERA plan.
+    /// Rewrite a LERA plan (through the plan cache).
     pub fn rewrite(
         &self,
         expr: &Expr,
@@ -183,6 +298,27 @@ impl QueryRewriter {
     ) -> CoreResult<RewriteOutcome> {
         let term = expr_to_term(expr);
         let (term, stats, trace, budget_exhausted) = self.rewrite_term(term, db, constraints)?;
+        let expr = expr_from_term(&term)?;
+        Ok(RewriteOutcome {
+            expr,
+            term,
+            stats,
+            trace,
+            budget_exhausted,
+        })
+    }
+
+    /// Rewrite a LERA plan, bypassing the plan cache — for benchmarking
+    /// the rewriter itself.
+    pub fn rewrite_uncached(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        constraints: &ConstraintStore,
+    ) -> CoreResult<RewriteOutcome> {
+        let term = expr_to_term(expr);
+        let (term, stats, trace, budget_exhausted) =
+            self.rewrite_term_uncached(term, db, constraints)?;
         let expr = expr_from_term(&term)?;
         Ok(RewriteOutcome {
             expr,

@@ -1,0 +1,156 @@
+//! Rewrite-output plan cache: hits return the identical plan, every
+//! knowledge-base / catalog / constraint mutation invalidates, tracing
+//! bypasses, and the cache stays bounded.
+
+use eds_adt::Value;
+use eds_core::Dbms;
+
+fn film_dbms() -> Dbms {
+    let mut dbms = Dbms::new().unwrap();
+    dbms.execute_ddl(
+        "TYPE Category ENUMERATION OF ('Comedy', 'Adventure', 'Science Fiction', 'Western') ;
+         TYPE Person OBJECT TUPLE ( Name : CHAR, Firstname : SET OF CHAR) ;
+         TYPE Actor SUBTYPE OF Person OBJECT TUPLE (Salary : NUMERIC) ;
+         TYPE SetCategory SET OF Category ;
+         TABLE FILM ( Numf : NUMERIC, Title : CHAR, Categories : SetCategory) ;
+         TABLE APPEARS_IN ( Numf : NUMERIC, Refactor : Actor) ;",
+    )
+    .unwrap();
+    let quinn = dbms.create_object(
+        "Actor",
+        Value::Tuple(vec![
+            Value::str("Quinn"),
+            Value::set(vec![]),
+            Value::Int(12_000),
+        ]),
+    );
+    dbms.insert_all(
+        "FILM",
+        vec![vec![
+            Value::Int(1),
+            Value::str("Desert Run"),
+            Value::set(vec![Value::str("Adventure")]),
+        ]],
+    )
+    .unwrap();
+    dbms.insert_all("APPEARS_IN", vec![vec![Value::Int(1), quinn]])
+        .unwrap();
+    dbms
+}
+
+const QUERY: &str = "SELECT Title FROM FILM, APPEARS_IN \
+                     WHERE Salary(Refactor) > 10000 AND FILM.Numf = APPEARS_IN.Numf ;";
+
+#[test]
+fn hit_returns_the_identical_plan() {
+    let dbms = film_dbms();
+    let prepared = dbms.prepare(QUERY).unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0);
+
+    let cold = dbms.rewrite(&prepared).unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 1);
+    let warm = dbms.rewrite(&prepared).unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 1, "hit must not re-insert");
+
+    assert_eq!(cold.term, warm.term);
+    assert_eq!(cold.expr, warm.expr);
+    assert_eq!(cold.stats, warm.stats);
+    assert_eq!(cold.budget_exhausted, warm.budget_exhausted);
+
+    // And both equal what the kernel produces without any cache.
+    let uncached = dbms.rewrite_uncached(&prepared).unwrap();
+    assert_eq!(uncached.term, warm.term);
+    assert_eq!(dbms.rewriter.plan_cache_len(), 1, "uncached must not fill");
+}
+
+#[test]
+fn every_mutation_class_invalidates() {
+    let mut dbms = film_dbms();
+    let prepared = dbms.prepare(QUERY).unwrap();
+
+    let fill = |dbms: &Dbms| {
+        dbms.rewrite(&prepared).unwrap();
+        assert_eq!(dbms.rewriter.plan_cache_len(), 1);
+    };
+
+    // Rule addition.
+    fill(&dbms);
+    dbms.add_rule_source("ExtraNoop : f AND TRUE / --> f / ;")
+        .unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0, "add_rule_source");
+
+    // Rule removal.
+    fill(&dbms);
+    assert!(dbms.rewriter.remove_rule("ExtraNoop"));
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0, "remove_rule");
+
+    // DDL: rewrites consult the catalog (schemas, types).
+    fill(&dbms);
+    dbms.execute_ddl("TABLE SCRATCH ( X : NUMERIC ) ;").unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0, "execute_ddl");
+
+    // Semantic constraints: rewrites consult the constraint store.
+    fill(&dbms);
+    dbms.add_constraint_source(
+        "SalaryPositive : F(x) / ISA(x, Actor) --> F(x) AND PROJECT(x, Salary) > 0 / ;",
+    )
+    .unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0, "add_constraint_source");
+
+    // Strategy changes (block limits).
+    fill(&dbms);
+    dbms.rewriter.set_all_limits(eds_rewrite::Limit::Infinite);
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0, "set_all_limits");
+
+    // Row inserts do NOT invalidate: rewrites never read row data.
+    fill(&dbms);
+    dbms.insert(
+        "FILM",
+        vec![Value::Int(2), Value::str("Laugh Lines"), Value::set(vec![])],
+    )
+    .unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 1, "insert must not drop");
+}
+
+#[test]
+fn tracing_bypasses_the_cache() {
+    let mut dbms = film_dbms();
+    // The tautological conjunct makes the simplify block fire, so the
+    // traced rewrite has applications to record.
+    let prepared = dbms
+        .prepare("SELECT Title FROM FILM WHERE Numf > 0 AND 1 = 1 ;")
+        .unwrap();
+    dbms.rewrite(&prepared).unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 1);
+
+    dbms.rewriter.collect_trace = true;
+    let traced = dbms.rewrite(&prepared).unwrap();
+    assert!(
+        !traced.trace.events().is_empty(),
+        "a traced rewrite of this query must record applications"
+    );
+    assert_eq!(
+        dbms.rewriter.plan_cache_len(),
+        1,
+        "tracing must neither hit nor fill the cache"
+    );
+}
+
+#[test]
+fn cache_stays_bounded_and_clones_start_cold() {
+    let dbms = film_dbms();
+    // More distinct shapes than the cap (256): vary a literal.
+    for i in 0..300 {
+        let q = format!("SELECT Title FROM FILM WHERE Numf = {i} ;");
+        let p = dbms.prepare(&q).unwrap();
+        dbms.rewrite(&p).unwrap();
+        assert!(
+            dbms.rewriter.plan_cache_len() <= 256,
+            "cache exceeded its cap at query {i}"
+        );
+    }
+    assert!(dbms.rewriter.plan_cache_len() > 0);
+
+    let cloned = dbms.rewriter.clone();
+    assert_eq!(cloned.plan_cache_len(), 0, "clones must start cold");
+}

@@ -1,0 +1,671 @@
+//! Compiled scalar programs.
+//!
+//! [`bind_fields`](crate::eval) resolves named field accesses once per
+//! operator; this module goes one step further and lowers the bound
+//! [`Scalar`] tree into a [`CompiledScalar`] — a pre-dispatched program
+//! whose per-row evaluation
+//!
+//! * never re-walks `Scalar` enum structure (GETFIELD/VALUE calls are
+//!   lowered to dedicated nodes, function symbols are resolved in the
+//!   [`FunctionRegistry`] at compile time, not per row);
+//! * borrows instead of clones: attribute references, tuple-field
+//!   accesses and object dereferences yield [`Cow::Borrowed`] values
+//!   pointing into the input rows or the object store, so a comparison
+//!   such as `Salary(Refactor) > 20000` copies nothing.
+//!
+//! Semantics (three-valued logic, broadcast comparisons, collection
+//! mapping, and every error message) are identical to the interpreted
+//! [`eval_scalar`](crate::eval::eval_scalar) path, which remains as the
+//! reference implementation; `exec_equivalence` tests assert the two
+//! agree on the full workload suite.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use eds_adt::{
+    AdtError, EvalContext, FunctionRegistry, NativeFn, ObjectStore, TypeRegistry, Value,
+};
+use eds_lera::{CmpOp, LeraError, Scalar};
+
+use crate::database::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::eval_cmp_broadcast;
+
+/// The immutable evaluation environment a compiled program runs against:
+/// the slices of a [`Database`] that scalar evaluation can touch. `Sync`,
+/// so partitioned operators can evaluate one program from many threads.
+#[derive(Clone, Copy)]
+pub struct EvalEnv<'a> {
+    /// Object store for `VALUE`/field dereferences.
+    pub objects: &'a ObjectStore,
+    /// Type registry (for `ISA` and friends).
+    pub types: &'a TypeRegistry,
+    /// ADT function registry.
+    pub functions: &'a FunctionRegistry,
+}
+
+impl<'a> EvalEnv<'a> {
+    /// Environment view of a database.
+    pub fn of(db: &'a Database) -> Self {
+        EvalEnv {
+            objects: &db.objects,
+            types: &db.catalog.types,
+            functions: &db.functions,
+        }
+    }
+
+    fn adt_ctx(&self) -> EvalContext<'a> {
+        EvalContext {
+            objects: self.objects,
+            types: self.types,
+        }
+    }
+}
+
+/// A compiled scalar program. Build once per operator with
+/// [`CompiledScalar::compile`], evaluate per row with
+/// [`CompiledScalar::eval`].
+pub enum CompiledScalar {
+    /// Positional attribute reference (1-based, like `Scalar::Attr`).
+    Attr {
+        /// 1-based input relation index.
+        rel: usize,
+        /// 1-based attribute index.
+        attr: usize,
+    },
+    /// Literal.
+    Const(Value),
+    /// `GETFIELD(input, idx)` with a constant index — the shape
+    /// `bind_fields` always produces.
+    GetField {
+        /// Receiver program.
+        input: Box<CompiledScalar>,
+        /// 1-based field index.
+        idx1: usize,
+    },
+    /// `GETFIELD` with a computed index (kept for rule-generated plans).
+    DynGetField(Vec<CompiledScalar>),
+    /// `VALUE(input)`: object dereference with collection mapping.
+    ValueOf(Box<CompiledScalar>),
+    /// `VALUE` with an unexpected argument list (degenerate, kept for
+    /// exact interpreter parity).
+    DynValue(Vec<CompiledScalar>),
+    /// Resolved function call: the registry lookup happened at compile
+    /// time.
+    Call {
+        /// Canonical function name (for arity-check errors).
+        name: String,
+        /// Resolved implementation.
+        func: NativeFn,
+        /// Declared arity.
+        arity: eds_adt::Arity,
+        /// Argument programs.
+        args: Vec<CompiledScalar>,
+    },
+    /// Unresolved function call — evaluation produces the registry's
+    /// `UnknownFunction` error, exactly like the interpreter (and only
+    /// when a row is actually evaluated).
+    UnknownCall {
+        /// Function name as written.
+        name: String,
+        /// Argument programs.
+        args: Vec<CompiledScalar>,
+    },
+    /// Comparison with broadcast semantics.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<CompiledScalar>,
+        /// Right operand.
+        right: Box<CompiledScalar>,
+    },
+    /// Flattened three-valued conjunction: nested `AND` chains compile
+    /// to one operand list, evaluated left to right with the same
+    /// short-circuit on FALSE (3VL `AND` is associative, so flattening
+    /// preserves both results and the evaluation/error order).
+    Conj(Vec<CompiledScalar>),
+    /// Flattened three-valued disjunction (short-circuits on TRUE).
+    Disj(Vec<CompiledScalar>),
+    /// Three-valued negation.
+    Not(Box<CompiledScalar>),
+    /// A `Scalar::Field` that survived binding — evaluation errors like
+    /// the interpreter does.
+    UnboundField {
+        /// Attribute name, for the error message.
+        name: String,
+    },
+}
+
+impl CompiledScalar {
+    /// Lower a bound scalar into a compiled program, resolving function
+    /// symbols against `env`.
+    pub fn compile(s: &Scalar, env: &EvalEnv<'_>) -> CompiledScalar {
+        match s {
+            Scalar::Attr { rel, attr } => CompiledScalar::Attr {
+                rel: *rel,
+                attr: *attr,
+            },
+            Scalar::Const(v) => CompiledScalar::Const(v.clone()),
+            Scalar::Field { name, .. } => CompiledScalar::UnboundField { name: name.clone() },
+            Scalar::Call { func, args } => {
+                let compiled: Vec<CompiledScalar> =
+                    args.iter().map(|a| Self::compile(a, env)).collect();
+                match (func.as_str(), compiled.len()) {
+                    ("GETFIELD", 2) => {
+                        // Constant index: the canonical bind_fields shape.
+                        if let Scalar::Const(Value::Int(i)) = &args[1] {
+                            CompiledScalar::GetField {
+                                input: Box::new(compiled.into_iter().next().expect("two args")),
+                                idx1: *i as usize,
+                            }
+                        } else {
+                            CompiledScalar::DynGetField(compiled)
+                        }
+                    }
+                    ("GETFIELD", _) => CompiledScalar::DynGetField(compiled),
+                    ("VALUE", 1) => CompiledScalar::ValueOf(Box::new(
+                        compiled.into_iter().next().expect("one arg"),
+                    )),
+                    ("VALUE", _) => CompiledScalar::DynValue(compiled),
+                    _ => match env.functions.get(func) {
+                        Some(def) => CompiledScalar::Call {
+                            name: def.name.clone(),
+                            func: Arc::clone(&def.func),
+                            arity: def.arity,
+                            args: compiled,
+                        },
+                        None => CompiledScalar::UnknownCall {
+                            name: func.clone(),
+                            args: compiled,
+                        },
+                    },
+                }
+            }
+            Scalar::Cmp { op, left, right } => CompiledScalar::Cmp {
+                op: *op,
+                left: Box::new(Self::compile(left, env)),
+                right: Box::new(Self::compile(right, env)),
+            },
+            Scalar::And(_, _) => {
+                let mut operands = Vec::new();
+                flatten_and(s, env, &mut operands);
+                CompiledScalar::Conj(operands)
+            }
+            Scalar::Or(_, _) => {
+                let mut operands = Vec::new();
+                flatten_or(s, env, &mut operands);
+                CompiledScalar::Disj(operands)
+            }
+            Scalar::Not(a) => CompiledScalar::Not(Box::new(Self::compile(a, env))),
+        }
+    }
+
+    /// Evaluate against one tuple per input relation. Borrowed results
+    /// point into `tuples`, the object store, or the program's own
+    /// constants.
+    pub fn eval<'v>(
+        &'v self,
+        tuples: &[&'v [Value]],
+        env: &EvalEnv<'v>,
+    ) -> EngineResult<Cow<'v, Value>> {
+        match self {
+            CompiledScalar::Attr { rel, attr } => {
+                let row = tuples.get(rel - 1).ok_or_else(|| {
+                    EngineError::Lera(LeraError::BadAttrRef {
+                        rel: *rel,
+                        attr: *attr,
+                        context: format!("{} input tuples", tuples.len()),
+                    })
+                })?;
+                row.get(attr - 1).map(Cow::Borrowed).ok_or_else(|| {
+                    EngineError::Lera(LeraError::BadAttrRef {
+                        rel: *rel,
+                        attr: *attr,
+                        context: format!("tuple of arity {}", row.len()),
+                    })
+                })
+            }
+            CompiledScalar::Const(v) => Ok(Cow::Borrowed(v)),
+            CompiledScalar::GetField { input, idx1 } => {
+                let v = input.eval(tuples, env)?;
+                getfield_cow(v, *idx1, env)
+            }
+            CompiledScalar::DynGetField(args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(tuples, env).map(Cow::into_owned))
+                    .collect::<EngineResult<Vec<Value>>>()?;
+                let idx = vals[1].as_int().map_err(EngineError::Adt)? as usize;
+                getfield_cow(Cow::Owned(vals.into_iter().next().expect("arg")), idx, env)
+            }
+            CompiledScalar::ValueOf(input) => {
+                let v = input.eval(tuples, env)?;
+                deref_cow(v, env)
+            }
+            CompiledScalar::DynValue(args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(tuples, env).map(Cow::into_owned))
+                    .collect::<EngineResult<Vec<Value>>>()?;
+                deref_cow(Cow::Owned(vals.into_iter().next().expect("arg")), env)
+            }
+            CompiledScalar::Call {
+                name,
+                func,
+                arity,
+                args,
+            } => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(tuples, env).map(Cow::into_owned))
+                    .collect::<EngineResult<Vec<Value>>>()?;
+                arity.check(name, vals.len()).map_err(EngineError::Adt)?;
+                func(&vals, &env.adt_ctx())
+                    .map(Cow::Owned)
+                    .map_err(EngineError::Adt)
+            }
+            CompiledScalar::UnknownCall { name, args } => {
+                // Evaluate arguments first (interpreter order), then fail
+                // with the registry's own error.
+                for a in args {
+                    a.eval(tuples, env)?;
+                }
+                Err(EngineError::Adt(AdtError::UnknownFunction(name.clone())))
+            }
+            CompiledScalar::Cmp { op, left, right } => {
+                let l = left.eval(tuples, env)?;
+                let r = right.eval(tuples, env)?;
+                Ok(Cow::Owned(eval_cmp_broadcast(op, &l, &r)))
+            }
+            CompiledScalar::Conj(operands) => {
+                // Left-to-right with FALSE short-circuit; any non-TRUE
+                // survivor (NULL or a non-boolean) makes the result NULL,
+                // exactly like folding the interpreter's binary AND.
+                let mut all_true = true;
+                for o in operands {
+                    let v = o.eval(tuples, env)?;
+                    match v.as_ref() {
+                        Value::Bool(false) => return Ok(Cow::Owned(Value::Bool(false))),
+                        Value::Bool(true) => {}
+                        _ => all_true = false,
+                    }
+                }
+                Ok(Cow::Owned(if all_true {
+                    Value::Bool(true)
+                } else {
+                    Value::Null
+                }))
+            }
+            CompiledScalar::Disj(operands) => {
+                let mut all_false = true;
+                for o in operands {
+                    let v = o.eval(tuples, env)?;
+                    match v.as_ref() {
+                        Value::Bool(true) => return Ok(Cow::Owned(Value::Bool(true))),
+                        Value::Bool(false) => {}
+                        _ => all_false = false,
+                    }
+                }
+                Ok(Cow::Owned(if all_false {
+                    Value::Bool(false)
+                } else {
+                    Value::Null
+                }))
+            }
+            CompiledScalar::Not(a) => Ok(Cow::Owned(match a.eval(tuples, env)?.as_ref() {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(EngineError::NonBooleanPredicate(other.to_string()));
+                }
+            })),
+            CompiledScalar::UnboundField { name } => {
+                Err(EngineError::Lera(LeraError::UnknownAttribute {
+                    name: name.clone(),
+                    receiver: "unbound field access at runtime".into(),
+                }))
+            }
+        }
+    }
+
+    /// Evaluate and convert to an owned value (projection targets).
+    pub fn eval_owned(&self, tuples: &[&[Value]], env: &EvalEnv<'_>) -> EngineResult<Value> {
+        self.eval(tuples, env).map(Cow::into_owned)
+    }
+
+    /// Evaluate as a qualification: `true` only for `TRUE` (three-valued
+    /// logic maps NULL and FALSE to "not selected").
+    pub fn eval_bool(&self, tuples: &[&[Value]], env: &EvalEnv<'_>) -> EngineResult<bool> {
+        Ok(matches!(
+            self.eval(tuples, env)?.as_ref(),
+            Value::Bool(true)
+        ))
+    }
+}
+
+/// Three-valued truth classification of a qualification conjunct.
+enum Truth {
+    True,
+    False,
+    Other,
+}
+
+/// A fast operand reference: an access path the hot loop can resolve to a
+/// borrowed [`Value`] with no recursion and no [`Cow`] bookkeeping. `None`
+/// from [`FastRef::get`] means "shape not covered" (bad index, dangling
+/// OID, collection receiver, …) and the caller re-runs the general
+/// program, which reproduces the exact interpreter result or error.
+enum FastRef {
+    /// `tuples[rel0][attr0]` (0-based).
+    Slot { rel0: usize, attr0: usize },
+    /// `GETFIELD(VALUE(tuples[rel0][attr0]), idx0 + 1)` where the slot
+    /// holds an object reference whose value is a tuple — the shape every
+    /// object-attribute access lowers to.
+    DerefField {
+        rel0: usize,
+        attr0: usize,
+        idx0: usize,
+    },
+    /// A literal.
+    Konst(Value),
+}
+
+impl FastRef {
+    fn of(p: &CompiledScalar) -> Option<FastRef> {
+        match p {
+            CompiledScalar::Attr { rel, attr } if *rel >= 1 && *attr >= 1 => Some(FastRef::Slot {
+                rel0: rel - 1,
+                attr0: attr - 1,
+            }),
+            CompiledScalar::Const(v) => Some(FastRef::Konst(v.clone())),
+            CompiledScalar::GetField { input, idx1 } if *idx1 >= 1 => match input.as_ref() {
+                CompiledScalar::ValueOf(inner) => match inner.as_ref() {
+                    CompiledScalar::Attr { rel, attr } if *rel >= 1 && *attr >= 1 => {
+                        Some(FastRef::DerefField {
+                            rel0: rel - 1,
+                            attr0: attr - 1,
+                            idx0: idx1 - 1,
+                        })
+                    }
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn get<'v>(&'v self, tuples: &[&'v [Value]], env: &EvalEnv<'v>) -> Option<&'v Value> {
+        match self {
+            FastRef::Slot { rel0, attr0 } => tuples.get(*rel0)?.get(*attr0),
+            FastRef::Konst(v) => Some(v),
+            FastRef::DerefField { rel0, attr0, idx0 } => match tuples.get(*rel0)?.get(*attr0)? {
+                Value::Object(oid) => match env.objects.value(*oid) {
+                    Ok(Value::Tuple(items)) => items.get(*idx0),
+                    _ => None,
+                },
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Pre-classified fast form of one conjunct.
+enum FastQual {
+    /// Literal `TRUE` — no per-row work at all.
+    True,
+    /// A comparison between two fast references.
+    Cmp {
+        op: CmpOp,
+        left: FastRef,
+        right: FastRef,
+    },
+}
+
+/// One conjunct of a qualification: the fast form when the shape allows
+/// it, plus the general program as semantic authority and fallback.
+struct Conjunct {
+    fast: Option<FastQual>,
+    general: CompiledScalar,
+}
+
+impl Conjunct {
+    fn new(general: CompiledScalar) -> Conjunct {
+        let fast = match &general {
+            CompiledScalar::Const(Value::Bool(true)) => Some(FastQual::True),
+            CompiledScalar::Cmp { op, left, right } => {
+                match (FastRef::of(left), FastRef::of(right)) {
+                    (Some(l), Some(r)) => Some(FastQual::Cmp {
+                        op: *op,
+                        left: l,
+                        right: r,
+                    }),
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        Conjunct { fast, general }
+    }
+
+    #[inline]
+    fn truth(&self, tuples: &[&[Value]], env: &EvalEnv<'_>) -> EngineResult<Truth> {
+        if let Some(fast) = &self.fast {
+            match fast {
+                FastQual::True => return Ok(Truth::True),
+                FastQual::Cmp { op, left, right } => {
+                    if let (Some(l), Some(r)) = (left.get(tuples, env), right.get(tuples, env)) {
+                        return Ok(match eval_cmp_broadcast(op, l, r) {
+                            Value::Bool(true) => Truth::True,
+                            Value::Bool(false) => Truth::False,
+                            _ => Truth::Other,
+                        });
+                    }
+                    // Access shape not covered: fall through to the
+                    // general program (pure re-evaluation; reproduces the
+                    // interpreter's result or error exactly).
+                }
+            }
+        }
+        Ok(match self.general.eval(tuples, env)?.as_ref() {
+            Value::Bool(true) => Truth::True,
+            Value::Bool(false) => Truth::False,
+            _ => Truth::Other,
+        })
+    }
+}
+
+/// A compiled qualification: the conjunct list of the predicate, each
+/// with a pre-classified fast path. Evaluation order, short-circuiting
+/// and errors match folding the interpreter's binary `AND` (FALSE
+/// short-circuits; NULL and non-boolean survivors poison the result to
+/// NULL, which a qualification treats as "not selected").
+pub struct CompiledPred {
+    conjuncts: Vec<Conjunct>,
+}
+
+impl CompiledPred {
+    /// Lower a bound predicate.
+    pub fn compile(s: &Scalar, env: &EvalEnv<'_>) -> CompiledPred {
+        let mut programs = Vec::new();
+        flatten_and(s, env, &mut programs);
+        CompiledPred {
+            conjuncts: programs.into_iter().map(Conjunct::new).collect(),
+        }
+    }
+
+    /// Evaluate as a qualification: `true` only when every conjunct is
+    /// `TRUE`.
+    #[inline]
+    pub fn eval_bool(&self, tuples: &[&[Value]], env: &EvalEnv<'_>) -> EngineResult<bool> {
+        let mut all_true = true;
+        for c in &self.conjuncts {
+            match c.truth(tuples, env)? {
+                Truth::True => {}
+                Truth::False => return Ok(false),
+                Truth::Other => all_true = false,
+            }
+        }
+        Ok(all_true)
+    }
+}
+
+/// A compiled projection target: plain attribute references clone the
+/// slot value directly; everything else runs the general program.
+pub struct CompiledProj {
+    slot: Option<(usize, usize)>,
+    general: CompiledScalar,
+}
+
+impl CompiledProj {
+    /// Lower a bound projection expression.
+    pub fn compile(s: &Scalar, env: &EvalEnv<'_>) -> CompiledProj {
+        let general = CompiledScalar::compile(s, env);
+        let slot = match &general {
+            CompiledScalar::Attr { rel, attr } if *rel >= 1 && *attr >= 1 => {
+                Some((rel - 1, attr - 1))
+            }
+            _ => None,
+        };
+        CompiledProj { slot, general }
+    }
+
+    /// Evaluate to an owned value.
+    #[inline]
+    pub fn eval_owned(&self, tuples: &[&[Value]], env: &EvalEnv<'_>) -> EngineResult<Value> {
+        if let Some((rel0, attr0)) = self.slot {
+            if let Some(v) = tuples.get(rel0).and_then(|t| t.get(attr0)) {
+                return Ok(v.clone());
+            }
+        }
+        self.general.eval_owned(tuples, env)
+    }
+}
+
+fn flatten_and(s: &Scalar, env: &EvalEnv<'_>, out: &mut Vec<CompiledScalar>) {
+    match s {
+        Scalar::And(a, b) => {
+            flatten_and(a, env, out);
+            flatten_and(b, env, out);
+        }
+        other => out.push(CompiledScalar::compile(other, env)),
+    }
+}
+
+fn flatten_or(s: &Scalar, env: &EvalEnv<'_>, out: &mut Vec<CompiledScalar>) {
+    match s {
+        Scalar::Or(a, b) => {
+            flatten_or(a, env, out);
+            flatten_or(b, env, out);
+        }
+        other => out.push(CompiledScalar::compile(other, env)),
+    }
+}
+
+/// Field access with automatic mapping (tuples index directly, object
+/// references dereference first, collections map elementwise), borrowing
+/// wherever the receiver is borrowed.
+fn getfield_cow<'v>(
+    v: Cow<'v, Value>,
+    idx1: usize,
+    env: &EvalEnv<'v>,
+) -> EngineResult<Cow<'v, Value>> {
+    match v {
+        Cow::Borrowed(b) => getfield_ref(b, idx1, env),
+        Cow::Owned(o) => getfield_owned(o, idx1, env),
+    }
+}
+
+fn getfield_ref<'v>(v: &'v Value, idx1: usize, env: &EvalEnv<'v>) -> EngineResult<Cow<'v, Value>> {
+    match v {
+        Value::Null => Ok(Cow::Owned(Value::Null)),
+        Value::Tuple(items) => items.get(idx1 - 1).map(Cow::Borrowed).ok_or({
+            EngineError::Adt(AdtError::IndexOutOfBounds {
+                index: idx1 as i64,
+                len: items.len(),
+            })
+        }),
+        Value::Object(oid) => {
+            let inner = env.objects.value(*oid).map_err(EngineError::Adt)?;
+            getfield_ref(inner, idx1, env)
+        }
+        Value::Coll(kind, items) => {
+            let mapped = items
+                .iter()
+                .map(|e| getfield_ref(e, idx1, env).map(Cow::into_owned))
+                .collect::<EngineResult<Vec<_>>>()?;
+            Ok(Cow::Owned(Value::coll(*kind, mapped)))
+        }
+        other => Err(EngineError::Adt(AdtError::TypeMismatch {
+            function: "GETFIELD".into(),
+            expected: "TUPLE, OBJECT or collection".into(),
+            found: other.kind_name().into(),
+        })),
+    }
+}
+
+fn getfield_owned<'v>(v: Value, idx1: usize, env: &EvalEnv<'v>) -> EngineResult<Cow<'v, Value>> {
+    match v {
+        Value::Null => Ok(Cow::Owned(Value::Null)),
+        Value::Tuple(mut items) => {
+            if idx1 >= 1 && idx1 <= items.len() {
+                Ok(Cow::Owned(items.swap_remove(idx1 - 1)))
+            } else {
+                Err(EngineError::Adt(AdtError::IndexOutOfBounds {
+                    index: idx1 as i64,
+                    len: items.len(),
+                }))
+            }
+        }
+        Value::Object(oid) => {
+            let inner = env.objects.value(oid).map_err(EngineError::Adt)?;
+            getfield_ref(inner, idx1, env)
+        }
+        Value::Coll(kind, items) => {
+            let mapped = items
+                .into_iter()
+                .map(|e| getfield_owned(e, idx1, env).map(Cow::into_owned))
+                .collect::<EngineResult<Vec<_>>>()?;
+            Ok(Cow::Owned(Value::coll(kind, mapped)))
+        }
+        other => Err(EngineError::Adt(AdtError::TypeMismatch {
+            function: "GETFIELD".into(),
+            expected: "TUPLE, OBJECT or collection".into(),
+            found: other.kind_name().into(),
+        })),
+    }
+}
+
+/// `VALUE` with collection mapping, borrowing from the object store.
+fn deref_cow<'v>(v: Cow<'v, Value>, env: &EvalEnv<'v>) -> EngineResult<Cow<'v, Value>> {
+    match v {
+        Cow::Borrowed(Value::Null) | Cow::Owned(Value::Null) => Ok(Cow::Owned(Value::Null)),
+        Cow::Borrowed(Value::Object(oid)) => env
+            .objects
+            .value(*oid)
+            .map(Cow::Borrowed)
+            .map_err(EngineError::Adt),
+        Cow::Owned(Value::Object(oid)) => env
+            .objects
+            .value(oid)
+            .map(Cow::Borrowed)
+            .map_err(EngineError::Adt),
+        Cow::Borrowed(Value::Coll(kind, items)) => {
+            let mapped = items
+                .iter()
+                .map(|e| deref_cow(Cow::Borrowed(e), env).map(Cow::into_owned))
+                .collect::<EngineResult<Vec<_>>>()?;
+            Ok(Cow::Owned(Value::coll(*kind, mapped)))
+        }
+        Cow::Owned(Value::Coll(kind, items)) => {
+            let mapped = items
+                .into_iter()
+                .map(|e| deref_cow(Cow::Owned(e), env).map(Cow::into_owned))
+                .collect::<EngineResult<Vec<_>>>()?;
+            Ok(Cow::Owned(Value::coll(kind, mapped)))
+        }
+        other => Ok(other),
+    }
+}

@@ -7,11 +7,13 @@
 //! occurrence bound to the delta of the previous round — the standard
 //! optimization the Alexander/magic-sets transformation composes with.
 
+use std::collections::HashSet;
+
 use eds_lera::{infer_schema, Expr};
 
 use crate::error::{EngineError, EngineResult};
 use crate::eval::{eval_expr, Ctx};
-use crate::relation::{Relation, Row};
+use crate::relation::{Relation, SharedRow};
 
 /// Fixpoint evaluation strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,8 +51,8 @@ pub fn eval_fix(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Rela
     }
 }
 
-fn sorted_dedup(mut rows: Vec<Row>) -> Vec<Row> {
-    rows.sort();
+fn sorted_dedup(mut rows: Vec<SharedRow>) -> Vec<SharedRow> {
+    rows.sort_unstable();
     rows.dedup();
     rows
 }
@@ -79,7 +81,7 @@ fn eval_fix_naive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Re
             if merged == known.rows {
                 return Ok(known);
             }
-            known = Relation::new(known.schema.clone(), merged);
+            known = Relation::from_shared(known.schema.clone(), merged);
         }
         Err(EngineError::FixpointDiverged {
             name: name.to_owned(),
@@ -149,26 +151,32 @@ fn eval_fix_seminaive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResul
     let saved_known = ctx.locals.insert(key.clone(), known.clone());
     let saved_delta = ctx.locals.insert(delta_key.clone(), delta.clone());
 
+    // Hash membership for the `fresh - known` difference (rows hash
+    // through the Arc to their values); `known.rows` itself stays a
+    // sorted vector so the final result is canonical.
+    let mut known_set: HashSet<SharedRow> = known.rows.iter().cloned().collect();
+
     let result = (|| {
         for _round in 0..ctx.opts.fix.max_iterations {
             ctx.stats.fix_iterations += 1;
             ctx.locals.insert(key.clone(), known.clone());
             ctx.locals.insert(delta_key.clone(), delta.clone());
 
-            let mut fresh: Vec<Row> = Vec::new();
+            let mut fresh: Vec<SharedRow> = Vec::new();
             for variant in &variants {
                 let r = eval_expr(variant, ctx)?;
                 fresh.extend(r.rows);
             }
             let fresh = sorted_dedup(fresh);
             // delta = fresh - known
-            let new_delta: Vec<Row> = fresh
+            let new_delta: Vec<SharedRow> = fresh
                 .into_iter()
-                .filter(|r| known.rows.binary_search(r).is_err())
+                .filter(|r| !known_set.contains(r))
                 .collect();
             if new_delta.is_empty() {
                 return Ok(known);
             }
+            known_set.extend(new_delta.iter().cloned());
             let merged = sorted_dedup(
                 known
                     .rows
@@ -177,8 +185,8 @@ fn eval_fix_seminaive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResul
                     .chain(new_delta.iter().cloned())
                     .collect(),
             );
-            known = Relation::new(known.schema.clone(), merged);
-            delta = Relation::new(known.schema.clone(), new_delta);
+            known = Relation::from_shared(known.schema.clone(), merged);
+            delta = Relation::from_shared(known.schema.clone(), new_delta);
         }
         Err(EngineError::FixpointDiverged {
             name: name.to_owned(),
@@ -299,7 +307,7 @@ impl Ctx<'_> {
     pub(crate) fn schema_ctx_for_fix(&self) -> eds_lera::SchemaCtx<'_> {
         let mut sc = eds_lera::SchemaCtx::new(&self.db.catalog);
         for (name, rel) in &self.locals {
-            sc = sc.with_local(name, rel.schema.clone());
+            sc = sc.with_local(name, (*rel.schema).clone());
         }
         sc
     }

@@ -29,14 +29,18 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod database;
 pub mod error;
 pub mod eval;
 pub mod fixpoint;
+pub mod reference;
 pub mod relation;
 
+pub use compile::{CompiledScalar, EvalEnv};
 pub use database::Database;
 pub use error::{EngineError, EngineResult};
 pub use eval::{eval, eval_const_scalar, eval_with, EvalOptions, EvalStats, JoinMode};
 pub use fixpoint::{FixMode, FixOptions};
-pub use relation::{Relation, Row};
+pub use reference::eval_reference;
+pub use relation::{Relation, Row, SharedRow};

@@ -1,0 +1,465 @@
+//! The reference executor: the original per-tuple tree-walking
+//! interpreter, preserved verbatim for differential testing.
+//!
+//! [`eval_reference`] evaluates every operator with the pre-overhaul
+//! physical strategies — interpreted [`eval_scalar`] per row, quadratic
+//! set operations, sequential nested-loop/hash `search`, sorted-vector
+//! fixpoints — and therefore produces byte-identical rows *in the same
+//! order* as the seed executor did. The `exec_equivalence` integration
+//! suite asserts the production executor ([`crate::eval::eval_with`])
+//! agrees exactly, across join modes, fixpoint modes and parallelism
+//! settings.
+//!
+//! Keep this module dumb: any "optimization" added here erodes its value
+//! as an independent oracle.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use eds_adt::Value;
+use eds_lera::{infer_schema, Expr, LeraError, Scalar, Schema};
+
+use crate::database::Database;
+use crate::error::{EngineError, EngineResult};
+use crate::eval::{bind_fields, eval_scalar, Ctx, EvalOptions, EvalStats, JoinMode};
+use crate::fixpoint::{count_occurrences, replace_nth_base, FixMode};
+use crate::relation::{Relation, Row, SharedRow};
+
+/// Evaluate a plan with the reference (seed) strategies.
+pub fn eval_reference(expr: &Expr, db: &Database, opts: EvalOptions) -> EngineResult<Relation> {
+    let mut ctx = Ctx {
+        db,
+        opts,
+        locals: HashMap::new(),
+        stats: EvalStats::default(),
+    };
+    ref_expr(expr, &mut ctx)
+}
+
+fn is_true(v: &Value) -> bool {
+    matches!(v, Value::Bool(true))
+}
+
+fn ref_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    match expr {
+        Expr::Base(name) => {
+            let key = name.to_ascii_uppercase();
+            if let Some(rel) = ctx.locals.get(&key) {
+                return Ok(rel.clone());
+            }
+            if let Some(rel) = ctx.db.relation(name) {
+                return Ok(rel.clone());
+            }
+            Err(EngineError::UnknownRelation(name.to_owned()))
+        }
+        Expr::Filter { input, pred } => {
+            let rel = ref_expr(input, ctx)?;
+            let pred = bind_fields(pred, std::slice::from_ref(&*rel.schema), ctx)?;
+            let mut out = Relation::empty(rel.schema.clone());
+            for row in &rel.rows {
+                if is_true(&eval_scalar(&pred, &[row], ctx)?) {
+                    out.push_shared(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Expr::Project { input, exprs } => {
+            let rel = ref_expr(input, ctx)?;
+            let schema = infer_schema(expr, &ctx.schema_ctx_for_fix())?;
+            let exprs = exprs
+                .iter()
+                .map(|e| bind_fields(e, std::slice::from_ref(&*rel.schema), ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            let mut out = Relation::empty(schema);
+            for row in &rel.rows {
+                let new_row = exprs
+                    .iter()
+                    .map(|e| eval_scalar(e, &[row], ctx))
+                    .collect::<EngineResult<Row>>()?;
+                out.push(new_row);
+            }
+            Ok(out)
+        }
+        Expr::Join { left, right, pred } => {
+            let l_arity = infer_schema(left, &ctx.schema_ctx_for_fix())?.arity();
+            let r_arity = infer_schema(right, &ctx.schema_ctx_for_fix())?.arity();
+            let mut proj = Vec::new();
+            for a in 1..=l_arity {
+                proj.push(Scalar::attr(1, a));
+            }
+            for a in 1..=r_arity {
+                proj.push(Scalar::attr(2, a));
+            }
+            let as_search = Expr::Search {
+                inputs: vec![(**left).clone(), (**right).clone()],
+                pred: pred.clone(),
+                proj,
+            };
+            ref_expr(&as_search, ctx)
+        }
+        Expr::Union(items) => {
+            let mut out: Option<Relation> = None;
+            for item in items {
+                let rel = ref_expr(item, ctx)?;
+                match &mut out {
+                    None => out = Some(rel),
+                    Some(acc) => {
+                        if acc.schema.arity() != rel.schema.arity() {
+                            return Err(EngineError::Lera(LeraError::Type(
+                                "union arity mismatch".into(),
+                            )));
+                        }
+                        acc.rows.extend(rel.rows);
+                    }
+                }
+            }
+            out.ok_or_else(|| EngineError::Lera(LeraError::Type("empty union".into())))
+        }
+        Expr::Difference(a, b) => {
+            let ra = ref_expr(a, ctx)?.deduped();
+            let rb = ref_expr(b, ctx)?;
+            let forbidden: Vec<&SharedRow> = rb.rows.iter().collect();
+            let rows: Vec<SharedRow> = ra
+                .rows
+                .into_iter()
+                .filter(|r| !forbidden.contains(&r))
+                .collect();
+            Ok(Relation::from_shared(ra.schema, rows))
+        }
+        Expr::Intersect(a, b) => {
+            let ra = ref_expr(a, ctx)?.deduped();
+            let rb = ref_expr(b, ctx)?;
+            let allowed: Vec<&SharedRow> = rb.rows.iter().collect();
+            let rows: Vec<SharedRow> = ra
+                .rows
+                .into_iter()
+                .filter(|r| allowed.contains(&r))
+                .collect();
+            Ok(Relation::from_shared(ra.schema, rows))
+        }
+        Expr::Search { inputs, pred, proj } => {
+            let rels = inputs
+                .iter()
+                .map(|i| ref_expr(i, ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            let schemas: Vec<Schema> = rels.iter().map(|r| (*r.schema).clone()).collect();
+            let pred = bind_fields(pred, &schemas, ctx)?;
+            let proj = proj
+                .iter()
+                .map(|e| bind_fields(e, &schemas, ctx))
+                .collect::<EngineResult<Vec<_>>>()?;
+            let out_schema = infer_schema(expr, &ctx.schema_ctx_for_fix())?;
+            let mut out = Relation::empty(out_schema);
+
+            if pred.is_false() || rels.iter().any(|r| r.is_empty()) {
+                return Ok(out);
+            }
+            match ctx.opts.join {
+                JoinMode::NestedLoop => {
+                    let mut idx = vec![0usize; rels.len()];
+                    'outer: loop {
+                        let tuple_refs: Vec<&[Value]> =
+                            rels.iter().zip(&idx).map(|(r, &i)| &*r.rows[i]).collect();
+                        if is_true(&eval_scalar(&pred, &tuple_refs, ctx)?) {
+                            let row = proj
+                                .iter()
+                                .map(|e| eval_scalar(e, &tuple_refs, ctx))
+                                .collect::<EngineResult<Row>>()?;
+                            out.push(row);
+                        }
+                        for k in (0..idx.len()).rev() {
+                            idx[k] += 1;
+                            if idx[k] < rels[k].len() {
+                                continue 'outer;
+                            }
+                            idx[k] = 0;
+                            if k == 0 {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                JoinMode::Hash => {
+                    let combos = ref_hash_search(&rels, &pred);
+                    for combo in combos {
+                        if is_true(&eval_scalar(&pred, &combo, ctx)?) {
+                            let row = proj
+                                .iter()
+                                .map(|e| eval_scalar(e, &combo, ctx))
+                                .collect::<EngineResult<Row>>()?;
+                            out.push(row);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Expr::Fix { name, body } => ref_fix(name, body, ctx),
+        Expr::Nest {
+            input,
+            group,
+            nested,
+            kind,
+        } => {
+            let rel = ref_expr(input, ctx)?;
+            let out_schema = infer_schema(expr, &ctx.schema_ctx_for_fix())?;
+            let mut groups: BTreeMap<Row, Vec<Value>> = BTreeMap::new();
+            for row in &rel.rows {
+                let key: Row = group.iter().map(|&g| row[g - 1].clone()).collect();
+                let item = if nested.len() == 1 {
+                    row[nested[0] - 1].clone()
+                } else {
+                    Value::Tuple(nested.iter().map(|&n| row[n - 1].clone()).collect())
+                };
+                groups.entry(key).or_default().push(item);
+            }
+            let mut out = Relation::empty(out_schema);
+            for (key, items) in groups {
+                let mut row = key;
+                row.push(Value::coll(*kind, items));
+                out.push(row);
+            }
+            Ok(out)
+        }
+        Expr::Unnest { input, attr } => {
+            let rel = ref_expr(input, ctx)?;
+            let out_schema = infer_schema(expr, &ctx.schema_ctx_for_fix())?;
+            let mut out = Relation::empty(out_schema);
+            for row in &rel.rows {
+                let (_, elems) = row[attr - 1].as_coll().map_err(EngineError::Adt)?;
+                for elem in elems {
+                    let mut new_row = row.to_vec();
+                    new_row[attr - 1] = elem.clone();
+                    out.push(new_row);
+                }
+            }
+            Ok(out)
+        }
+        Expr::Dedup(input) => Ok(ref_expr(input, ctx)?.deduped()),
+    }
+}
+
+/// The seed's left-deep hash enumeration (an over-approximation re-checked
+/// by the caller).
+fn ref_hash_search<'a>(rels: &'a [Relation], pred: &Scalar) -> Vec<Vec<&'a [Value]>> {
+    let mut equi: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for c in pred.conjuncts() {
+        if let Scalar::Cmp {
+            op: eds_lera::CmpOp::Eq,
+            left,
+            right,
+        } = c
+        {
+            if let (Scalar::Attr { rel: r1, attr: a1 }, Scalar::Attr { rel: r2, attr: a2 }) =
+                (left.as_ref(), right.as_ref())
+            {
+                equi.push((*r1, *a1, *r2, *a2));
+            }
+        }
+    }
+
+    let mut acc: Vec<Vec<&[Value]>> = rels[0].rows.iter().map(|r| vec![&**r]).collect();
+    for (next_idx, next_rel) in rels.iter().enumerate().skip(1) {
+        let next_rel_no = next_idx + 1;
+        let keys: Vec<((usize, usize), usize)> = equi
+            .iter()
+            .filter_map(|&(r1, a1, r2, a2)| {
+                if r1 <= next_idx && r2 == next_rel_no {
+                    Some(((r1, a1), a2))
+                } else if r2 <= next_idx && r1 == next_rel_no {
+                    Some(((r2, a2), a1))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        let mut new_acc: Vec<Vec<&[Value]>> = Vec::new();
+        if keys.is_empty() {
+            for combo in &acc {
+                for row in &next_rel.rows {
+                    let mut extended = combo.clone();
+                    extended.push(&**row);
+                    new_acc.push(extended);
+                }
+            }
+        } else {
+            let mut table: HashMap<Vec<&Value>, Vec<&[Value]>> = HashMap::new();
+            for row in &next_rel.rows {
+                let key: Vec<&Value> = keys.iter().map(|&(_, a)| &row[a - 1]).collect();
+                table.entry(key).or_default().push(&**row);
+            }
+            for combo in &acc {
+                let key: Vec<&Value> = keys
+                    .iter()
+                    .map(|&((r, a), _)| &combo[r - 1][a - 1])
+                    .collect();
+                if let Some(matches) = table.get(&key) {
+                    for row in matches {
+                        let mut extended = combo.clone();
+                        extended.push(row);
+                        new_acc.push(extended);
+                    }
+                }
+            }
+        }
+        acc = new_acc;
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+fn sorted_dedup(mut rows: Vec<SharedRow>) -> Vec<SharedRow> {
+    rows.sort();
+    rows.dedup();
+    rows
+}
+
+/// The seed fixpoint: naive or semi-naive with sorted-vector membership.
+fn ref_fix(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    match ctx.opts.fix.mode {
+        FixMode::Naive => ref_fix_naive(name, body, ctx),
+        FixMode::SemiNaive => ref_fix_seminaive(name, body, ctx),
+    }
+}
+
+fn ref_fix_naive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    let key = name.to_ascii_uppercase();
+    let schema = {
+        let sc = ctx.schema_ctx_for_fix();
+        infer_schema(
+            &Expr::Fix {
+                name: name.to_owned(),
+                body: Box::new(body.clone()),
+            },
+            &sc,
+        )?
+    };
+    let mut known = Relation::empty(schema);
+    let saved = ctx.locals.insert(key.clone(), known.clone());
+
+    let result = (|| {
+        for _round in 0..ctx.opts.fix.max_iterations {
+            ctx.locals.insert(key.clone(), known.clone());
+            let new = ref_expr(body, ctx)?;
+            let merged = sorted_dedup(known.rows.iter().cloned().chain(new.rows).collect());
+            if merged == known.rows {
+                return Ok(known);
+            }
+            known = Relation::from_shared(known.schema.clone(), merged);
+        }
+        Err(EngineError::FixpointDiverged {
+            name: name.to_owned(),
+            limit: ctx.opts.fix.max_iterations,
+        })
+    })();
+
+    restore_local(ctx, &key, saved);
+    result
+}
+
+fn ref_fix_seminaive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
+    let key = name.to_ascii_uppercase();
+    let delta_key = format!("{key}#DELTA");
+
+    let branches: Vec<&Expr> = match body {
+        Expr::Union(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    let seed_branches: Vec<&Expr> = branches
+        .iter()
+        .copied()
+        .filter(|b| !b.references(name))
+        .collect();
+    let rec_branches: Vec<&Expr> = branches
+        .iter()
+        .copied()
+        .filter(|b| b.references(name))
+        .collect();
+    if seed_branches.is_empty() {
+        let sc = ctx.schema_ctx_for_fix();
+        let schema = infer_schema(
+            &Expr::Fix {
+                name: name.to_owned(),
+                body: Box::new(body.clone()),
+            },
+            &sc,
+        )?;
+        return Ok(Relation::empty(schema));
+    }
+
+    let mut known: Option<Relation> = None;
+    for b in &seed_branches {
+        let r = ref_expr(b, ctx)?;
+        match &mut known {
+            None => known = Some(r),
+            Some(acc) => acc.rows.extend(r.rows),
+        }
+    }
+    let mut known = known.expect("non-empty seed branches");
+    known.rows = sorted_dedup(std::mem::take(&mut known.rows));
+    let mut delta = known.clone();
+
+    let variants: Vec<Expr> = rec_branches
+        .iter()
+        .flat_map(|b| {
+            let occurrences = count_occurrences(b, name);
+            (0..occurrences).map(|i| replace_nth_base(b, name, i, &delta_key))
+        })
+        .collect();
+
+    let saved_known = ctx.locals.insert(key.clone(), known.clone());
+    let saved_delta = ctx.locals.insert(delta_key.clone(), delta.clone());
+
+    let result = (|| {
+        for _round in 0..ctx.opts.fix.max_iterations {
+            ctx.locals.insert(key.clone(), known.clone());
+            ctx.locals.insert(delta_key.clone(), delta.clone());
+
+            let mut fresh: Vec<SharedRow> = Vec::new();
+            for variant in &variants {
+                let r = ref_expr(variant, ctx)?;
+                fresh.extend(r.rows);
+            }
+            let fresh = sorted_dedup(fresh);
+            let new_delta: Vec<SharedRow> = fresh
+                .into_iter()
+                .filter(|r| known.rows.binary_search(r).is_err())
+                .collect();
+            if new_delta.is_empty() {
+                return Ok(known);
+            }
+            let merged = sorted_dedup(
+                known
+                    .rows
+                    .iter()
+                    .cloned()
+                    .chain(new_delta.iter().cloned())
+                    .collect(),
+            );
+            known = Relation::from_shared(known.schema.clone(), merged);
+            delta = Relation::from_shared(known.schema.clone(), new_delta);
+        }
+        Err(EngineError::FixpointDiverged {
+            name: name.to_owned(),
+            limit: ctx.opts.fix.max_iterations,
+        })
+    })();
+
+    restore_local(ctx, &key, saved_known);
+    restore_local(ctx, &delta_key, saved_delta);
+    result
+}
+
+fn restore_local(ctx: &mut Ctx<'_>, key: &str, saved: Option<Relation>) {
+    match saved {
+        Some(rel) => {
+            ctx.locals.insert(key.to_owned(), rel);
+        }
+        None => {
+            ctx.locals.remove(key);
+        }
+    }
+}

@@ -1,4 +1,13 @@
-//! In-memory relations.
+//! In-memory relations with shared (reference-counted) rows.
+//!
+//! Rows are stored behind [`Arc`] so that row-preserving operators
+//! (filter, join combination, union, fixpoint accumulation) share tuples
+//! instead of deep-cloning every `Value`. The schema is shared the same
+//! way: cloning a [`Relation`] is two pointer-vector copies, never a
+//! traversal of string or collection values.
+
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use eds_adt::Value;
 use eds_lera::Schema;
@@ -6,28 +15,54 @@ use eds_lera::Schema;
 /// A row: one value per attribute.
 pub type Row = Vec<Value>;
 
+/// A reference-counted row, shared between relations. Stored as a slice
+/// (`Arc<[Value]>`), not `Arc<Vec<Value>>`: one allocation per row
+/// instead of two, and one less indirection on every access.
+pub type SharedRow = Arc<[Value]>;
+
+/// Drain a scratch buffer into a shared row. `vec::Drain` is a
+/// `TrustedLen` iterator, so the `Arc<[Value]>` is allocated exactly
+/// once — half the allocator traffic of `Arc::new(vec)` per
+/// materialized row, which dominates projection-heavy operators.
+#[inline]
+pub fn shared_row(scratch: &mut Vec<Value>) -> SharedRow {
+    scratch.drain(..).collect()
+}
+
 /// An in-memory relation with bag semantics (ESQL query blocks produce
 /// bags by default; set operations deduplicate explicitly).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Relation {
-    /// The relation's schema.
-    pub schema: Schema,
-    /// Rows, duplicates allowed.
-    pub rows: Vec<Row>,
+    /// The relation's schema (shared; cloning is a refcount bump).
+    pub schema: Arc<Schema>,
+    /// Rows, duplicates allowed. Shared: operators that keep a row pass
+    /// the same allocation along.
+    pub rows: Vec<SharedRow>,
 }
 
 impl Relation {
     /// Empty relation with the given schema.
-    pub fn empty(schema: Schema) -> Self {
+    pub fn empty(schema: impl Into<Arc<Schema>>) -> Self {
         Relation {
-            schema,
+            schema: schema.into(),
             rows: Vec::new(),
         }
     }
 
-    /// Relation with rows.
-    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
-        Relation { schema, rows }
+    /// Relation with owned rows (each is wrapped for sharing).
+    pub fn new(schema: impl Into<Arc<Schema>>, rows: Vec<Row>) -> Self {
+        Relation {
+            schema: schema.into(),
+            rows: rows.into_iter().map(SharedRow::from).collect(),
+        }
+    }
+
+    /// Relation from already-shared rows.
+    pub fn from_shared(schema: impl Into<Arc<Schema>>, rows: Vec<SharedRow>) -> Self {
+        Relation {
+            schema: schema.into(),
+            rows,
+        }
     }
 
     /// Number of rows (with duplicates).
@@ -40,16 +75,30 @@ impl Relation {
         self.rows.is_empty()
     }
 
-    /// Append a row.
+    /// Append an owned row.
     pub fn push(&mut self, row: Row) {
+        self.rows.push(row.into());
+    }
+
+    /// Append a shared row (no deep copy).
+    pub fn push_shared(&mut self, row: SharedRow) {
         self.rows.push(row);
     }
 
     /// Deduplicated copy (set semantics), rows in canonical order.
+    /// Duplicates are dropped by hash membership first, so only the
+    /// unique rows pay the O(u log u) sort — a large saving for
+    /// low-cardinality inputs (e.g. `SELECT DISTINCT` over a category
+    /// column).
     pub fn deduped(&self) -> Relation {
-        let mut rows = self.rows.clone();
-        rows.sort();
-        rows.dedup();
+        let mut seen: HashSet<&[Value]> = HashSet::with_capacity(self.rows.len());
+        let mut rows: Vec<SharedRow> = Vec::new();
+        for r in &self.rows {
+            if seen.insert(&**r) {
+                rows.push(r.clone());
+            }
+        }
+        rows.sort_unstable();
         Relation {
             schema: self.schema.clone(),
             rows,
@@ -57,10 +106,11 @@ impl Relation {
     }
 
     /// Canonicalized copy: sorted rows with duplicates retained. Two
-    /// relations with equal canonical forms are bag-equal.
+    /// relations with equal canonical forms are bag-equal. (Unstable
+    /// sort: equal rows are indistinguishable by value.)
     pub fn canonical(&self) -> Relation {
         let mut rows = self.rows.clone();
-        rows.sort();
+        rows.sort_unstable();
         Relation {
             schema: self.schema.clone(),
             rows,
@@ -77,9 +127,14 @@ impl Relation {
         self.canonical().rows == other.canonical().rows
     }
 
-    /// The rows as a sorted, deduplicated vector (for assertions).
+    /// The rows as a sorted, deduplicated vector of owned rows (for
+    /// assertions).
     pub fn sorted_rows(&self) -> Vec<Row> {
-        self.deduped().rows
+        self.deduped()
+            .rows
+            .into_iter()
+            .map(|r| r.to_vec())
+            .collect()
     }
 }
 
@@ -115,6 +170,14 @@ mod tests {
     fn dedup_is_canonical() {
         let a = r(vec![(3, 4), (1, 2), (3, 4)]);
         assert_eq!(a.deduped().rows.len(), 2);
-        assert_eq!(a.deduped().rows[0], vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(*a.deduped().rows[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn shared_rows_are_not_deep_copied() {
+        let a = r(vec![(1, 2)]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.rows[0], &b.rows[0]));
+        assert!(Arc::ptr_eq(&a.schema, &b.schema));
     }
 }

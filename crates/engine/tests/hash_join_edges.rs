@@ -1,0 +1,200 @@
+//! Hash-join key edge cases: NULL join keys, mixed-type keys, and
+//! qualifications the key extractor cannot hash (non-equality conjuncts).
+//! Every query must return exactly the same rows — values and order — under
+//! `JoinMode::NestedLoop` and `JoinMode::Hash`, at parallelism 1 and 4, and
+//! must match the reference executor.
+
+use eds_adt::Value;
+use eds_engine::{eval_reference, eval_with, Database, EvalOptions, JoinMode};
+use eds_lera::{CmpOp, Expr, Scalar};
+
+/// Two tables whose keys exercise the awkward cases: NULLs on both sides,
+/// and keys of mixed runtime type (integers, strings, bools).
+fn edge_db() -> Database {
+    let mut db = Database::new();
+    db.execute_ddl(
+        "TABLE L ( K : NUMERIC, A : NUMERIC ) ;
+         TABLE R ( K : NUMERIC, B : NUMERIC ) ;",
+    )
+    .unwrap();
+    db.insert_all(
+        "L",
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+            vec![Value::Null, Value::Int(30)],
+            vec![Value::str("2"), Value::Int(40)], // string "2", not int 2
+            vec![Value::Bool(true), Value::Int(50)],
+            vec![Value::Int(2), Value::Int(60)], // duplicate key
+        ],
+    )
+    .unwrap();
+    db.insert_all(
+        "R",
+        vec![
+            vec![Value::Int(2), Value::Int(200)],
+            vec![Value::Null, Value::Int(300)],
+            vec![Value::str("2"), Value::Int(400)],
+            vec![Value::Bool(true), Value::Int(500)],
+            vec![Value::Int(9), Value::Int(900)],
+        ],
+    )
+    .unwrap();
+    db
+}
+
+/// Evaluate under every JoinMode × parallelism combination; assert all
+/// agree with each other and with the reference interpreter, then return
+/// the (shared) result rows.
+fn all_modes_agree(db: &Database, expr: &Expr) -> Vec<Vec<Value>> {
+    let mut witness: Option<(Vec<Vec<Value>>, EvalOptions)> = None;
+    for join in [JoinMode::NestedLoop, JoinMode::Hash] {
+        for parallelism in [1usize, 4] {
+            let opts = EvalOptions {
+                join,
+                parallelism,
+                ..Default::default()
+            };
+            let rel = eval_with(expr, db, opts).expect("evaluates").0;
+            let reference = eval_reference(expr, db, opts).expect("reference evaluates");
+            assert_eq!(
+                rel.rows, reference.rows,
+                "diverges from reference under {opts:?}"
+            );
+            let rows = rel.sorted_rows();
+            match &witness {
+                None => witness = Some((rows, opts)),
+                Some((expected, first_opts)) => {
+                    assert_eq!(&rows, expected, "{opts:?} disagrees with {first_opts:?}")
+                }
+            }
+        }
+    }
+    witness.expect("at least one configuration ran").0
+}
+
+fn equi_join(extra: Option<Scalar>) -> Expr {
+    // SEARCH(L, R | L.K = R.K [AND extra] | L.A, R.B)
+    let key_eq = Scalar::eq(Scalar::attr(1, 1), Scalar::attr(2, 1));
+    let pred = match extra {
+        Some(e) => Scalar::and(key_eq, e),
+        None => key_eq,
+    };
+    Expr::search(
+        vec![Expr::base("L"), Expr::base("R")],
+        pred,
+        vec![Scalar::attr(1, 2), Scalar::attr(2, 2)],
+    )
+}
+
+#[test]
+fn null_keys_never_match() {
+    let db = edge_db();
+    let rows = all_modes_agree(&db, &equi_join(None));
+    // NULL = NULL is NULL under 3-valued logic: the Null-keyed rows on
+    // both sides must not pair with anything — including each other.
+    for row in &rows {
+        assert_ne!(row[0], Value::Int(30), "L's Null-keyed row leaked");
+        assert_ne!(row[1], Value::Int(300), "R's Null-keyed row leaked");
+    }
+    // Int 2 matches both duplicate L rows; "2" and true match their own
+    // kind only — no cross-type coercion.
+    let mut expected = vec![
+        vec![Value::Int(20), Value::Int(200)],
+        vec![Value::Int(60), Value::Int(200)],
+        vec![Value::Int(40), Value::Int(400)],
+        vec![Value::Int(50), Value::Int(500)],
+    ];
+    expected.sort();
+    assert_eq!(rows, expected);
+}
+
+#[test]
+fn mixed_type_keys_do_not_coerce() {
+    let db = edge_db();
+    // Join on L.K = R.K restricted by a payload filter (A >= 40): the
+    // surviving matches are "2"="2", true=true, and the high-A int row —
+    // each key pairs with its own runtime type only, no coercion.
+    let extra = Scalar::cmp(CmpOp::Ge, Scalar::attr(1, 2), Scalar::lit(Value::Int(40)));
+    let rows = all_modes_agree(&db, &equi_join(Some(extra)));
+    assert_eq!(
+        rows,
+        vec![
+            vec![Value::Int(40), Value::Int(400)],
+            vec![Value::Int(50), Value::Int(500)],
+            vec![Value::Int(60), Value::Int(200)],
+        ]
+    );
+}
+
+#[test]
+fn non_equality_conjuncts_fall_back_and_agree() {
+    let db = edge_db();
+    // No hashable equi-conjunct at all: pure theta-join (L.A < R.B). The
+    // hash path must fall back to cross-product + recheck and still
+    // reject NULL comparisons (Null < x is Null, not TRUE).
+    let theta = Expr::search(
+        vec![Expr::base("L"), Expr::base("R")],
+        Scalar::cmp(CmpOp::Lt, Scalar::attr(1, 2), Scalar::attr(2, 2)),
+        vec![Scalar::attr(1, 2), Scalar::attr(2, 2)],
+    );
+    let rows = all_modes_agree(&db, &theta);
+    // Every L.A in {10..60} pairs with every strictly greater R.B.
+    let l_vals = [10i64, 20, 30, 40, 50, 60];
+    let r_vals = [200i64, 300, 400, 500, 900];
+    let mut expected: Vec<Vec<Value>> = l_vals
+        .iter()
+        .flat_map(|&a| {
+            r_vals
+                .iter()
+                .filter(move |&&b| a < b)
+                .map(move |&b| vec![Value::Int(a), Value::Int(b)])
+        })
+        .collect();
+    expected.sort();
+    assert_eq!(rows, expected);
+
+    // Equality on one pair of attrs plus an arithmetic inequality: the
+    // equality is hashed, the inequality is rechecked.
+    let extra = Scalar::cmp(CmpOp::Lt, Scalar::attr(1, 2), Scalar::attr(2, 2));
+    let rows = all_modes_agree(&db, &equi_join(Some(extra)));
+    let mut expected = vec![
+        vec![Value::Int(20), Value::Int(200)],
+        vec![Value::Int(60), Value::Int(200)],
+        vec![Value::Int(40), Value::Int(400)],
+        vec![Value::Int(50), Value::Int(500)],
+    ];
+    expected.retain(|r| r[0] < r[1]);
+    expected.sort();
+    assert_eq!(rows, expected);
+}
+
+#[test]
+fn three_way_join_with_partial_keys() {
+    let mut db = edge_db();
+    db.execute_ddl("TABLE M ( K : NUMERIC ) ;").unwrap();
+    db.insert_all(
+        "M",
+        vec![vec![Value::Int(2)], vec![Value::Null], vec![Value::Int(9)]],
+    )
+    .unwrap();
+    // L joins R on K, M is linked to R only (M.K = R.K): the hash path
+    // builds keys per step; the middle step's key set differs from the
+    // last step's.
+    let pred = Scalar::and(
+        Scalar::eq(Scalar::attr(1, 1), Scalar::attr(2, 1)),
+        Scalar::eq(Scalar::attr(3, 1), Scalar::attr(2, 1)),
+    );
+    let expr = Expr::search(
+        vec![Expr::base("L"), Expr::base("R"), Expr::base("M")],
+        pred,
+        vec![Scalar::attr(1, 2), Scalar::attr(2, 2), Scalar::attr(3, 1)],
+    );
+    let rows = all_modes_agree(&db, &expr);
+    let mut expected = vec![
+        vec![Value::Int(20), Value::Int(200), Value::Int(2)],
+        vec![Value::Int(60), Value::Int(200), Value::Int(2)],
+    ];
+    expected.sort();
+    assert_eq!(rows, expected);
+}

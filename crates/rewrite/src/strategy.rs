@@ -642,6 +642,99 @@ mod tests {
         assert!(rules.get("r0").is_none());
     }
 
+    /// Regression: interleave remove/add/get *across* the compaction
+    /// boundary (`slots.len() >= 16 && live*2 < slots.len()`). Compaction
+    /// rebuilds the name index with new slot positions; every subsequent
+    /// add (including same-name replacement), remove and get must agree
+    /// with a straightforward model of the set.
+    #[test]
+    fn interleaved_mutation_across_compaction_boundary() {
+        use std::collections::BTreeMap;
+
+        fn check(rules: &RuleSet, model: &BTreeMap<String, String>, insertion: &[String]) {
+            assert_eq!(rules.len(), model.len());
+            assert_eq!(rules.is_empty(), model.is_empty());
+            // Iteration preserves insertion order of the live rules.
+            let got: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+            let expected: Vec<&str> = insertion
+                .iter()
+                .filter(|n| model.contains_key(*n))
+                .map(String::as_str)
+                .collect();
+            assert_eq!(got, expected);
+            // Every live rule resolves to its latest body; removed names miss.
+            for (name, head) in model {
+                assert!(
+                    rules.get(name).is_some_and(|r| r.lhs.is_app(head)),
+                    "{name} must map to head {head}"
+                );
+            }
+        }
+
+        let mk = |name: &str, head: &str| {
+            Rule::simple(name, Term::app(head, vec![Term::var("x")]), Term::var("x"))
+        };
+        let mut rules = RuleSet::new();
+        let mut model: BTreeMap<String, String> = BTreeMap::new();
+        let mut insertion: Vec<String> = Vec::new();
+
+        // Fill to exactly 20 slots, no tombstones.
+        for i in 0..20 {
+            let (name, head) = (format!("r{i}"), format!("F{i}"));
+            rules.add(mk(&name, &head));
+            model.insert(name.clone(), head);
+            insertion.push(name);
+        }
+        check(&rules, &model, &insertion);
+
+        // Remove 9 of 20: live=11, 11*2=22 >= 20, so still tombstoned.
+        for i in 0..9 {
+            assert!(rules.remove(&format!("r{i}")));
+            model.remove(&format!("r{i}"));
+        }
+        check(&rules, &model, &insertion);
+
+        // Same-name replacement through a tombstoned vector must not
+        // resurrect positions: r12's head changes in place.
+        rules.add(mk("r12", "G12"));
+        model.insert("r12".into(), "G12".into());
+        check(&rules, &model, &insertion);
+
+        // The 10th removal crosses the boundary: live=10, 10*2=20 < 20 is
+        // false... one more: live drops to 10 (20 slots) then 9 (compacts).
+        assert!(rules.remove("r9"));
+        model.remove("r9");
+        assert!(rules.remove("r10"));
+        model.remove("r10");
+        check(&rules, &model, &insertion); // index was just rebuilt
+
+        // Post-compaction: adds append at fresh slot positions, replacement
+        // of a survivor keeps its compacted position, removal of a
+        // pre-compaction name stays a miss.
+        assert!(!rules.remove("r3"));
+        rules.add(mk("r15", "H15"));
+        model.insert("r15".into(), "H15".into());
+        for i in 20..24 {
+            let (name, head) = (format!("r{i}"), format!("F{i}"));
+            rules.add(mk(&name, &head));
+            model.insert(name.clone(), head);
+            insertion.push(name);
+        }
+        check(&rules, &model, &insertion);
+
+        // Drive straight through a *second* compaction with interleaved
+        // add/remove/get on every step.
+        for i in 11..22 {
+            assert!(rules.remove(&format!("r{i}")), "r{i} should be live");
+            model.remove(&format!("r{i}"));
+            let (name, head) = (format!("n{i}"), format!("N{i}"));
+            rules.add(mk(&name, &head));
+            model.insert(name.clone(), head);
+            insertion.push(name);
+            check(&rules, &model, &insertion);
+        }
+    }
+
     #[test]
     fn rule_index_pretest_and_wildcards() {
         let mut rules = RuleSet::new();
