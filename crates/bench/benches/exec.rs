@@ -101,6 +101,18 @@ fn bench(c: &mut Criterion) {
             &prepared,
             |b, p| b.iter(|| d.rewrite(p).unwrap()),
         );
+        let stats = dbms.rewriter.plan_cache_stats();
+        assert!(
+            stats.hits >= 1 && stats.misses >= 1,
+            "repeat_rewrite must exercise the plan cache: {stats:?}"
+        );
+        eprintln!(
+            "plan cache (cap {}): {} hits / {} misses / {} evictions",
+            dbms.rewriter.plan_cache_cap(),
+            stats.hits,
+            stats.misses,
+            stats.evictions
+        );
     }
     group.finish();
 }

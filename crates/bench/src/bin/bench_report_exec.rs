@@ -3,7 +3,9 @@
 //! Inputs:
 //! * `crates/bench/baselines/before/exec.tsv` — medians recorded with the
 //!   seed tree-walking executor (ids `<workload>/seq`; committed,
-//!   regenerated only when a PR intentionally re-baselines);
+//!   regenerated only when a PR intentionally re-baselines). The
+//!   `scan_*` workloads arrived with the columnar layer, so their
+//!   baseline is the row-at-a-time path (`EDS_COLUMNAR=0`) instead;
 //! * `target/bench-tsv/exec.tsv` — medians from the current tree, written
 //!   by `cargo bench -p eds-bench --bench exec` (ids `<workload>/p1` and
 //!   `<workload>/p4` for `EvalOptions::parallelism` 1 and 4).
@@ -126,10 +128,12 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"unit\": \"ns/iter (median)\",\n");
     json.push_str(
-        "  \"note\": \"before = seed tree-walking executor (committed baseline, sequential); \
-         after = overhauled executor at EvalOptions.parallelism 1 and 4. Every configuration is \
-         asserted byte-identical to the reference executor before timing. repeat_rewrite \
-         measures the rewrite-output plan cache and is excluded from the exec medians.\",\n",
+        "  \"note\": \"before = seed tree-walking executor (committed baseline, sequential), \
+         except the scan_* workloads, introduced with the columnar layer, whose baseline is the \
+         row-at-a-time executor (EDS_COLUMNAR=0) on the same tree; after = overhauled executor \
+         at EvalOptions.parallelism 1 and 4. Every configuration is asserted byte-identical to \
+         the reference executor before timing. repeat_rewrite measures the rewrite-output plan \
+         cache and is excluded from the exec medians.\",\n",
     );
     let _ = write!(
         json,

@@ -194,6 +194,40 @@ pub fn product_dbms(rows: i64) -> Dbms {
     dbms
 }
 
+/// A wide flat table whose columns all land in typed columnar layouts —
+/// INT keys, an INT column with scattered NULLs (exercises the null
+/// bitmap), a CHAR column drawn from a small tag vocabulary (exercises
+/// string interning), and a small grouping key; the columnar-scan
+/// experiment's workload.
+pub fn scan_dbms(rows: i64, seed: u64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl("TABLE SCAN (K : INT, A : INT, B : INT, Tag : CHAR, G : INT);")
+        .unwrap();
+    let tags = [
+        "hot", "cold", "warm", "cool", "tepid", "mild", "arid", "damp",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..rows {
+        let a = if i % 13 == 5 {
+            Value::Null
+        } else {
+            Value::Int(rng.gen_range(0..1000))
+        };
+        dbms.insert(
+            "SCAN",
+            vec![
+                Value::Int(i),
+                a,
+                Value::Int(i * 7 % 1000),
+                Value::str(tags[rng.gen_range(0..tags.len())]),
+                Value::Int(i % 16),
+            ],
+        )
+        .unwrap();
+    }
+    dbms
+}
+
 /// A deep conjunction with `n` foldable and `n` non-foldable conjuncts;
 /// the simplification experiment's query generator.
 pub fn wide_conjunction_sql(n: usize) -> String {
@@ -263,6 +297,23 @@ pub fn exec_workloads() -> Vec<(&'static str, Dbms, String)> {
             union_view(4, 3000),
             "SELECT DISTINCT P FROM ALLPARTS ;".to_owned(),
         ),
+        // Columnar-eligible scans over a flat typed table. Keep these at
+        // the END: the exec bench addresses earlier workloads by index.
+        (
+            "scan_int_filter",
+            scan_dbms(16_000, 7),
+            "SELECT K FROM SCAN WHERE A > 800 AND B < 300 ;".to_owned(),
+        ),
+        (
+            "scan_str_filter",
+            scan_dbms(16_000, 7),
+            "SELECT K FROM SCAN WHERE Tag = 'hot' ;".to_owned(),
+        ),
+        (
+            "scan_group_agg",
+            scan_dbms(16_000, 7),
+            "SELECT G, MakeSet(K) FROM SCAN WHERE A > 900 GROUP BY G ;".to_owned(),
+        ),
     ]
 }
 
@@ -288,5 +339,6 @@ mod tests {
         );
         let sql = wide_conjunction_sql(2);
         assert!(simple_table(5).prepare(&sql).is_ok());
+        assert_eq!(scan_dbms(30, 1).db.cardinality("SCAN"), Some(30));
     }
 }

@@ -14,14 +14,17 @@ fn all_configs() -> Vec<EvalOptions> {
     for join in [JoinMode::NestedLoop, JoinMode::Hash] {
         for fix_mode in [FixMode::Naive, FixMode::SemiNaive] {
             for parallelism in [1usize, 4] {
-                out.push(EvalOptions {
-                    fix: FixOptions {
-                        mode: fix_mode,
-                        ..Default::default()
-                    },
-                    join,
-                    parallelism,
-                });
+                for columnar in [false, true] {
+                    out.push(EvalOptions {
+                        fix: FixOptions {
+                            mode: fix_mode,
+                            ..Default::default()
+                        },
+                        join,
+                        parallelism,
+                        columnar,
+                    });
+                }
             }
         }
     }

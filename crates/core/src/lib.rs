@@ -35,7 +35,7 @@ use eds_lera::{translate_query, CostModel, Estimate, Expr, Schema, SchemaCtx};
 
 pub use env::CoreEnv;
 pub use error::{CoreError, CoreResult};
-pub use pipeline::{QueryRewriter, RewriteOutcome, BUILTIN_RULE_SOURCES};
+pub use pipeline::{PlanCacheStats, QueryRewriter, RewriteOutcome, BUILTIN_RULE_SOURCES};
 pub use semantic::{figure10_constraints, ConstraintStore, IntegrityConstraint};
 
 // Re-export the layer crates so downstream users need a single dependency.

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use eds_engine::Database;
@@ -58,10 +59,61 @@ struct CachedPlan {
     budget_exhausted: bool,
 }
 
-/// Cached rewrites above this count evict the whole cache (simple, and a
-/// workload with more than this many distinct prepared shapes is already
-/// re-preparing, not re-executing).
+/// Default plan-cache capacity: cached rewrites above this count evict
+/// the whole cache (simple, and a workload with more than this many
+/// distinct prepared shapes is already re-preparing, not re-executing).
+/// Overridable per process with `EDS_PLAN_CACHE_CAP` (0 disables
+/// caching) or per rewriter with
+/// [`QueryRewriter::set_plan_cache_cap`].
 const PLAN_CACHE_CAP: usize = 256;
+
+/// Capacity for new rewriters: `EDS_PLAN_CACHE_CAP` when it parses,
+/// else [`PLAN_CACHE_CAP`]. Read at construction (not cached in a
+/// static) so tests can vary it.
+fn plan_cache_cap_from_env() -> usize {
+    std::env::var("EDS_PLAN_CACHE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(PLAN_CACHE_CAP)
+}
+
+/// Plan-cache effectiveness counters, exposed for tests and the bench
+/// report. `evictions` counts *entries dropped* by capacity-triggered
+/// clears; `invalidations` counts knowledge-base/catalog invalidation
+/// events (each of which also empties the cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Rewrites answered from the cache.
+    pub hits: u64,
+    /// Rewrites that ran the strategy (and then filled the cache).
+    pub misses: u64,
+    /// Entries dropped because the cache reached its capacity.
+    pub evictions: u64,
+    /// Invalidation events (rule/strategy/method/catalog/constraint
+    /// changes).
+    pub invalidations: u64,
+}
+
+/// Interior-mutable counter cell backing [`PlanCacheStats`] (atomics so
+/// `rewrite(&self)` can count from shared references).
+#[derive(Default)]
+struct PlanCacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl PlanCacheCounters {
+    fn snapshot(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// The extensible query rewriter.
 pub struct QueryRewriter {
@@ -77,6 +129,10 @@ pub struct QueryRewriter {
     /// [`QueryRewriter::invalidate_plan_cache`], by catalog/constraint
     /// changes in the embedding DBMS.
     plan_cache: Mutex<HashMap<Term, CachedPlan>>,
+    /// Capacity of `plan_cache` (0 disables caching entirely).
+    plan_cache_cap: usize,
+    /// Hit/miss/eviction/invalidation counters.
+    counters: PlanCacheCounters,
 }
 
 impl fmt::Debug for QueryRewriter {
@@ -87,6 +143,8 @@ impl fmt::Debug for QueryRewriter {
             .field("methods", &self.methods)
             .field("collect_trace", &self.collect_trace)
             .field("plan_cache_len", &self.plan_cache_len())
+            .field("plan_cache_cap", &self.plan_cache_cap)
+            .field("plan_cache_stats", &self.plan_cache_stats())
             .finish()
     }
 }
@@ -100,7 +158,11 @@ impl Clone for QueryRewriter {
             collect_trace: self.collect_trace,
             // The clone starts cold: cached plans are cheap to recompute
             // and sharing them would couple invalidation across copies.
+            // Counters start at zero with it — they describe this
+            // instance's cache, not its lineage.
             plan_cache: Mutex::new(HashMap::new()),
+            plan_cache_cap: self.plan_cache_cap,
+            counters: PlanCacheCounters::default(),
         }
     }
 }
@@ -116,6 +178,8 @@ impl QueryRewriter {
             methods,
             collect_trace: false,
             plan_cache: Mutex::new(HashMap::new()),
+            plan_cache_cap: plan_cache_cap_from_env(),
+            counters: PlanCacheCounters::default(),
         }
     }
 
@@ -213,12 +277,37 @@ impl QueryRewriter {
     /// mutations; the embedding DBMS calls it when the catalog or the
     /// constraint store changes (rewrites consult both).
     pub fn invalidate_plan_cache(&self) {
+        self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
         self.plan_cache.lock().expect("plan cache poisoned").clear();
     }
 
     /// Number of cached rewrites.
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.lock().expect("plan cache poisoned").len()
+    }
+
+    /// The plan cache's capacity (entries; 0 = caching disabled).
+    pub fn plan_cache_cap(&self) -> usize {
+        self.plan_cache_cap
+    }
+
+    /// Change the plan cache's capacity. Shrinking below the current
+    /// size clears the cache (counted as evictions), matching what the
+    /// next insert would do.
+    pub fn set_plan_cache_cap(&mut self, cap: usize) {
+        self.plan_cache_cap = cap;
+        let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
+        if cache.len() > cap {
+            self.counters
+                .evictions
+                .fetch_add(cache.len() as u64, Ordering::Relaxed);
+            cache.clear();
+        }
+    }
+
+    /// Snapshot of the hit/miss/eviction/invalidation counters.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.counters.snapshot()
     }
 
     /// Rewrite a term directly, consulting the plan cache. Tracing
@@ -230,7 +319,7 @@ impl QueryRewriter {
         db: &Database,
         constraints: &ConstraintStore,
     ) -> CoreResult<(Term, RewriteStats, Trace, bool)> {
-        if self.collect_trace {
+        if self.collect_trace || self.plan_cache_cap == 0 {
             return self.rewrite_term_uncached(term, db, constraints);
         }
         if let Some(hit) = self
@@ -239,6 +328,7 @@ impl QueryRewriter {
             .expect("plan cache poisoned")
             .get(&term)
         {
+            self.counters.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((
                 hit.term.clone(),
                 hit.stats,
@@ -246,11 +336,15 @@ impl QueryRewriter {
                 hit.budget_exhausted,
             ));
         }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
         let key = term.clone();
         let (out_term, stats, trace, budget_exhausted) =
             self.rewrite_term_uncached(term, db, constraints)?;
         let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
-        if cache.len() >= PLAN_CACHE_CAP {
+        if cache.len() >= self.plan_cache_cap {
+            self.counters
+                .evictions
+                .fetch_add(cache.len() as u64, Ordering::Relaxed);
             cache.clear();
         }
         cache.insert(

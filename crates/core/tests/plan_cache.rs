@@ -154,3 +154,91 @@ fn cache_stays_bounded_and_clones_start_cold() {
     let cloned = dbms.rewriter.clone();
     assert_eq!(cloned.plan_cache_len(), 0, "clones must start cold");
 }
+
+#[test]
+fn counters_track_hits_misses_and_invalidations() {
+    let mut dbms = film_dbms();
+    let stats0 = dbms.rewriter.plan_cache_stats();
+    assert_eq!((stats0.hits, stats0.misses), (0, 0));
+
+    let prepared = dbms.prepare(QUERY).unwrap();
+    dbms.rewrite(&prepared).unwrap();
+    dbms.rewrite(&prepared).unwrap();
+    dbms.rewrite(&prepared).unwrap();
+    let stats = dbms.rewriter.plan_cache_stats();
+    assert_eq!(stats.misses, 1, "one cold rewrite");
+    assert_eq!(stats.hits, 2, "two warm rewrites");
+    assert_eq!(stats.evictions, 0);
+
+    // Uncached rewrites touch no counter.
+    dbms.rewrite_uncached(&prepared).unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_stats(), stats);
+
+    // Invalidation events are counted (and the next rewrite misses).
+    let invalidations_before = stats.invalidations;
+    dbms.add_rule_source("CounterNoop : f AND TRUE / --> f / ;")
+        .unwrap();
+    let stats = dbms.rewriter.plan_cache_stats();
+    assert!(stats.invalidations > invalidations_before);
+    dbms.rewrite(&prepared).unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_stats().misses, 2);
+
+    // Clones start with fresh counters.
+    assert_eq!(
+        dbms.rewriter.clone().plan_cache_stats(),
+        eds_core::PlanCacheStats::default()
+    );
+}
+
+#[test]
+fn capacity_is_configurable_and_evictions_are_counted() {
+    let mut dbms = film_dbms();
+    dbms.rewriter.set_plan_cache_cap(3);
+    assert_eq!(dbms.rewriter.plan_cache_cap(), 3);
+
+    for i in 0..7 {
+        let p = dbms
+            .prepare(&format!("SELECT Title FROM FILM WHERE Numf = {i} ;"))
+            .unwrap();
+        dbms.rewrite(&p).unwrap();
+        assert!(dbms.rewriter.plan_cache_len() <= 3, "cap violated at {i}");
+    }
+    let stats = dbms.rewriter.plan_cache_stats();
+    assert_eq!(stats.misses, 7, "distinct shapes never hit");
+    // Inserts 1,2,3 fill; the 4th and 7th insert each clear 3 entries.
+    assert_eq!(stats.evictions, 6);
+
+    // Cap 0 disables caching entirely.
+    dbms.rewriter.set_plan_cache_cap(0);
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0);
+    let p = dbms.prepare(QUERY).unwrap();
+    dbms.rewrite(&p).unwrap();
+    dbms.rewrite(&p).unwrap();
+    assert_eq!(dbms.rewriter.plan_cache_len(), 0, "cap 0 must not fill");
+    let disabled = dbms.rewriter.plan_cache_stats();
+    assert_eq!(
+        (disabled.hits, disabled.misses),
+        (stats.hits, stats.misses),
+        "cap 0 must bypass the counters too"
+    );
+}
+
+#[test]
+fn capacity_comes_from_the_environment() {
+    // Safe under edition 2021; the only cross-test effect is a smaller
+    // cap for rewriters constructed while the variable is set, which no
+    // other assertion depends on.
+    std::env::set_var("EDS_PLAN_CACHE_CAP", "2");
+    let dbms = film_dbms();
+    std::env::remove_var("EDS_PLAN_CACHE_CAP");
+    assert_eq!(dbms.rewriter.plan_cache_cap(), 2);
+    for i in 0..5 {
+        let p = dbms
+            .prepare(&format!("SELECT Title FROM FILM WHERE Numf = {i} ;"))
+            .unwrap();
+        dbms.rewrite(&p).unwrap();
+        assert!(dbms.rewriter.plan_cache_len() <= 2);
+    }
+    // Unset (or garbage) falls back to the 256 default.
+    assert_eq!(Dbms::new().unwrap().rewriter.plan_cache_cap(), 256);
+}

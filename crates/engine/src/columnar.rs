@@ -1,0 +1,474 @@
+//! Columnar mirrors of stored relations.
+//!
+//! A [`ColumnarRelation`] stores one typed vector per attribute — `i64`,
+//! `f64`, `bool`, or interned strings, each with a null bitmap — plus a
+//! [`Value`] *spill* column for attributes whose values are ADTs, enums,
+//! collections, objects, or a mix of runtime kinds. The mirror is a pure
+//! acceleration structure: the row-major [`Relation`] stays the single
+//! source of truth (operators keep passing [`SharedRow`]s along by
+//! refcount), and compiled predicates run their typed kernels over the
+//! contiguous columns to produce a *selection vector* of row indices,
+//! which the operator then gathers from the row store. Results are
+//! therefore byte-identical to the row path by construction.
+//!
+//! Mirrors are built lazily per stored base table (see
+//! [`Database::columnar`](crate::database::Database::columnar)) and
+//! invalidated by every mutation path. A relation whose columns all
+//! spill (or which is empty) stays row-major: [`ColumnarRelation::build`]
+//! returns `None` and the engine never asks again until the table
+//! changes.
+//!
+//! [`SharedRow`]: crate::relation::SharedRow
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use eds_adt::Value;
+
+use crate::relation::{Relation, Row};
+
+/// A null bitmap: bit set = NULL at that row. The `any` flag lets the
+/// hot `is_null` check skip the word load entirely for columns without
+/// nulls (the common case).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct NullBitmap {
+    words: Vec<u64>,
+    any: bool,
+}
+
+impl NullBitmap {
+    fn with_len(n: usize) -> NullBitmap {
+        NullBitmap {
+            words: vec![0; n.div_ceil(64)],
+            any: false,
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+        self.any = true;
+    }
+
+    /// Is row `i` NULL?
+    #[inline]
+    pub(crate) fn is_null(&self, i: usize) -> bool {
+        self.any && (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+/// One attribute of a columnar mirror. Typed variants hold the decoded
+/// payloads contiguously (null rows hold a default payload and set their
+/// bitmap bit); `Spill` keeps the original [`Value`]s for shapes the
+/// typed layout does not cover.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Column {
+    /// `Value::Int` column (NUMERIC/INT attributes with integer values).
+    Int {
+        /// Decoded payloads.
+        values: Vec<i64>,
+        /// Null positions.
+        nulls: NullBitmap,
+    },
+    /// `Value::Real` column.
+    Real {
+        /// Decoded payloads.
+        values: Vec<f64>,
+        /// Null positions.
+        nulls: NullBitmap,
+    },
+    /// `Value::Bool` column.
+    Bool {
+        /// Decoded payloads.
+        values: Vec<bool>,
+        /// Null positions.
+        nulls: NullBitmap,
+    },
+    /// `Value::Str` column, interned: `ids[i]` indexes `pool`, which
+    /// holds each distinct string once. Comparisons against a constant
+    /// evaluate once per *distinct* string, not once per row.
+    Str {
+        /// Per-row interned ids.
+        ids: Vec<u32>,
+        /// Distinct strings in first-appearance order.
+        pool: Vec<Arc<str>>,
+        /// Reverse index for constant lookups.
+        lookup: HashMap<Arc<str>, u32>,
+        /// Null positions.
+        nulls: NullBitmap,
+    },
+    /// Everything else: enums, tuples, collections, object references,
+    /// and columns whose rows mix runtime kinds (mid-column type spill).
+    Spill(Vec<Value>),
+}
+
+impl Column {
+    /// Null bitmap of a typed column (`None` for spill columns).
+    pub(crate) fn nulls(&self) -> Option<&NullBitmap> {
+        match self {
+            Column::Int { nulls, .. }
+            | Column::Real { nulls, .. }
+            | Column::Bool { nulls, .. }
+            | Column::Str { nulls, .. } => Some(nulls),
+            Column::Spill(_) => None,
+        }
+    }
+
+    /// A representative non-null value of the column's kind, used to
+    /// resolve kind-mismatch comparisons once at lowering time (derived
+    /// `Ord` between different `Value` variants compares discriminants
+    /// only, so the result is payload-independent).
+    pub(crate) fn probe(&self) -> Option<Value> {
+        Some(match self {
+            Column::Int { .. } => Value::Int(0),
+            Column::Real { .. } => Value::real(0.0),
+            Column::Bool { .. } => Value::Bool(false),
+            Column::Str { .. } => Value::Str(String::new()),
+            Column::Spill(_) => return None,
+        })
+    }
+
+    /// Rebuild the row-major value at row `i` (byte-identical to the
+    /// value the mirror was built from).
+    pub(crate) fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Int { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Int(values[i])
+                }
+            }
+            Column::Real { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::real(values[i])
+                }
+            }
+            Column::Bool { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(values[i])
+                }
+            }
+            Column::Str {
+                ids, pool, nulls, ..
+            } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Str(pool[ids[i] as usize].to_string())
+                }
+            }
+            Column::Spill(values) => values[i].clone(),
+        }
+    }
+}
+
+/// A columnar mirror of a relation: one [`Column`] per attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarRelation {
+    len: usize,
+    columns: Vec<Column>,
+}
+
+/// Which typed layout a column's values fit, decided by scanning the
+/// rows (NULLs are layout-neutral; any kind conflict spills).
+#[derive(Clone, Copy, PartialEq)]
+enum ColKind {
+    Unknown,
+    Int,
+    Real,
+    Bool,
+    Str,
+    Spill,
+}
+
+impl ColumnarRelation {
+    /// Build a mirror of `rel`. Returns `None` when the relation is not
+    /// column-friendly: empty, zero-arity, rows of inconsistent arity,
+    /// or no attribute that decodes to a typed column (all spill).
+    pub fn build(rel: &Relation) -> Option<ColumnarRelation> {
+        let n = rel.rows.len();
+        let arity = rel.schema.arity();
+        if n == 0 || arity == 0 || rel.rows.iter().any(|r| r.len() != arity) {
+            return None;
+        }
+        let mut columns = Vec::with_capacity(arity);
+        let mut typed = 0usize;
+        for j in 0..arity {
+            let col = build_column(&rel.rows, j, n);
+            if !matches!(col, Column::Spill(_)) {
+                typed += 1;
+            }
+            columns.push(col);
+        }
+        if typed == 0 {
+            return None;
+        }
+        Some(ColumnarRelation { len: n, columns })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mirror has no rows (never happens for built
+    /// mirrors; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column by 0-based index (crate-internal; kernels borrow from it).
+    pub(crate) fn column(&self, j: usize) -> Option<&Column> {
+        self.columns.get(j)
+    }
+
+    /// Whether attribute `j` (0-based) decoded to a typed column rather
+    /// than the `Value` spill representation.
+    pub fn column_is_typed(&self, j: usize) -> bool {
+        !matches!(self.columns.get(j), Some(Column::Spill(_)) | None)
+    }
+
+    /// Row-view: rebuild the value at (`row`, `col`), both 0-based.
+    /// Byte-identical to the row store the mirror was built from.
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// Row-view: rebuild the full row at `i` (0-based).
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+}
+
+/// Decide the layout of column `j` and decode it. Two passes: the kind
+/// scan is cheap (discriminant reads), and keeping the passes separate
+/// means a mid-column spill never decodes half a typed vector.
+fn build_column(rows: &[crate::relation::SharedRow], j: usize, n: usize) -> Column {
+    let mut kind = ColKind::Unknown;
+    for row in rows {
+        let k = match &row[j] {
+            Value::Null => continue,
+            Value::Int(_) => ColKind::Int,
+            Value::Real(_) => ColKind::Real,
+            Value::Bool(_) => ColKind::Bool,
+            Value::Str(_) => ColKind::Str,
+            _ => ColKind::Spill,
+        };
+        if kind == ColKind::Unknown {
+            kind = k;
+        }
+        if kind != k {
+            kind = ColKind::Spill;
+        }
+        if kind == ColKind::Spill {
+            break;
+        }
+    }
+    match kind {
+        // All-NULL columns stay row-major: no typed kernel can touch
+        // them, and spill keeps the exact values trivially.
+        ColKind::Unknown | ColKind::Spill => {
+            Column::Spill(rows.iter().map(|r| r[j].clone()).collect())
+        }
+        ColKind::Int => {
+            let mut values = Vec::with_capacity(n);
+            let mut nulls = NullBitmap::with_len(n);
+            for (i, row) in rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Int(v) => values.push(*v),
+                    Value::Null => {
+                        values.push(0);
+                        nulls.set(i);
+                    }
+                    _ => unreachable!("kind scan saw only Int/Null"),
+                }
+            }
+            Column::Int { values, nulls }
+        }
+        ColKind::Real => {
+            let mut values = Vec::with_capacity(n);
+            let mut nulls = NullBitmap::with_len(n);
+            for (i, row) in rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Real(v) => values.push(v.0),
+                    Value::Null => {
+                        values.push(0.0);
+                        nulls.set(i);
+                    }
+                    _ => unreachable!("kind scan saw only Real/Null"),
+                }
+            }
+            Column::Real { values, nulls }
+        }
+        ColKind::Bool => {
+            let mut values = Vec::with_capacity(n);
+            let mut nulls = NullBitmap::with_len(n);
+            for (i, row) in rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Bool(v) => values.push(*v),
+                    Value::Null => {
+                        values.push(false);
+                        nulls.set(i);
+                    }
+                    _ => unreachable!("kind scan saw only Bool/Null"),
+                }
+            }
+            Column::Bool { values, nulls }
+        }
+        ColKind::Str => {
+            let mut ids = Vec::with_capacity(n);
+            let mut pool: Vec<Arc<str>> = Vec::new();
+            let mut lookup: HashMap<Arc<str>, u32> = HashMap::new();
+            let mut nulls = NullBitmap::with_len(n);
+            for (i, row) in rows.iter().enumerate() {
+                match &row[j] {
+                    Value::Str(s) => {
+                        let id = match lookup.get(s.as_str()) {
+                            Some(&id) => id,
+                            None => {
+                                let id = pool.len() as u32;
+                                let interned: Arc<str> = Arc::from(s.as_str());
+                                pool.push(interned.clone());
+                                lookup.insert(interned, id);
+                                id
+                            }
+                        };
+                        ids.push(id);
+                    }
+                    Value::Null => {
+                        ids.push(0);
+                        nulls.set(i);
+                    }
+                    _ => unreachable!("kind scan saw only Str/Null"),
+                }
+            }
+            Column::Str {
+                ids,
+                pool,
+                lookup,
+                nulls,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eds_adt::{Field, Type};
+    use eds_lera::Schema;
+
+    fn schema(names: &[&str]) -> Schema {
+        Schema::new(names.iter().map(|n| Field::new(*n, Type::Any)).collect())
+    }
+
+    #[test]
+    fn typed_columns_roundtrip_exactly() {
+        let rel = Relation::new(
+            schema(&["i", "r", "s", "b"]),
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::real(1.5),
+                    Value::str("a"),
+                    Value::Bool(true),
+                ],
+                vec![Value::Null, Value::Null, Value::Null, Value::Null],
+                vec![
+                    Value::Int(-3),
+                    Value::real(f64::NAN),
+                    Value::str("a"),
+                    Value::Bool(false),
+                ],
+            ],
+        );
+        let cols = ColumnarRelation::build(&rel).expect("column-friendly");
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols.arity(), 4);
+        for j in 0..4 {
+            assert!(cols.column_is_typed(j), "column {j} must be typed");
+        }
+        for (i, row) in rel.rows.iter().enumerate() {
+            assert_eq!(cols.row(i), row.to_vec(), "row {i} diverges");
+        }
+        // Interning: "a" appears twice but is pooled once.
+        match cols.column(2).unwrap() {
+            Column::Str { pool, ids, .. } => {
+                assert_eq!(pool.len(), 1);
+                assert_eq!(ids[0], ids[2]);
+            }
+            other => panic!("expected Str column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_column_kind_conflict_spills() {
+        let rel = Relation::new(
+            schema(&["k"]),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::str("two")],
+                vec![Value::Int(3)],
+            ],
+        );
+        // Single column spills -> no typed column -> no mirror at all.
+        assert!(ColumnarRelation::build(&rel).is_none());
+
+        let rel2 = Relation::new(
+            schema(&["k", "x"]),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::str("two"), Value::Int(20)],
+            ],
+        );
+        let cols = ColumnarRelation::build(&rel2).expect("second column is typed");
+        assert!(!cols.column_is_typed(0));
+        assert!(cols.column_is_typed(1));
+        assert_eq!(cols.value_at(1, 0), Value::str("two"));
+    }
+
+    #[test]
+    fn int_real_mix_spills_rather_than_promoting() {
+        // Promoting i64 to f64 would lose precision above 2^53 and change
+        // comparison results; the layout must refuse instead.
+        let rel = Relation::new(
+            schema(&["n"]),
+            vec![vec![Value::Int(1)], vec![Value::real(2.0)]],
+        );
+        assert!(ColumnarRelation::build(&rel).is_none());
+    }
+
+    #[test]
+    fn adt_shapes_spill() {
+        let rel = Relation::new(
+            schema(&["e", "c", "i"]),
+            vec![vec![
+                Value::Enum("Grade".into(), "A".into()),
+                Value::set(vec![Value::Int(1)]),
+                Value::Int(7),
+            ]],
+        );
+        let cols = ColumnarRelation::build(&rel).unwrap();
+        assert!(!cols.column_is_typed(0));
+        assert!(!cols.column_is_typed(1));
+        assert!(cols.column_is_typed(2));
+        assert_eq!(cols.row(0), rel.rows[0].to_vec());
+    }
+
+    #[test]
+    fn empty_and_all_null_stay_row_major() {
+        let empty = Relation::empty(schema(&["x"]));
+        assert!(ColumnarRelation::build(&empty).is_none());
+        let nulls = Relation::new(schema(&["x"]), vec![vec![Value::Null], vec![Value::Null]]);
+        assert!(ColumnarRelation::build(&nulls).is_none());
+    }
+}

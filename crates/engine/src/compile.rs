@@ -27,6 +27,7 @@ use eds_adt::{
 };
 use eds_lera::{CmpOp, LeraError, Scalar};
 
+use crate::columnar::{Column, ColumnarRelation, NullBitmap};
 use crate::database::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::eval::eval_cmp_broadcast;
@@ -541,6 +542,465 @@ impl CompiledProj {
             }
         }
         self.general.eval_owned(tuples, env)
+    }
+}
+
+/// A qualification lowered onto a columnar mirror: one typed [`Kern`]
+/// per conjunct, run over a *selection vector* of candidate row indices.
+/// Lowering succeeds only when **every** conjunct maps to a kernel, so
+/// evaluation can never error and never disagree with the row path —
+/// any conjunct the typed layout does not cover sends the whole
+/// predicate back to [`CompiledPred::eval_bool`].
+///
+/// Selection semantics match the row path exactly: a row is selected
+/// iff every conjunct evaluates to `TRUE` (NULL and FALSE both drop the
+/// row), so kernels only ever *remove* indices and their order of
+/// application cannot change the result.
+pub struct ColumnarPred<'c> {
+    kernels: Vec<Kern<'c>>,
+}
+
+/// One conjunct's typed kernel over column storage. Constants are
+/// decoded at lowering time; per-row work is a slice read, a null-bit
+/// test and a primitive comparison.
+enum Kern<'c> {
+    /// Conjunct is TRUE for every row (literal `TRUE`, or a
+    /// constant-constant comparison that evaluated to TRUE).
+    AllTrue,
+    /// Conjunct is never TRUE (NULL/FALSE constant result): selects
+    /// nothing.
+    NeverTrue,
+    /// Kind-mismatch comparison whose truth is TRUE exactly when the
+    /// column value is non-null (derived `Ord` between distinct `Value`
+    /// kinds is payload-independent).
+    NotNull1(&'c NullBitmap),
+    /// As [`Kern::NotNull1`] for a column-column comparison: TRUE when
+    /// both sides are non-null.
+    NotNull2(&'c NullBitmap, &'c NullBitmap),
+    /// `Int` column vs integer constant.
+    IntConst {
+        values: &'c [i64],
+        nulls: &'c NullBitmap,
+        op: CmpOp,
+        k: i64,
+    },
+    /// `Int` column vs real constant (`sql_cmp` widens the int side).
+    IntConstF {
+        values: &'c [i64],
+        nulls: &'c NullBitmap,
+        op: CmpOp,
+        k: f64,
+    },
+    /// `Real` column vs numeric constant (int constants widen, exactly
+    /// like `sql_cmp`'s `(*b as f64)`).
+    RealConst {
+        values: &'c [f64],
+        nulls: &'c NullBitmap,
+        op: CmpOp,
+        k: f64,
+    },
+    /// `Bool` column vs boolean constant.
+    BoolConst {
+        values: &'c [bool],
+        nulls: &'c NullBitmap,
+        op: CmpOp,
+        k: bool,
+    },
+    /// Interned string column vs string constant: the comparison ran
+    /// once per *distinct* pool entry at lowering time, so the per-row
+    /// kernel is a null test plus a table lookup.
+    StrPool {
+        ids: &'c [u32],
+        nulls: &'c NullBitmap,
+        truth: Vec<bool>,
+    },
+    /// `Int` column vs `Int` column.
+    IntInt {
+        a: &'c [i64],
+        b: &'c [i64],
+        an: &'c NullBitmap,
+        bn: &'c NullBitmap,
+        op: CmpOp,
+    },
+    /// `Int` column vs `Real` column (int side widens).
+    IntReal {
+        a: &'c [i64],
+        b: &'c [f64],
+        an: &'c NullBitmap,
+        bn: &'c NullBitmap,
+        op: CmpOp,
+    },
+    /// `Real` column vs `Int` column.
+    RealInt {
+        a: &'c [f64],
+        b: &'c [i64],
+        an: &'c NullBitmap,
+        bn: &'c NullBitmap,
+        op: CmpOp,
+    },
+    /// `Real` column vs `Real` column (`total_cmp`, like `OrderedF64`).
+    RealReal {
+        a: &'c [f64],
+        b: &'c [f64],
+        an: &'c NullBitmap,
+        bn: &'c NullBitmap,
+        op: CmpOp,
+    },
+    /// `Bool` column vs `Bool` column.
+    BoolBool {
+        a: &'c [bool],
+        b: &'c [bool],
+        an: &'c NullBitmap,
+        bn: &'c NullBitmap,
+        op: CmpOp,
+    },
+    /// String column vs string column (possibly different pools).
+    StrStr {
+        a_ids: &'c [u32],
+        a_pool: &'c [Arc<str>],
+        b_ids: &'c [u32],
+        b_pool: &'c [Arc<str>],
+        an: &'c NullBitmap,
+        bn: &'c NullBitmap,
+        op: CmpOp,
+    },
+}
+
+/// Does `ord` satisfy `op`? The single dispatch point every typed kernel
+/// funnels through, mirroring the tail of
+/// [`eval_cmp_broadcast`](crate::eval::eval_cmp_broadcast).
+#[inline]
+fn holds(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord.is_eq(),
+        CmpOp::Ne => ord.is_ne(),
+        CmpOp::Lt => ord.is_lt(),
+        CmpOp::Gt => ord.is_gt(),
+        CmpOp::Le => ord.is_le(),
+        CmpOp::Ge => ord.is_ge(),
+    }
+}
+
+/// Mirror a comparison so the column operand moves to the left:
+/// `k op col` ≡ `col mirror(op) k`.
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Refine a selection vector with a per-row predicate. `None` means
+/// "every row in `[lo, hi)`" — the first constraining kernel
+/// materializes it, later kernels retain in place.
+#[inline]
+fn refine(sel: &mut Option<Vec<u32>>, lo: usize, hi: usize, pred: impl Fn(usize) -> bool) {
+    match sel {
+        None => *sel = Some((lo..hi).filter(|&i| pred(i)).map(|i| i as u32).collect()),
+        Some(v) => v.retain(|&i| pred(i as usize)),
+    }
+}
+
+impl ColumnarPred<'_> {
+    /// Indices in `[lo, hi)` (ascending) whose rows satisfy every
+    /// conjunct. Infallible by construction: only conjuncts that cannot
+    /// error lower to kernels.
+    pub fn select_range(&self, lo: usize, hi: usize) -> Vec<u32> {
+        let mut sel: Option<Vec<u32>> = None;
+        for kern in &self.kernels {
+            match kern {
+                Kern::AllTrue => {}
+                Kern::NeverTrue => return Vec::new(),
+                Kern::NotNull1(n) => refine(&mut sel, lo, hi, |i| !n.is_null(i)),
+                Kern::NotNull2(an, bn) => {
+                    refine(&mut sel, lo, hi, |i| !an.is_null(i) && !bn.is_null(i))
+                }
+                Kern::IntConst {
+                    values,
+                    nulls,
+                    op,
+                    k,
+                } => refine(&mut sel, lo, hi, |i| {
+                    !nulls.is_null(i) && holds(*op, values[i].cmp(k))
+                }),
+                Kern::IntConstF {
+                    values,
+                    nulls,
+                    op,
+                    k,
+                } => refine(&mut sel, lo, hi, |i| {
+                    !nulls.is_null(i) && holds(*op, (values[i] as f64).total_cmp(k))
+                }),
+                Kern::RealConst {
+                    values,
+                    nulls,
+                    op,
+                    k,
+                } => refine(&mut sel, lo, hi, |i| {
+                    !nulls.is_null(i) && holds(*op, values[i].total_cmp(k))
+                }),
+                Kern::BoolConst {
+                    values,
+                    nulls,
+                    op,
+                    k,
+                } => refine(&mut sel, lo, hi, |i| {
+                    !nulls.is_null(i) && holds(*op, values[i].cmp(k))
+                }),
+                Kern::StrPool { ids, nulls, truth } => refine(&mut sel, lo, hi, |i| {
+                    !nulls.is_null(i) && truth[ids[i] as usize]
+                }),
+                Kern::IntInt { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
+                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].cmp(&b[i]))
+                }),
+                Kern::IntReal { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
+                    !an.is_null(i) && !bn.is_null(i) && holds(*op, (a[i] as f64).total_cmp(&b[i]))
+                }),
+                Kern::RealInt { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
+                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].total_cmp(&(b[i] as f64)))
+                }),
+                Kern::RealReal { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
+                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].total_cmp(&b[i]))
+                }),
+                Kern::BoolBool { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
+                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].cmp(&b[i]))
+                }),
+                Kern::StrStr {
+                    a_ids,
+                    a_pool,
+                    b_ids,
+                    b_pool,
+                    an,
+                    bn,
+                    op,
+                } => refine(&mut sel, lo, hi, |i| {
+                    !an.is_null(i)
+                        && !bn.is_null(i)
+                        && holds(
+                            *op,
+                            a_pool[a_ids[i] as usize]
+                                .as_ref()
+                                .cmp(b_pool[b_ids[i] as usize].as_ref()),
+                        )
+                }),
+            }
+            if matches!(&sel, Some(v) if v.is_empty()) {
+                return Vec::new();
+            }
+        }
+        sel.unwrap_or_else(|| (lo..hi).map(|i| i as u32).collect())
+    }
+}
+
+impl CompiledPred {
+    /// Lower this predicate onto a columnar mirror, or `None` when any
+    /// conjunct falls outside the typed kernel set (deref chains,
+    /// function calls, disjunctions, spill columns, …) — the caller
+    /// then uses the row path for the whole predicate, preserving
+    /// evaluation order, errors and results exactly.
+    pub fn columnar<'c>(&self, cols: &'c ColumnarRelation) -> Option<ColumnarPred<'c>> {
+        let mut kernels = Vec::with_capacity(self.conjuncts.len());
+        for c in &self.conjuncts {
+            kernels.push(lower_conjunct(c, cols)?);
+        }
+        Some(ColumnarPred { kernels })
+    }
+}
+
+fn lower_conjunct<'c>(c: &Conjunct, cols: &'c ColumnarRelation) -> Option<Kern<'c>> {
+    match c.fast.as_ref()? {
+        FastQual::True => Some(Kern::AllTrue),
+        FastQual::Cmp { op, left, right } => match (left, right) {
+            (FastRef::Slot { rel0: 0, attr0 }, FastRef::Konst(k)) => {
+                lower_col_const(*op, cols.column(*attr0)?, k)
+            }
+            (FastRef::Konst(k), FastRef::Slot { rel0: 0, attr0 }) => {
+                lower_col_const(mirror(*op), cols.column(*attr0)?, k)
+            }
+            (FastRef::Slot { rel0: 0, attr0: a }, FastRef::Slot { rel0: 0, attr0: b }) => {
+                lower_col_col(*op, cols.column(*a)?, cols.column(*b)?)
+            }
+            (FastRef::Konst(k1), FastRef::Konst(k2)) => {
+                Some(match eval_cmp_broadcast(op, k1, k2) {
+                    Value::Bool(true) => Kern::AllTrue,
+                    // FALSE, NULL, or a broadcast collection: never TRUE.
+                    _ => Kern::NeverTrue,
+                })
+            }
+            _ => None,
+        },
+    }
+}
+
+/// Lower `col op k` (constant already mirrored to the right).
+fn lower_col_const<'c>(op: CmpOp, col: &'c Column, k: &Value) -> Option<Kern<'c>> {
+    if k.is_null() {
+        // NULL comparand: the comparison is NULL for every row, which a
+        // qualification treats as "not selected".
+        return Some(Kern::NeverTrue);
+    }
+    match (col, k) {
+        (Column::Spill(_), _) => None,
+        (Column::Int { values, nulls }, Value::Int(i)) => Some(Kern::IntConst {
+            values,
+            nulls,
+            op,
+            k: *i,
+        }),
+        (Column::Int { values, nulls }, Value::Real(r)) => Some(Kern::IntConstF {
+            values,
+            nulls,
+            op,
+            k: r.0,
+        }),
+        (Column::Real { values, nulls }, Value::Real(r)) => Some(Kern::RealConst {
+            values,
+            nulls,
+            op,
+            k: r.0,
+        }),
+        (Column::Real { values, nulls }, Value::Int(i)) => Some(Kern::RealConst {
+            values,
+            nulls,
+            op,
+            k: *i as f64,
+        }),
+        (Column::Bool { values, nulls }, Value::Bool(b)) => Some(Kern::BoolConst {
+            values,
+            nulls,
+            op,
+            k: *b,
+        }),
+        (
+            Column::Str {
+                ids, pool, nulls, ..
+            },
+            Value::Str(s),
+        ) => {
+            let truth: Vec<bool> = pool
+                .iter()
+                .map(|p| holds(op, p.as_ref().cmp(s.as_str())))
+                .collect();
+            Some(Kern::StrPool { ids, nulls, truth })
+        }
+        // Kind mismatch (e.g. Int column vs Str constant): `sql_cmp`
+        // between distinct non-numeric kinds compares discriminants
+        // only, so the truth is the same for every non-null row —
+        // resolve it once with a probe value of the column's kind.
+        // (Ordered comparisons against a collection constant broadcast
+        // to a collection result, which is never TRUE; the probe path
+        // covers that too.)
+        (col, k) => {
+            let probe = col.probe()?;
+            Some(match eval_cmp_broadcast(&op, &probe, k) {
+                Value::Bool(true) => Kern::NotNull1(col.nulls()?),
+                _ => Kern::NeverTrue,
+            })
+        }
+    }
+}
+
+/// Lower `col_a op col_b` (both in the same single-input relation).
+fn lower_col_col<'c>(op: CmpOp, ca: &'c Column, cb: &'c Column) -> Option<Kern<'c>> {
+    match (ca, cb) {
+        (Column::Spill(_), _) | (_, Column::Spill(_)) => None,
+        (
+            Column::Int {
+                values: a,
+                nulls: an,
+            },
+            Column::Int {
+                values: b,
+                nulls: bn,
+            },
+        ) => Some(Kern::IntInt { a, b, an, bn, op }),
+        (
+            Column::Int {
+                values: a,
+                nulls: an,
+            },
+            Column::Real {
+                values: b,
+                nulls: bn,
+            },
+        ) => Some(Kern::IntReal { a, b, an, bn, op }),
+        (
+            Column::Real {
+                values: a,
+                nulls: an,
+            },
+            Column::Int {
+                values: b,
+                nulls: bn,
+            },
+        ) => Some(Kern::RealInt { a, b, an, bn, op }),
+        (
+            Column::Real {
+                values: a,
+                nulls: an,
+            },
+            Column::Real {
+                values: b,
+                nulls: bn,
+            },
+        ) => Some(Kern::RealReal { a, b, an, bn, op }),
+        (
+            Column::Bool {
+                values: a,
+                nulls: an,
+            },
+            Column::Bool {
+                values: b,
+                nulls: bn,
+            },
+        ) => Some(Kern::BoolBool { a, b, an, bn, op }),
+        (
+            Column::Str {
+                ids: a_ids,
+                pool: a_pool,
+                nulls: an,
+                ..
+            },
+            Column::Str {
+                ids: b_ids,
+                pool: b_pool,
+                nulls: bn,
+                ..
+            },
+        ) => Some(Kern::StrStr {
+            a_ids,
+            a_pool,
+            b_ids,
+            b_pool,
+            an,
+            bn,
+            op,
+        }),
+        // Kind mismatch between two typed columns: payload-independent,
+        // resolve once with probes (see lower_col_const).
+        (ca, cb) => {
+            let (pa, pb) = (ca.probe()?, cb.probe()?);
+            Some(match eval_cmp_broadcast(&op, &pa, &pb) {
+                Value::Bool(true) => Kern::NotNull2(ca.nulls()?, cb.nulls()?),
+                _ => Kern::NeverTrue,
+            })
+        }
+    }
+}
+
+impl CompiledProj {
+    /// The 0-based attribute of input 0 this projection copies, when it
+    /// is a plain first-input slot reference (the shape the columnar
+    /// gather path and the identity-projection short-circuit need).
+    pub fn slot0(&self) -> Option<usize> {
+        match self.slot {
+            Some((0, attr0)) => Some(attr0),
+            _ => None,
+        }
     }
 }
 

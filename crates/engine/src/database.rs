@@ -1,11 +1,13 @@
 //! The database: catalog + object store + stored relations + functions.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use eds_adt::{FunctionRegistry, ObjectStore, Oid, Value};
 use eds_esql::{Catalog, Stmt, TableSchema};
 use eds_lera::{Schema, SchemaCtx};
 
+use crate::columnar::ColumnarRelation;
 use crate::error::{EngineError, EngineResult};
 use crate::relation::{Relation, Row};
 
@@ -19,6 +21,12 @@ pub struct Database {
     /// ADT function registry (extensible by the database implementor).
     pub functions: FunctionRegistry,
     relations: HashMap<String, Relation>,
+    /// Columnar mirrors of stored relations, built lazily on first
+    /// scan and invalidated by every mutation path (all of which go
+    /// through methods of this struct — `relations` is private).
+    /// `None` records "not column-friendly" so an all-spill table is
+    /// not re-scanned on every query.
+    columnar: Mutex<HashMap<String, Option<Arc<ColumnarRelation>>>>,
 }
 
 impl Default for Database {
@@ -35,7 +43,35 @@ impl Database {
             objects: ObjectStore::new(),
             functions: FunctionRegistry::with_builtins(),
             relations: HashMap::new(),
+            columnar: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Drop the cached columnar mirror of `key` (already uppercased),
+    /// called from every path that can change the stored rows.
+    fn invalidate_columnar(&mut self, key: &str) {
+        self.columnar
+            .get_mut()
+            .expect("columnar cache poisoned")
+            .remove(key);
+    }
+
+    /// Columnar mirror of a stored base table, built on first use and
+    /// cached until the table is mutated. `None` when the table does not
+    /// exist or is not column-friendly (empty, or every attribute
+    /// spills) — negative results are cached too.
+    pub fn columnar(&self, name: &str) -> Option<Arc<ColumnarRelation>> {
+        let key = name.to_ascii_uppercase();
+        let mut cache = self.columnar.lock().expect("columnar cache poisoned");
+        if let Some(entry) = cache.get(&key) {
+            return entry.clone();
+        }
+        let built = self
+            .relations
+            .get(&key)
+            .and_then(|rel| ColumnarRelation::build(rel).map(Arc::new));
+        cache.insert(key, built.clone());
+        built
     }
 
     /// Parse and install DDL from `src`; storage is allocated for tables,
@@ -67,8 +103,9 @@ impl Database {
                     .table(&t.name)
                     .map(|s| Schema::new(s.columns.clone()))
                     .expect("just installed");
-                self.relations
-                    .insert(t.name.to_ascii_uppercase(), Relation::empty(schema));
+                let key = t.name.to_ascii_uppercase();
+                self.relations.insert(key.clone(), Relation::empty(schema));
+                self.invalidate_columnar(&key);
             }
             Stmt::ViewDecl(v) => {
                 // Infer and register the view's schema so later queries
@@ -124,6 +161,7 @@ impl Database {
             });
         }
         rel.push(row);
+        self.invalidate_columnar(&key);
         Ok(())
     }
 
@@ -154,9 +192,13 @@ impl Database {
         self.relations.get(&name.to_ascii_uppercase())
     }
 
-    /// Mutable stored relation (for bulk loading in benchmarks).
+    /// Mutable stored relation (for bulk loading in benchmarks). The
+    /// columnar mirror is invalidated eagerly — the caller holds a
+    /// mutable borrow and may change the rows.
     pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(&name.to_ascii_uppercase())
+        let key = name.to_ascii_uppercase();
+        self.invalidate_columnar(&key);
+        self.relations.get_mut(&key)
     }
 
     /// Cardinality of a stored relation.
@@ -166,8 +208,10 @@ impl Database {
 
     /// Remove all rows from a table (schema preserved).
     pub fn truncate(&mut self, name: &str) -> EngineResult<()> {
+        let key = name.to_ascii_uppercase();
+        self.invalidate_columnar(&key);
         self.relations
-            .get_mut(&name.to_ascii_uppercase())
+            .get_mut(&key)
             .map(|r| r.rows.clear())
             .ok_or_else(|| EngineError::UnknownRelation(name.to_owned()))
     }

@@ -22,14 +22,16 @@
 //! The original per-tuple tree-walking interpreter is preserved verbatim
 //! in [`crate::reference`] for differential testing.
 
-use std::collections::BTreeMap;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use eds_adt::{EvalContext, Value};
 use eds_lera::{infer_scalar_type, infer_schema, Expr, LeraError, Scalar, Schema, SchemaCtx};
 
-use crate::compile::{CompiledPred, CompiledProj, EvalEnv};
+use crate::columnar::{Column, ColumnarRelation, NullBitmap};
+use crate::compile::{ColumnarPred, CompiledPred, CompiledProj, EvalEnv};
 use crate::database::Database;
 use crate::error::{EngineError, EngineResult};
 use crate::fixpoint::{eval_fix, FixOptions};
@@ -61,6 +63,26 @@ pub struct EvalOptions {
     /// evaluated by scoped threads and merged in order, preserving both
     /// results and result order exactly.
     pub parallelism: usize,
+    /// Use columnar mirrors of stored base tables where the operator
+    /// and predicate shapes allow it: Filter/Search qualifications whose
+    /// conjuncts all lower to typed kernels run over contiguous columns
+    /// and gather surviving rows from the shared row store, and
+    /// single-attribute hash-join keys on integer columns build typed
+    /// hash tables. Results, result order, work counters and errors are
+    /// identical to the row path (differential-tested); defaults to on,
+    /// `EDS_COLUMNAR=0` turns it off process-wide.
+    pub columnar: bool,
+}
+
+/// Process-wide default for [`EvalOptions::columnar`], read once from
+/// `EDS_COLUMNAR` (anything but `0` — including unset — enables it).
+fn env_columnar_default() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("EDS_COLUMNAR")
+            .map(|v| v.trim() != "0")
+            .unwrap_or(true)
+    })
 }
 
 impl Default for EvalOptions {
@@ -69,13 +91,15 @@ impl Default for EvalOptions {
             fix: FixOptions::default(),
             join: JoinMode::default(),
             parallelism: 1,
+            columnar: env_columnar_default(),
         }
     }
 }
 
 impl EvalOptions {
     /// Defaults, with `parallelism` taken from the `EDS_PARALLELISM`
-    /// environment variable when it parses to a positive integer.
+    /// environment variable when it parses to a positive integer (and
+    /// `columnar` from `EDS_COLUMNAR`, as in `Default`).
     pub fn from_env() -> Self {
         let parallelism = std::env::var("EDS_PARALLELISM")
             .ok()
@@ -221,6 +245,67 @@ where
     results.into_iter().collect()
 }
 
+/// Columnar mirror backing `input`, when the columnar path may be used:
+/// the option is on, the input is a stored base table scan (fixpoint
+/// locals shadow stored tables and never columnarize — their rows change
+/// every iteration), the table is column-friendly, and the mirror's row
+/// count matches the relation the caller just evaluated (defense in
+/// depth: a stale mirror must never be consulted).
+fn base_columnar(input: &Expr, ctx: &Ctx<'_>, expect_len: usize) -> Option<Arc<ColumnarRelation>> {
+    if !ctx.opts.columnar {
+        return None;
+    }
+    let Expr::Base(name) = input else { return None };
+    if ctx.locals.contains_key(&name.to_ascii_uppercase()) {
+        return None;
+    }
+    let cols = ctx.db.columnar(name)?;
+    (cols.len() == expect_len).then_some(cols)
+}
+
+/// Run a lowered predicate over `[0, len)`, partitioned into contiguous
+/// index ranges like the row operators partition their rows; ranges
+/// merge in order, so the selection vector is ascending — the exact
+/// sequential scan order.
+fn select_partitioned(
+    pred: &ColumnarPred<'_>,
+    len: usize,
+    parallelism: usize,
+) -> EngineResult<Vec<u32>> {
+    let workers = effective_workers(parallelism, len);
+    if workers <= 1 {
+        return Ok(pred.select_range(0, len));
+    }
+    let chunk = len.div_ceil(workers);
+    let ranges: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
+        .collect();
+    let parts = run_chunked(&ranges, workers, |rs| {
+        let mut out: Vec<u32> = Vec::new();
+        for &(lo, hi) in rs {
+            out.extend(pred.select_range(lo, hi));
+        }
+        Ok(out)
+    })?;
+    Ok(parts.into_iter().flatten().collect())
+}
+
+/// Evaluate an operator input, borrowing stored base relations instead
+/// of cloning their row vectors — a scan over a large table would
+/// otherwise pay one `Arc` refcount round-trip per row before reading
+/// anything. Fixpoint locals stay owned (their bindings change between
+/// rounds); every other shape evaluates through [`eval_expr`] as usual.
+fn eval_input<'db>(input: &Expr, ctx: &mut Ctx<'db>) -> EngineResult<Cow<'db, Relation>> {
+    if let Expr::Base(name) = input {
+        if !ctx.locals.contains_key(&name.to_ascii_uppercase()) {
+            if let Some(rel) = ctx.db.relation(name) {
+                return Ok(Cow::Borrowed(rel));
+            }
+        }
+    }
+    eval_expr(input, ctx).map(Cow::Owned)
+}
+
 /// Evaluate an expression in a context (public for the fixpoint module).
 pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
     match expr {
@@ -235,10 +320,27 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             Err(EngineError::UnknownRelation(name.to_owned()))
         }
         Expr::Filter { input, pred } => {
-            let rel = eval_expr(input, ctx)?;
+            let rel = eval_input(input, ctx)?;
             let bound = bind_fields(pred, std::slice::from_ref(&*rel.schema), ctx)?;
             let env = EvalEnv::of(ctx.db);
             let prog = CompiledPred::compile(&bound, &env);
+            // Columnar path: base-table scan whose qualification lowers
+            // fully to typed kernels. The kernels compute a selection
+            // vector over the columns; surviving rows are gathered from
+            // the shared row store, so output rows are the *same*
+            // allocations the row path would keep.
+            if let Some(cols) = base_columnar(input, ctx, rel.len()) {
+                if let Some(cpred) = prog.columnar(&cols) {
+                    let sel = select_partitioned(&cpred, cols.len(), ctx.opts.parallelism)?;
+                    let mut out = Relation::empty(rel.schema.clone());
+                    out.rows.reserve(sel.len());
+                    for &i in &sel {
+                        out.rows.push(rel.rows[i as usize].clone());
+                    }
+                    ctx.stats.rows_emitted += sel.len() as u64;
+                    return Ok(out);
+                }
+            }
             let parts = run_partitioned(&rel.rows, ctx.opts.parallelism, |rows| {
                 let mut kept: Vec<SharedRow> = Vec::new();
                 for row in rows {
@@ -256,7 +358,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             Ok(out)
         }
         Expr::Project { input, exprs } => {
-            let rel = eval_expr(input, ctx)?;
+            let rel = eval_input(input, ctx)?;
             let schema = infer_schema(expr, &ctx.schema_ctx())?;
             let env = EvalEnv::of(ctx.db);
             let progs = exprs
@@ -266,6 +368,49 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
                         .map(|b| CompiledProj::compile(&b, &env))
                 })
                 .collect::<EngineResult<Vec<_>>>()?;
+            // Identity short-circuit: every target copies the input row's
+            // attributes in order, so the output rows *are* the input
+            // rows — forward the shared allocations by refcount. (The
+            // per-row arity check is a fat-pointer read and guarantees
+            // slot copies cannot have fallen back to the general
+            // program.)
+            let in_arity = rel.schema.arity();
+            if progs.len() == in_arity
+                && progs.iter().enumerate().all(|(i, p)| p.slot0() == Some(i))
+                && rel.rows.iter().all(|r| r.len() == in_arity)
+            {
+                ctx.stats.rows_emitted += rel.rows.len() as u64;
+                return Ok(Relation::from_shared(schema, rel.into_owned().rows));
+            }
+            // Columnar gather: a base-table scan where every target is a
+            // first-input slot reference builds output rows straight from
+            // the columns (no per-row Arc chase through the row store).
+            if let Some(cols) = base_columnar(input, ctx, rel.len()) {
+                let slots: Option<Vec<usize>> = progs
+                    .iter()
+                    .map(|p| p.slot0().filter(|&a| a < cols.arity()))
+                    .collect();
+                if let Some(slots) = slots {
+                    let indices: Vec<u32> = (0..cols.len() as u32).collect();
+                    let parts = run_partitioned(&indices, ctx.opts.parallelism, |idxs| {
+                        let mut built: Vec<SharedRow> = Vec::with_capacity(idxs.len());
+                        let mut scratch: Row = Vec::with_capacity(slots.len());
+                        for &i in idxs {
+                            for &a in &slots {
+                                scratch.push(cols.value_at(i as usize, a));
+                            }
+                            built.push(shared_row(&mut scratch));
+                        }
+                        Ok(built)
+                    })?;
+                    let mut out = Relation::empty(schema);
+                    for mut part in parts {
+                        ctx.stats.rows_emitted += part.len() as u64;
+                        out.rows.append(&mut part);
+                    }
+                    return Ok(out);
+                }
+            }
             let parts = run_partitioned(&rel.rows, ctx.opts.parallelism, |rows| {
                 let mut built: Vec<SharedRow> = Vec::with_capacity(rows.len());
                 let mut scratch: Row = Vec::with_capacity(progs.len());
@@ -324,7 +469,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
         }
         Expr::Difference(a, b) => {
             let ra = eval_expr(a, ctx)?.deduped();
-            let rb = eval_expr(b, ctx)?;
+            let rb = eval_input(b, ctx)?;
             let forbidden: HashSet<&[Value]> = rb.rows.iter().map(|r| &**r).collect();
             let rows: Vec<SharedRow> = ra
                 .rows
@@ -335,7 +480,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
         }
         Expr::Intersect(a, b) => {
             let ra = eval_expr(a, ctx)?.deduped();
-            let rb = eval_expr(b, ctx)?;
+            let rb = eval_input(b, ctx)?;
             let allowed: HashSet<&[Value]> = rb.rows.iter().map(|r| &**r).collect();
             let rows: Vec<SharedRow> = ra
                 .rows
@@ -347,7 +492,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
         Expr::Search { inputs, pred, proj } => {
             let rels = inputs
                 .iter()
-                .map(|i| eval_expr(i, ctx))
+                .map(|i| eval_input(i, ctx))
                 .collect::<EngineResult<Vec<_>>>()?;
             let schemas: Vec<Schema> = rels.iter().map(|r| (*r.schema).clone()).collect();
             let bound_pred = bind_fields(pred, &schemas, ctx)?;
@@ -364,6 +509,55 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             // produces no tuples without touching the cross product.
             if bound_pred.is_false() || rels.iter().any(|r| r.is_empty()) {
                 return Ok(out);
+            }
+            // Columnar path for the single-input select-project shape
+            // (what filter pushdown + projection merging produce): the
+            // lowered qualification scans the columns; projection runs
+            // only over the selected rows. Both join modes enumerate a
+            // single input in identical row order, so one path serves
+            // nested-loop and hash alike.
+            if rels.len() == 1 {
+                if let Some(cols) = base_columnar(&inputs[0], ctx, rels[0].len()) {
+                    if let Some(colpred) = cpred.columnar(&cols) {
+                        let sel = select_partitioned(&colpred, cols.len(), ctx.opts.parallelism)?;
+                        ctx.stats.combinations_tried += rels[0].len() as u64;
+                        let rows = &rels[0].rows;
+                        // Slot-only projections gather straight from the
+                        // columns (contiguous reads, no per-row compiled-
+                        // program dispatch); anything fancier evaluates
+                        // the compiled projection over the selected rows.
+                        let slots: Option<Vec<usize>> = cproj
+                            .iter()
+                            .map(|p| p.slot0().filter(|&a| a < cols.arity()))
+                            .collect();
+                        let parts = run_partitioned(&sel, ctx.opts.parallelism, |idxs| {
+                            let mut built: Vec<SharedRow> = Vec::with_capacity(idxs.len());
+                            let mut scratch: Row = Vec::with_capacity(cproj.len());
+                            if let Some(slots) = &slots {
+                                for &i in idxs {
+                                    for &a in slots {
+                                        scratch.push(cols.value_at(i as usize, a));
+                                    }
+                                    built.push(shared_row(&mut scratch));
+                                }
+                            } else {
+                                for &i in idxs {
+                                    let tuple = [&rows[i as usize][..]];
+                                    for p in &cproj {
+                                        scratch.push(p.eval_owned(&tuple, &env)?);
+                                    }
+                                    built.push(shared_row(&mut scratch));
+                                }
+                            }
+                            Ok(built)
+                        })?;
+                        for mut part in parts {
+                            ctx.stats.rows_emitted += part.len() as u64;
+                            out.rows.append(&mut part);
+                        }
+                        return Ok(out);
+                    }
+                }
             }
             match ctx.opts.join {
                 JoinMode::NestedLoop => {
@@ -454,8 +648,15 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
                 JoinMode::Hash => {
                     // Candidate enumeration is sequential (it builds
                     // per-input hash tables); the per-combination
-                    // re-check and projection are partitioned.
-                    let combos = hash_search(&rels, &bound_pred, ctx)?;
+                    // re-check and projection are partitioned. Columnar
+                    // mirrors of base inputs let single-attribute integer
+                    // join keys build typed `i64` hash tables.
+                    let mirrors: Vec<Option<Arc<ColumnarRelation>>> = inputs
+                        .iter()
+                        .zip(&rels)
+                        .map(|(i, r)| base_columnar(i, ctx, r.len()))
+                        .collect();
+                    let combos = hash_search(&rels, &bound_pred, &mirrors, ctx)?;
                     let parts = run_partitioned(&combos, ctx.opts.parallelism, |part| {
                         let mut kept: Vec<SharedRow> = Vec::new();
                         let mut tuple: Vec<&[Value]> = Vec::with_capacity(rels.len());
@@ -487,29 +688,52 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             nested,
             kind,
         } => {
-            let rel = eval_expr(input, ctx)?;
+            let rel = eval_input(input, ctx)?;
             let out_schema = infer_schema(expr, &ctx.schema_ctx())?;
-            let mut groups: BTreeMap<Row, Vec<Value>> = BTreeMap::new();
-            for row in &rel.rows {
-                let key: Row = group.iter().map(|&g| row[g - 1].clone()).collect();
-                let item = if nested.len() == 1 {
+            let item_of = |row: &SharedRow| {
+                if nested.len() == 1 {
                     row[nested[0] - 1].clone()
                 } else {
                     Value::Tuple(nested.iter().map(|&n| row[n - 1].clone()).collect())
-                };
-                groups.entry(key).or_default().push(item);
-            }
+                }
+            };
+            // Group in one hash pass over *borrowed* keys (no per-row
+            // key allocation or deep clone), then sort the groups once —
+            // `OrderedF64`'s Eq/Hash agree with its total order, so this
+            // emits the exact lexicographic key order the previous
+            // BTreeMap produced. The dominant single-attribute GROUP BY
+            // hashes the bare value.
             let mut out = Relation::empty(out_schema);
-            for (key, items) in groups {
-                let mut row = key;
-                row.push(Value::coll(*kind, items));
-                out.push(row);
-                ctx.stats.rows_emitted += 1;
+            if let [g] = group[..] {
+                let mut groups: HashMap<&Value, Vec<Value>> = HashMap::new();
+                for row in &rel.rows {
+                    groups.entry(&row[g - 1]).or_default().push(item_of(row));
+                }
+                let mut entries: Vec<(&Value, Vec<Value>)> = groups.into_iter().collect();
+                entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+                for (key, items) in entries {
+                    out.push(vec![key.clone(), Value::coll(*kind, items)]);
+                    ctx.stats.rows_emitted += 1;
+                }
+            } else {
+                let mut groups: HashMap<Vec<&Value>, Vec<Value>> = HashMap::new();
+                for row in &rel.rows {
+                    let key: Vec<&Value> = group.iter().map(|&g| &row[g - 1]).collect();
+                    groups.entry(key).or_default().push(item_of(row));
+                }
+                let mut entries: Vec<(Vec<&Value>, Vec<Value>)> = groups.into_iter().collect();
+                entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                for (key, items) in entries {
+                    let mut row: Row = key.into_iter().cloned().collect();
+                    row.push(Value::coll(*kind, items));
+                    out.push(row);
+                    ctx.stats.rows_emitted += 1;
+                }
             }
             Ok(out)
         }
         Expr::Unnest { input, attr } => {
-            let rel = eval_expr(input, ctx)?;
+            let rel = eval_input(input, ctx)?;
             let out_schema = infer_schema(expr, &ctx.schema_ctx())?;
             let mut out = Relation::empty(out_schema);
             for row in &rel.rows {
@@ -536,8 +760,9 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
 /// this only has to be an over-approximation of the satisfying
 /// combinations.
 fn hash_search<'a>(
-    rels: &'a [Relation],
+    rels: &'a [Cow<'_, Relation>],
     pred: &Scalar,
+    mirrors: &[Option<Arc<ColumnarRelation>>],
     ctx: &mut Ctx<'_>,
 ) -> EngineResult<Vec<Vec<&'a [Value]>>> {
     // Equality conjuncts between plain attribute references.
@@ -588,6 +813,43 @@ fn hash_search<'a>(
                     new_acc.push(extended);
                 }
             }
+        } else if let Some((values, nulls)) = single_int_key(&keys, mirrors.get(next_idx), next_rel)
+        {
+            // Typed build + probe: the single linking key lands on an
+            // integer column of the next input's mirror, so the hash
+            // table keys are plain `i64`s instead of `Value` slices.
+            // NULL build rows are bucketed separately: structural `Value`
+            // hashing matches NULL probes against NULL build keys (the
+            // caller's re-check rejects them), and the typed path must
+            // enumerate the *same* candidate combinations in the same
+            // order. A column typed `Int` holds no other kinds, so any
+            // non-integer, non-NULL probe misses — exactly like the
+            // structural table.
+            let mut table: HashMap<i64, Vec<u32>> = HashMap::with_capacity(values.len());
+            let mut null_rows: Vec<u32> = Vec::new();
+            for (i, v) in values.iter().enumerate() {
+                if nulls.is_null(i) {
+                    null_rows.push(i as u32);
+                } else {
+                    table.entry(*v).or_default().push(i as u32);
+                }
+            }
+            let ((kr, ka), _) = keys[0];
+            for combo in &acc {
+                let matches: Option<&[u32]> = match &combo[kr - 1][ka - 1] {
+                    Value::Int(v) => table.get(v).map(|m| &m[..]),
+                    Value::Null => (!null_rows.is_empty()).then_some(&null_rows[..]),
+                    _ => None,
+                };
+                if let Some(matches) = matches {
+                    for &i in matches {
+                        let mut extended = combo.clone();
+                        extended.push(&*next_rel.rows[i as usize]);
+                        ctx.stats.combinations_tried += 1;
+                        new_acc.push(extended);
+                    }
+                }
+            }
         } else {
             // Build: hash the next input on its key attributes.
             let mut table: HashMap<Vec<&Value>, Vec<&[Value]>> = HashMap::new();
@@ -617,6 +879,28 @@ fn hash_search<'a>(
         }
     }
     Ok(acc)
+}
+
+/// The `(values, nulls)` of the next input's join-key column, when the
+/// typed hash path applies: exactly one linking key, a mirror present
+/// and aligned with the evaluated input, and the key attribute stored
+/// as an integer column.
+fn single_int_key<'m>(
+    keys: &[((usize, usize), usize)],
+    mirror: Option<&'m Option<Arc<ColumnarRelation>>>,
+    next_rel: &Relation,
+) -> Option<(&'m [i64], &'m NullBitmap)> {
+    if keys.len() != 1 {
+        return None;
+    }
+    let cols = mirror?.as_deref()?;
+    if cols.len() != next_rel.rows.len() {
+        return None;
+    }
+    match cols.column(keys[0].1.checked_sub(1)?)? {
+        Column::Int { values, nulls } => Some((values, nulls)),
+        _ => None,
+    }
 }
 
 /// Resolve named field accesses (`PROJECT(e, Name)`) to positional

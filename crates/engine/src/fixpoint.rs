@@ -57,6 +57,27 @@ fn sorted_dedup(mut rows: Vec<SharedRow>) -> Vec<SharedRow> {
     rows
 }
 
+/// Merge two sorted, individually deduplicated, mutually disjoint row
+/// vectors into one sorted vector — O(n) instead of re-sorting the
+/// accumulated `known` every round, which dominated deep fixpoints
+/// (`known` only grows; the delta is usually small).
+fn merge_sorted_disjoint(known: &[SharedRow], delta: &[SharedRow]) -> Vec<SharedRow> {
+    let mut out = Vec::with_capacity(known.len() + delta.len());
+    let (mut i, mut j) = (0, 0);
+    while i < known.len() && j < delta.len() {
+        if known[i] <= delta[j] {
+            out.push(known[i].clone());
+            i += 1;
+        } else {
+            out.push(delta[j].clone());
+            j += 1;
+        }
+    }
+    out.extend(known[i..].iter().cloned());
+    out.extend(delta[j..].iter().cloned());
+    out
+}
+
 fn eval_fix_naive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
     let key = name.to_ascii_uppercase();
     let schema = {
@@ -177,14 +198,10 @@ fn eval_fix_seminaive(name: &str, body: &Expr, ctx: &mut Ctx<'_>) -> EngineResul
                 return Ok(known);
             }
             known_set.extend(new_delta.iter().cloned());
-            let merged = sorted_dedup(
-                known
-                    .rows
-                    .iter()
-                    .cloned()
-                    .chain(new_delta.iter().cloned())
-                    .collect(),
-            );
+            // `known.rows` and `new_delta` are each sorted + deduplicated
+            // and (by the `known_set` filter) disjoint, so a linear merge
+            // equals the old sort-the-union exactly.
+            let merged = merge_sorted_disjoint(&known.rows, &new_delta);
             known = Relation::from_shared(known.schema.clone(), merged);
             delta = Relation::from_shared(known.schema.clone(), new_delta);
         }

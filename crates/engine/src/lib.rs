@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod compile;
 pub mod database;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod fixpoint;
 pub mod reference;
 pub mod relation;
 
+pub use columnar::ColumnarRelation;
 pub use compile::{CompiledScalar, EvalEnv};
 pub use database::Database;
 pub use error::{EngineError, EngineResult};

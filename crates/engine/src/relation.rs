@@ -75,9 +75,11 @@ impl Relation {
         self.rows.is_empty()
     }
 
-    /// Append an owned row.
-    pub fn push(&mut self, row: Row) {
-        self.rows.push(row.into());
+    /// Append an owned row. Goes through [`shared_row`] so the
+    /// `Arc<[Value]>` is allocated in a single `TrustedLen` collect
+    /// instead of the `From<Vec>` round trip.
+    pub fn push(&mut self, mut row: Row) {
+        self.rows.push(shared_row(&mut row));
     }
 
     /// Append a shared row (no deep copy).
