@@ -34,13 +34,13 @@ fn bench(c: &mut Criterion) {
         let a = set_of(n);
         let b = set_of(n / 2);
         group.bench_with_input(BenchmarkId::new("set_union", n), &n, |bch, _| {
-            bch.iter(|| collection::union(&a, &b).unwrap())
+            bch.iter(|| collection::union(&a, &b).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("set_member", n), &n, |bch, _| {
-            bch.iter(|| collection::member(&Value::Int(n - 1), &a).unwrap())
+            bch.iter(|| collection::member(&Value::Int(n - 1), &a).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("include", n), &n, |bch, _| {
-            bch.iter(|| collection::include(&b, &a).unwrap())
+            bch.iter(|| collection::include(&b, &a).unwrap());
         });
     }
 
@@ -57,13 +57,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             reg.call("MEMBER", &[Value::Int(7), coll.clone()], &ctx)
                 .unwrap()
-        })
+        });
     });
     group.bench_function("registry_arith", |b| {
         b.iter(|| {
             reg.call("+", &[Value::Int(3), Value::Int(4)], &ctx)
                 .unwrap()
-        })
+        });
     });
     group.finish();
 }

@@ -69,7 +69,7 @@ fn bench(c: &mut Criterion) {
         let prepared = dbms.prepare(sql).unwrap();
         let d = &dbms;
         group.bench_with_input(BenchmarkId::new("rewrite", limit), &prepared, |b, p| {
-            b.iter(|| d.rewrite_uncached(p).unwrap())
+            b.iter(|| d.rewrite_uncached(p).unwrap());
         });
     }
     group.finish();

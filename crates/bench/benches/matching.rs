@@ -34,7 +34,9 @@ fn series() {
     let mut block: Option<Block> = None;
     for item in items {
         match item {
-            SourceItem::Rule(r) => rules.add(r),
+            SourceItem::Rule(r) => {
+                rules.add(r);
+            }
             SourceItem::Block(b) => block = Some(b),
             _ => {}
         }
@@ -69,7 +71,7 @@ fn bench(c: &mut Criterion) {
     for n in [8usize, 64, 256] {
         let subject = wide_list(n);
         group.bench_with_input(BenchmarkId::new("segments", n), &subject, |b, s| {
-            b.iter(|| all_matches(&pattern, s).len())
+            b.iter(|| all_matches(&pattern, s).len());
         });
     }
 
@@ -83,7 +85,7 @@ fn bench(c: &mut Criterion) {
         elems.push(Term::app("UNION", vec![Term::atom("NESTED")]));
         let subject = Term::set(elems);
         group.bench_with_input(BenchmarkId::new("multiset", n), &subject, |b, s| {
-            b.iter(|| all_matches(&set_pattern, s).len())
+            b.iter(|| all_matches(&set_pattern, s).len());
         });
     }
 
@@ -101,7 +103,9 @@ fn bench(c: &mut Criterion) {
     };
     for item in items {
         match item {
-            SourceItem::Rule(r) => rules.add(r),
+            SourceItem::Rule(r) => {
+                rules.add(r);
+            }
             SourceItem::Block(b) => block = b,
             _ => {}
         }
@@ -118,7 +122,7 @@ fn bench(c: &mut Criterion) {
                 .unwrap()
                 .stats
                 .applications
-        })
+        });
     });
     group.finish();
 }

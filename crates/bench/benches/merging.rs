@@ -55,14 +55,14 @@ fn bench(c: &mut Criterion) {
         let sql = format!("SELECT K FROM V{depth} WHERE B = 3 ;");
         let prepared = dbms.prepare(&sql).unwrap();
         group.bench_with_input(BenchmarkId::new("rewrite", depth), &depth, |b, _| {
-            b.iter(|| dbms.rewrite_uncached(&prepared).unwrap())
+            b.iter(|| dbms.rewrite_uncached(&prepared).unwrap());
         });
         let rewritten = dbms.rewrite(&prepared).unwrap();
         group.bench_with_input(BenchmarkId::new("exec_unmerged", depth), &depth, |b, _| {
-            b.iter(|| dbms.run_expr(&prepared.expr).unwrap())
+            b.iter(|| dbms.run_expr(&prepared.expr).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("exec_merged", depth), &depth, |b, _| {
-            b.iter(|| dbms.run_expr(&rewritten.expr).unwrap())
+            b.iter(|| dbms.run_expr(&rewritten.expr).unwrap());
         });
     }
     group.finish();

@@ -108,20 +108,20 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     let rewritten = dbms.rewrite(&prepared).unwrap();
     group.bench_function("union/exec_unpushed", |b| {
-        b.iter(|| dbms.run_expr(&prepared.expr).unwrap())
+        b.iter(|| dbms.run_expr(&prepared.expr).unwrap());
     });
     group.bench_function("union/exec_pushed", |b| {
-        b.iter(|| dbms.run_expr(&rewritten.expr).unwrap())
+        b.iter(|| dbms.run_expr(&rewritten.expr).unwrap());
     });
 
     let dbms = nested_view(200, 20);
     let prepared = dbms.prepare("SELECT G FROM GROUPED WHERE G = 3 ;").unwrap();
     let rewritten = dbms.rewrite(&prepared).unwrap();
     group.bench_function("nest/exec_unpushed", |b| {
-        b.iter(|| dbms.run_expr(&prepared.expr).unwrap())
+        b.iter(|| dbms.run_expr(&prepared.expr).unwrap());
     });
     group.bench_function("nest/exec_pushed", |b| {
-        b.iter(|| dbms.run_expr(&rewritten.expr).unwrap())
+        b.iter(|| dbms.run_expr(&rewritten.expr).unwrap());
     });
 
     for branches in [2usize, 8] {

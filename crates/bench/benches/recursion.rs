@@ -68,12 +68,12 @@ fn bench(c: &mut Criterion) {
         dbms.eval_options = opts(mode);
         let d = &dbms;
         group.bench_with_input(BenchmarkId::new("exec", label), &expr, |b, e| {
-            b.iter(|| d.run_expr(e).unwrap())
+            b.iter(|| d.run_expr(e).unwrap());
         });
     }
 
     group.bench_function("rewrite_time", |b| {
-        b.iter(|| dbms.rewrite_uncached(&prepared).unwrap())
+        b.iter(|| dbms.rewrite_uncached(&prepared).unwrap());
     });
     group.finish();
 }

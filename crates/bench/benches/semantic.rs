@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
         let prepared = dbms.prepare(sql).unwrap();
         let rewritten = dbms.rewrite(&prepared).unwrap();
         group.bench_with_input(BenchmarkId::new("rewrite", label), &prepared, |b, p| {
-            b.iter(|| dbms.rewrite_uncached(p).unwrap())
+            b.iter(|| dbms.rewrite_uncached(p).unwrap());
         });
         group.bench_with_input(
             BenchmarkId::new("exec_unoptimized", label),

@@ -42,7 +42,7 @@ fn bench(c: &mut Criterion) {
         let sql = wide_conjunction_sql(n);
         let prepared = dbms.prepare(&sql).unwrap();
         group.bench_with_input(BenchmarkId::new("rewrite", n), &prepared, |b, p| {
-            b.iter(|| dbms.rewrite_uncached(p).unwrap())
+            b.iter(|| dbms.rewrite_uncached(p).unwrap());
         });
         let rewritten = dbms.rewrite(&prepared).unwrap();
         group.bench_with_input(

@@ -47,11 +47,11 @@ fn bench(c: &mut Criterion) {
     group.bench_function("parse_fig3", |b| b.iter(|| parse_statements(FIG3).unwrap()));
     for (label, sql) in [("fig3", FIG3), ("fig4", fig4), ("fig5", fig5)] {
         group.bench_function(format!("prepare_{label}"), |b| {
-            b.iter(|| dbms.prepare(sql).unwrap())
+            b.iter(|| dbms.prepare(sql).unwrap());
         });
         let prepared = dbms.prepare(sql).unwrap();
         group.bench_function(format!("rewrite_{label}"), |b| {
-            b.iter(|| dbms.rewrite_uncached(&prepared).unwrap())
+            b.iter(|| dbms.rewrite_uncached(&prepared).unwrap());
         });
     }
     group.finish();

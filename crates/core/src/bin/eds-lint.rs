@@ -1,0 +1,99 @@
+//! `eds-lint` — static analysis of rewrite-rule knowledge bases.
+//!
+//! ```text
+//! eds-lint [--deny] [FILE.rules ...]
+//! ```
+//!
+//! With no files, lints the built-in knowledge base (every rule plus
+//! the block/seq strategy). With files, loads the built-ins silently
+//! and then lints each file *staged against* the state so far — later
+//! files see earlier files' rules and blocks, matching how a shell
+//! session would register them.
+//!
+//! Exit status: nonzero when `--deny` is set and any error-severity
+//! diagnostic fired, or when a file cannot be read or parsed. Without
+//! `--deny` the tool only reports (CI uses `--deny`).
+
+use std::process::ExitCode;
+
+use eds_core::{LintPolicy, QueryRewriter};
+use eds_rewrite::{Diagnostic, Severity};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                println!("usage: eds-lint [--deny] [FILE.rules ...]");
+                println!("  no files: lint the built-in knowledge base");
+                println!("  --deny:   exit nonzero on any error-severity diagnostic");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("eds-lint: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+
+    let mut rw = match QueryRewriter::with_default_rules() {
+        Ok(rw) => rw,
+        Err(e) => {
+            eprintln!("eds-lint: failed to load built-in rules: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    if files.is_empty() {
+        diagnostics.extend(rw.lint(None));
+    } else {
+        for path in &files {
+            let src = match std::fs::read_to_string(path) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!("eds-lint: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match rw.lint_source(&src, None) {
+                Ok(found) => {
+                    for d in &found {
+                        println!("{path}: {d}");
+                    }
+                    diagnostics.extend(found);
+                }
+                Err(e) => {
+                    eprintln!("eds-lint: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            // Commit so later files resolve this file's definitions.
+            if let Err(e) = rw.add_source_checked(&src, LintPolicy::Off, None) {
+                eprintln!("eds-lint: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if files.is_empty() {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+    }
+    let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+    let warnings = diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    println!("eds-lint: {errors} error(s), {warnings} warning(s)");
+
+    if deny && errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

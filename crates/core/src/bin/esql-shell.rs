@@ -13,6 +13,7 @@
 //! .rule <rule ;>        add a rule in the Figure-6 rule language
 //! .constraint <rule ;>  declare an integrity constraint
 //! .limit <block> <n|INF>   change a block's application limit
+//! .lint                 statically analyze the knowledge base
 //! .tables               list tables and views
 //! .quit                 exit
 //! ```
@@ -90,7 +91,7 @@ fn print_relation(rel: &eds_engine::Relation) {
             .join("-+-")
     );
     for row in &rel.rows {
-        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        let cells: Vec<String> = row.iter().map(ToString::to_string).collect();
         println!("{}", cells.join(" | "));
     }
     println!("({} row(s))", rel.len());
@@ -109,7 +110,8 @@ fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
              .explain <query ;>      canonical + rewritten plan + trace\n\
              .rule <rule ;>          add an optimization rule\n\
              .constraint <rule ;>    declare an integrity constraint\n\
-             .limit <block> <n|INF>  change a block's limit"
+             .limit <block> <n|INF>  change a block's limit\n\
+             .lint                   statically analyze the knowledge base"
         ),
         ".tables" => {
             println!("tables: {}", dbms.db.catalog.table_names().join(", "));
@@ -140,6 +142,18 @@ fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
             Ok(n) => println!("{n} constraint(s) declared."),
             Err(e) => eprintln!("error: {e}"),
         },
+        ".lint" => {
+            let diagnostics = dbms.lint();
+            for d in &diagnostics {
+                println!("{d}");
+            }
+            let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+            println!(
+                "{} error(s), {} warning(s)",
+                errors,
+                diagnostics.len() - errors
+            );
+        }
         ".limit" => {
             let mut parts = rest.split_whitespace();
             match (parts.next(), parts.next()) {

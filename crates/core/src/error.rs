@@ -6,7 +6,7 @@ use eds_adt::AdtError;
 use eds_engine::EngineError;
 use eds_esql::EsqlError;
 use eds_lera::LeraError;
-use eds_rewrite::RewriteError;
+use eds_rewrite::{Diagnostic, RewriteError};
 
 /// Top-level error of the query rewriter.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +29,13 @@ pub enum CoreError {
         /// Why it was rejected.
         message: String,
     },
+    /// Rule DDL rejected by the static analyzer under the `deny` lint
+    /// policy. Carries every diagnostic of the rejected batch (warnings
+    /// included), so callers can render the full report.
+    LintRejected {
+        /// Analyzer findings for the rejected source.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +48,14 @@ impl fmt::Display for CoreError {
             CoreError::Adt(e) => write!(f, "{e}"),
             CoreError::BadConstraintRule { rule, message } => {
                 write!(f, "integrity constraint rule '{rule}': {message}")
+            }
+            CoreError::LintRejected { diagnostics } => {
+                let errors = diagnostics.iter().filter(|d| d.is_error()).count();
+                write!(f, "rule source rejected by eds-lint ({errors} error(s))")?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
         }
     }

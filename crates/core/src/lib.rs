@@ -35,7 +35,9 @@ use eds_lera::{translate_query, CostModel, Estimate, Expr, Schema, SchemaCtx};
 
 pub use env::CoreEnv;
 pub use error::{CoreError, CoreResult};
-pub use pipeline::{PlanCacheStats, QueryRewriter, RewriteOutcome, BUILTIN_RULE_SOURCES};
+pub use pipeline::{
+    LintPolicy, PlanCacheStats, QueryRewriter, RewriteOutcome, BUILTIN_RULE_SOURCES,
+};
 pub use semantic::{figure10_constraints, ConstraintStore, IntegrityConstraint};
 
 // Re-export the layer crates so downstream users need a single dependency.
@@ -44,6 +46,16 @@ pub use eds_engine as engine;
 pub use eds_esql as esql;
 pub use eds_lera as lera;
 pub use eds_rewrite as rewrite;
+
+/// Adapter exposing the ESQL catalog to the rewrite-layer analyzer
+/// (which cannot depend on the catalog crate directly).
+struct CatalogSchemaProvider<'a>(&'a eds_esql::Catalog);
+
+impl eds_rewrite::SchemaProvider for CatalogSchemaProvider<'_> {
+    fn relation_arity(&self, name: &str) -> Option<usize> {
+        self.0.relation(name).map(eds_esql::TableSchema::arity)
+    }
+}
 
 /// A prepared (translated but not yet rewritten) query.
 #[derive(Debug, Clone)]
@@ -162,9 +174,26 @@ impl Dbms {
     }
 
     /// Add optimization rules / blocks / sequence written in the rule
-    /// language — the extensibility entry point.
+    /// language — the extensibility entry point. Every batch is linted
+    /// first (schema-aware: the analyzer sees the catalog) under the
+    /// `EDS_LINT` policy; `deny` rejects error-carrying DDL with
+    /// [`CoreError::LintRejected`], `warn` (default) reports and
+    /// accepts.
     pub fn add_rule_source(&mut self, src: &str) -> CoreResult<usize> {
-        self.rewriter.add_source(src)
+        self.add_rule_source_checked(src, LintPolicy::from_env())
+    }
+
+    /// [`Dbms::add_rule_source`] with an explicit lint policy.
+    pub fn add_rule_source_checked(&mut self, src: &str, policy: LintPolicy) -> CoreResult<usize> {
+        let schema = CatalogSchemaProvider(&self.db.catalog);
+        self.rewriter.add_source_checked(src, policy, Some(&schema))
+    }
+
+    /// Statically analyze the rewriter's whole knowledge base against
+    /// the current catalog and return every finding.
+    pub fn lint(&self) -> Vec<eds_rewrite::Diagnostic> {
+        let schema = CatalogSchemaProvider(&self.db.catalog);
+        self.rewriter.lint(Some(&schema))
     }
 
     /// Declare integrity constraints written in the rule language

@@ -19,7 +19,7 @@
 //! | `SIMPLIFYQ(f, f')` | conjunct-level simplification and inconsistency detection | simplification (Fig 12) |
 
 use eds_adt::Value;
-use eds_rewrite::methods::{bind_output, resolve};
+use eds_rewrite::methods::{bind_output, resolve, MethodSig};
 use eds_rewrite::{Bindings, MethodRegistry, RewriteError, RwResult, Term, TermEnv};
 
 use crate::magic;
@@ -99,19 +99,22 @@ fn method_err(method: &str, message: impl Into<String>) -> RewriteError {
     }
 }
 
-/// Register every optimizer method into a registry.
+/// Register every optimizer method into a registry, with its declared
+/// signature (argument count and 0-based output positions) so rule
+/// registration can statically check every call site.
 pub fn register_core_methods(reg: &mut MethodRegistry) {
-    reg.register("SUBSTITUTE", substitute);
-    reg.register("SHIFT", shift);
-    reg.register("SCHEMA", schema);
-    reg.register("SPLITNEST", splitnest);
-    reg.register("ADORNMENT", adornment);
-    reg.register("ALEXANDER", alexander);
-    reg.register("ADDCONSTRAINTS", addconstraints);
-    reg.register("TRANSITIVITY", transitivity);
-    reg.register("EQSUBST", eqsubst);
-    reg.register("SIMPLIFYQ", simplifyq);
-    reg.register("REFER", refer);
+    let sig = |arity, outputs| MethodSig { arity, outputs };
+    reg.register_with_sig("SUBSTITUTE", sig(5, &[4]), substitute);
+    reg.register_with_sig("SHIFT", sig(3, &[2]), shift);
+    reg.register_with_sig("SCHEMA", sig(2, &[1]), schema);
+    reg.register_with_sig("SPLITNEST", sig(6, &[4, 5]), splitnest);
+    reg.register_with_sig("ADORNMENT", sig(4, &[3]), adornment);
+    reg.register_with_sig("ALEXANDER", sig(7, &[5, 6]), alexander);
+    reg.register_with_sig("ADDCONSTRAINTS", sig(3, &[2]), addconstraints);
+    reg.register_with_sig("TRANSITIVITY", sig(2, &[1]), transitivity);
+    reg.register_with_sig("EQSUBST", sig(2, &[1]), eqsubst);
+    reg.register_with_sig("SIMPLIFYQ", sig(2, &[1]), simplifyq);
+    reg.register_with_sig("REFER", MethodSig::predicate(2), refer);
 }
 
 // ------------------------------------------------------- search merging

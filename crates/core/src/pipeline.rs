@@ -6,7 +6,7 @@
 //! method registry, and is extensible at runtime: the database
 //! implementor adds or removes rules, redefines blocks, changes limits.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -14,14 +14,43 @@ use std::sync::Mutex;
 use eds_engine::Database;
 use eds_lera::{expr_from_term, expr_to_term, Expr};
 use eds_rewrite::{
-    parse_source, run_strategy, Limit, MethodRegistry, RewriteStats, RuleSet, Sequence, SourceItem,
-    Strategy, Term, Trace,
+    analyze, analyze::duplicate_rule, parse_source, run_strategy, Diagnostic, Limit,
+    MethodRegistry, RewriteStats, RuleSet, SchemaProvider, Sequence, SourceItem, Strategy, Term,
+    Trace,
 };
 
 use crate::env::CoreEnv;
-use crate::error::CoreResult;
+use crate::error::{CoreError, CoreResult};
 use crate::methods::register_core_methods;
 use crate::semantic::ConstraintStore;
+
+/// What to do with static-analysis findings when rule DDL is registered.
+/// Selected per process with `EDS_LINT=deny|warn|off`; the default is
+/// `warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintPolicy {
+    /// Reject the source when any *error*-severity diagnostic fires
+    /// (warnings are still only printed).
+    Deny,
+    /// Print every diagnostic to stderr and accept the source.
+    #[default]
+    Warn,
+    /// Skip analysis entirely.
+    Off,
+}
+
+impl LintPolicy {
+    /// Read `EDS_LINT` (case-insensitive; unknown values fall back to
+    /// the `Warn` default). Read per call, not cached, so tests and
+    /// long-lived shells can flip it.
+    pub fn from_env() -> Self {
+        match std::env::var("EDS_LINT") {
+            Ok(v) if v.trim().eq_ignore_ascii_case("deny") => LintPolicy::Deny,
+            Ok(v) if v.trim().eq_ignore_ascii_case("off") => LintPolicy::Off,
+            _ => LintPolicy::Warn,
+        }
+    }
+}
 
 /// Embedded built-in knowledge base, written in the paper's rule
 /// language (see `crates/core/rules/*.rules`).
@@ -183,30 +212,126 @@ impl QueryRewriter {
         }
     }
 
-    /// A rewriter loaded with the full built-in knowledge base.
+    /// A rewriter loaded with the full built-in knowledge base. Loads
+    /// with [`LintPolicy::Off`]: the library is pinned lint-clean by its
+    /// own test and the CI `eds-lint` job, and re-analyzing it on every
+    /// construction would spam stderr for no new information.
     pub fn with_default_rules() -> CoreResult<Self> {
         let mut rw = Self::empty();
         for (_, src) in BUILTIN_RULE_SOURCES {
-            rw.add_source(src)?;
+            rw.add_source_checked(src, LintPolicy::Off, None)?;
         }
         Ok(rw)
     }
 
     /// Parse rule-language source (rules, blocks, seq) into the
     /// knowledge base — the extensibility entry point for the database
-    /// implementor.
+    /// implementor. Lints under the environment policy (`EDS_LINT`,
+    /// default `warn`) without catalog knowledge; use
+    /// [`QueryRewriter::add_source_checked`] (or go through
+    /// `Dbms::add_rule_source`) for schema-aware checks or an explicit
+    /// policy.
     pub fn add_source(&mut self, src: &str) -> CoreResult<usize> {
+        self.add_source_checked(src, LintPolicy::from_env(), None)
+    }
+
+    /// [`QueryRewriter::add_source`] with an explicit lint policy and
+    /// optional catalog knowledge. The source is parsed, staged against
+    /// the current knowledge base, and analyzed *before* anything is
+    /// committed: under [`LintPolicy::Deny`] an error-severity finding
+    /// rejects the whole batch with [`CoreError::LintRejected`] and the
+    /// rewriter is left untouched. Diagnostics are attributed to the new
+    /// items only — pre-existing rules do not re-report.
+    pub fn add_source_checked(
+        &mut self,
+        src: &str,
+        policy: LintPolicy,
+        schema: Option<&dyn SchemaProvider>,
+    ) -> CoreResult<usize> {
         let items = parse_source(src)?;
+        if policy != LintPolicy::Off {
+            let diagnostics = self.stage_and_lint(&items, schema);
+            if policy == LintPolicy::Deny && diagnostics.iter().any(Diagnostic::is_error) {
+                return Err(CoreError::LintRejected { diagnostics });
+            }
+            for d in &diagnostics {
+                eprintln!("eds-lint: {d}");
+            }
+        }
         let n = items.len();
         for item in items {
             match item {
-                SourceItem::Rule(rule) => self.rules.add(rule),
+                SourceItem::Rule(rule) => {
+                    self.rules.add(rule);
+                }
                 SourceItem::Block(block) => self.strategy.add_block(block),
                 SourceItem::Seq(seq) => self.strategy.set_sequence(seq),
             }
         }
         self.invalidate_plan_cache();
         Ok(n)
+    }
+
+    /// Lint rule-language source against the current knowledge base
+    /// without committing anything. Returns the diagnostics attributed
+    /// to the source's items (the `eds-lint` binary's per-file mode).
+    pub fn lint_source(
+        &self,
+        src: &str,
+        schema: Option<&dyn SchemaProvider>,
+    ) -> CoreResult<Vec<Diagnostic>> {
+        let items = parse_source(src)?;
+        Ok(self.stage_and_lint(&items, schema))
+    }
+
+    /// Analyze the knowledge base as it stands (every rule, the whole
+    /// strategy) and return all findings.
+    pub fn lint(&self, schema: Option<&dyn SchemaProvider>) -> Vec<Diagnostic> {
+        analyze(&self.rules, &self.strategy, &self.methods, schema)
+    }
+
+    /// Stage `items` on a copy of the knowledge base, run the analyzer
+    /// over the staged state, and keep only diagnostics that belong to
+    /// the new items (new rule names, new block names, the sequence when
+    /// the batch replaces it). Duplicate rule registration (`EDS008`) is
+    /// detected here — the assembled `RuleSet` can no longer show it.
+    fn stage_and_lint(
+        &self,
+        items: &[SourceItem],
+        schema: Option<&dyn SchemaProvider>,
+    ) -> Vec<Diagnostic> {
+        let mut diagnostics = Vec::new();
+        let mut staged_rules = self.rules.clone();
+        let mut staged_strategy = self.strategy.clone();
+        let mut new_rules: HashSet<&str> = HashSet::new();
+        let mut new_blocks: HashSet<&str> = HashSet::new();
+        let mut has_seq = false;
+        for item in items {
+            match item {
+                SourceItem::Rule(rule) => {
+                    if staged_rules.contains(&rule.name) {
+                        diagnostics.push(duplicate_rule(&rule.name));
+                    }
+                    staged_rules.add(rule.clone());
+                    new_rules.insert(rule.name.as_str());
+                }
+                SourceItem::Block(block) => {
+                    staged_strategy.add_block(block.clone());
+                    new_blocks.insert(block.name.as_str());
+                }
+                SourceItem::Seq(seq) => {
+                    staged_strategy.set_sequence(seq.clone());
+                    has_seq = true;
+                }
+            }
+        }
+        let all = analyze(&staged_rules, &staged_strategy, &self.methods, schema);
+        diagnostics.extend(all.into_iter().filter(|d| {
+            d.rule.as_deref().is_some_and(|r| new_rules.contains(r))
+                || d.block.as_deref().is_some_and(|b| new_blocks.contains(b))
+                || (d.rule.is_none() && d.block.is_none() && has_seq && d.part == "seq")
+        }));
+        diagnostics
     }
 
     /// Remove a rule by name.
@@ -230,6 +355,11 @@ impl QueryRewriter {
     pub fn strategy_mut(&mut self) -> &mut Strategy {
         self.invalidate_plan_cache();
         &mut self.strategy
+    }
+
+    /// The method registry (read-only; the analyzer consults it).
+    pub fn methods(&self) -> &MethodRegistry {
+        &self.methods
     }
 
     /// The method registry (for registering user methods). Drops every

@@ -574,7 +574,7 @@ fn codd_primitives_normalize_into_search() {
     let base = dbms.run_expr(&plan).unwrap();
     let opt = dbms.run_expr(&rewritten.expr).unwrap();
     assert!(base.set_eq(&opt));
-    assert_eq!(opt.sorted_rows(), vec![vec![eds_adt::Value::Int(2)]]);
+    assert_eq!(opt.sorted_rows(), vec![vec![Value::Int(2)]]);
 }
 
 #[test]

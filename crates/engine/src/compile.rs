@@ -717,7 +717,7 @@ impl ColumnarPred<'_> {
                 Kern::NeverTrue => return Vec::new(),
                 Kern::NotNull1(n) => refine(&mut sel, lo, hi, |i| !n.is_null(i)),
                 Kern::NotNull2(an, bn) => {
-                    refine(&mut sel, lo, hi, |i| !an.is_null(i) && !bn.is_null(i))
+                    refine(&mut sel, lo, hi, |i| !an.is_null(i) && !bn.is_null(i));
                 }
                 Kern::IntConst {
                     values,

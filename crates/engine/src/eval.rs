@@ -78,11 +78,7 @@ pub struct EvalOptions {
 /// `EDS_COLUMNAR` (anything but `0` — including unset — enables it).
 fn env_columnar_default() -> bool {
     static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *CACHE.get_or_init(|| {
-        std::env::var("EDS_COLUMNAR")
-            .map(|v| v.trim() != "0")
-            .unwrap_or(true)
-    })
+    *CACHE.get_or_init(|| std::env::var("EDS_COLUMNAR").map_or(true, |v| v.trim() != "0"))
 }
 
 impl Default for EvalOptions {
@@ -195,9 +191,7 @@ fn effective_workers(parallelism: usize, len: usize) -> usize {
     if parallelism <= 1 || len < PARALLEL_THRESHOLD {
         return 1;
     }
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     parallelism.min(hw).min(len / PARALLEL_THRESHOLD).max(1)
 }
 
@@ -1186,9 +1180,7 @@ mod partition_tests {
         // parallelism=1: never partition.
         assert_eq!(effective_workers(1, 1_000_000), 1);
         // Large input: bounded by requested parallelism and the machine.
-        let hw = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         assert_eq!(effective_workers(4, 1_000_000), 4.min(hw));
         // Each worker must have at least PARALLEL_THRESHOLD items.
         assert!(effective_workers(64, 2 * PARALLEL_THRESHOLD) <= 2);

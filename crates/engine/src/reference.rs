@@ -151,7 +151,7 @@ fn ref_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             let out_schema = infer_schema(expr, &ctx.schema_ctx_for_fix())?;
             let mut out = Relation::empty(out_schema);
 
-            if pred.is_false() || rels.iter().any(|r| r.is_empty()) {
+            if pred.is_false() || rels.iter().any(Relation::is_empty) {
                 return Ok(out);
             }
             match ctx.opts.join {

@@ -65,7 +65,7 @@ fn all_modes_agree(db: &Database, expr: &Expr) -> Vec<Vec<Value>> {
             match &witness {
                 None => witness = Some((rows, opts)),
                 Some((expected, first_opts)) => {
-                    assert_eq!(&rows, expected, "{opts:?} disagrees with {first_opts:?}")
+                    assert_eq!(&rows, expected, "{opts:?} disagrees with {first_opts:?}");
                 }
             }
         }

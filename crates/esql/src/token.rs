@@ -162,7 +162,7 @@ pub fn lex(src: &str) -> EsqlResult<Vec<Spanned>> {
                     j += 1;
                 }
                 let is_real = chars.get(j) == Some(&'.')
-                    && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit());
+                    && chars.get(j + 1).is_some_and(char::is_ascii_digit);
                 if is_real {
                     let mut k = j + 1;
                     while k < chars.len() && chars[k].is_ascii_digit() {

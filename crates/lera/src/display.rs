@@ -83,7 +83,7 @@ pub fn pretty(e: &Expr) -> String {
                 out.push_str(&format!(
                     "{pad}  ({})\n",
                     proj.iter()
-                        .map(|p| p.to_string())
+                        .map(ToString::to_string)
                         .collect::<Vec<_>>()
                         .join(", ")
                 ));

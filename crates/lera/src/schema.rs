@@ -258,7 +258,7 @@ pub fn type_of_value(v: &Value) -> Type {
                 .collect(),
         ),
         Value::Coll(k, items) => {
-            let elem = items.first().map(type_of_value).unwrap_or(Type::Any);
+            let elem = items.first().map_or(Type::Any, type_of_value);
             Type::Coll(*k, Box::new(elem))
         }
         Value::Object(_) => Type::Any,

@@ -202,8 +202,7 @@ fn lex(src: &str) -> RwResult<Vec<Spanned>> {
                         message: "integer literal out of range".into(),
                     })?;
                 // `1.2` is a positional attribute reference.
-                if chars.get(j) == Some(&'.')
-                    && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+                if chars.get(j) == Some(&'.') && chars.get(j + 1).is_some_and(char::is_ascii_digit)
                 {
                     let mut k = j + 1;
                     while k < chars.len() && chars[k].is_ascii_digit() {

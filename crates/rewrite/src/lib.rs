@@ -27,7 +27,9 @@
 //! let mut block = None;
 //! for item in items {
 //!     match item {
-//!         SourceItem::Rule(r) => rules.add(r),
+//!         SourceItem::Rule(r) => {
+//!             rules.add(r);
+//!         }
 //!         SourceItem::Block(b) => block = Some(b),
 //!         _ => {}
 //!     }
@@ -43,6 +45,7 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod dsl;
 pub mod engine;
 pub mod error;
@@ -54,6 +57,7 @@ pub mod symbol;
 pub mod term;
 pub mod trace;
 
+pub use analyze::{analyze, analyze_rule, analyze_strategy, Diagnostic, SchemaProvider, Severity};
 pub use dsl::{parse_source, parse_term, SourceItem};
 pub use engine::{apply_rule_once, Application, RewriteStats};
 pub use error::{RewriteError, RwResult};

@@ -127,10 +127,39 @@ pub fn resolve(term: &Term, binds: &Bindings) -> Term {
 pub type MethodFn =
     Arc<dyn Fn(&[Term], &mut Bindings, &dyn TermEnv) -> RwResult<bool> + Send + Sync>;
 
+/// Declared shape of a method: how many arguments it takes and which
+/// argument positions (0-based) it *binds* rather than reads. The static
+/// analyzer ([`crate::analyze`]) uses signatures to check calls at rule
+/// registration; methods registered without one are checked for existence
+/// only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodSig {
+    /// Exact argument count.
+    pub arity: usize,
+    /// 0-based output positions among the arguments.
+    pub outputs: &'static [usize],
+}
+
+impl MethodSig {
+    /// Signature with `arity` arguments, all of them inputs (a predicate).
+    pub const fn predicate(arity: usize) -> Self {
+        MethodSig {
+            arity,
+            outputs: &[],
+        }
+    }
+
+    /// Is `idx` an output position?
+    pub fn is_output(&self, idx: usize) -> bool {
+        self.outputs.contains(&idx)
+    }
+}
+
 /// Registry of methods usable in rule constraints and conclusions.
 #[derive(Clone, Default)]
 pub struct MethodRegistry {
     methods: HashMap<String, MethodFn>,
+    sigs: HashMap<String, MethodSig>,
 }
 
 impl std::fmt::Debug for MethodRegistry {
@@ -149,39 +178,67 @@ impl MethodRegistry {
     /// registered by the optimizer crate).
     pub fn with_builtins() -> Self {
         let mut reg = Self::default();
-        reg.register("EVALUATE", |args, binds, env| {
-            // EVALUATE(expr, out): constant-fold a ground expression.
-            if args.len() != 2 {
-                return Err(RewriteError::MethodFailed {
-                    method: "EVALUATE".into(),
-                    message: format!("expected 2 arguments, got {}", args.len()),
-                });
-            }
-            let expr = resolve(&args[0], binds);
-            if !expr.is_ground() {
-                return Ok(false);
-            }
-            let value = match eval_value(&expr, binds, env) {
-                Ok(v) => v,
-                Err(_) => return Ok(false),
-            };
-            bind_output(&args[1], Term::Const(value), binds, "EVALUATE")
-        });
+        reg.register_with_sig(
+            "EVALUATE",
+            MethodSig {
+                arity: 2,
+                outputs: &[1],
+            },
+            |args, binds, env| {
+                // EVALUATE(expr, out): constant-fold a ground expression.
+                if args.len() != 2 {
+                    return Err(RewriteError::MethodFailed {
+                        method: "EVALUATE".into(),
+                        message: format!("expected 2 arguments, got {}", args.len()),
+                    });
+                }
+                let expr = resolve(&args[0], binds);
+                if !expr.is_ground() {
+                    return Ok(false);
+                }
+                let value = match eval_value(&expr, binds, env) {
+                    Ok(v) => v,
+                    Err(_) => return Ok(false),
+                };
+                bind_output(&args[1], Term::Const(value), binds, "EVALUATE")
+            },
+        );
         reg
     }
 
-    /// Register (or replace) a method.
+    /// Register (or replace) a method without a declared signature: the
+    /// analyzer then only checks that calls resolve by name.
     pub fn register(
         &mut self,
         name: &str,
         f: impl Fn(&[Term], &mut Bindings, &dyn TermEnv) -> RwResult<bool> + Send + Sync + 'static,
     ) {
-        self.methods.insert(name.to_ascii_uppercase(), Arc::new(f));
+        let key = name.to_ascii_uppercase();
+        self.sigs.remove(&key);
+        self.methods.insert(key, Arc::new(f));
+    }
+
+    /// Register (or replace) a method together with its signature, making
+    /// calls to it fully checkable at rule-registration time.
+    pub fn register_with_sig(
+        &mut self,
+        name: &str,
+        sig: MethodSig,
+        f: impl Fn(&[Term], &mut Bindings, &dyn TermEnv) -> RwResult<bool> + Send + Sync + 'static,
+    ) {
+        let key = name.to_ascii_uppercase();
+        self.sigs.insert(key.clone(), sig);
+        self.methods.insert(key, Arc::new(f));
     }
 
     /// Whether `name` is a registered method.
     pub fn contains(&self, name: &str) -> bool {
         self.methods.contains_key(&name.to_ascii_uppercase())
+    }
+
+    /// The declared signature of `name`, when one was registered.
+    pub fn signature(&self, name: &str) -> Option<MethodSig> {
+        self.sigs.get(&name.to_ascii_uppercase()).copied()
     }
 
     /// Invoke a method.

@@ -87,15 +87,23 @@ impl RuleSet {
         Self::default()
     }
 
-    /// Add a rule; replaces any rule with the same name.
-    pub fn add(&mut self, rule: Rule) {
+    /// Add a rule. Returns the previously registered rule with the same
+    /// name when the call replaced one (`HashMap::insert` style), so
+    /// callers can surface silent shadowing instead of swallowing it.
+    pub fn add(&mut self, rule: Rule) -> Option<Rule> {
         if let Some(&i) = self.index.get(&rule.name) {
-            self.slots[i] = Some(rule);
+            self.slots[i].replace(rule)
         } else {
             self.index.insert(rule.name.clone(), self.slots.len());
             self.slots.push(Some(rule));
             self.live += 1;
+            None
         }
+    }
+
+    /// Is a rule with this name registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
     }
 
     /// Remove a rule by name; the database implementor "can add or delete
@@ -602,14 +610,17 @@ mod tests {
     #[test]
     fn ruleset_add_replace_remove() {
         let mut rules = RuleSet::new();
-        rules.add(shrink_rule());
-        rules.add(grow_rule());
+        assert!(rules.add(shrink_rule()).is_none());
+        assert!(rules.add(grow_rule()).is_none());
         assert_eq!(rules.len(), 2);
-        rules.add(Rule::simple(
+        assert!(rules.contains("unwrap"));
+        // Same-name add replaces and hands back the shadowed rule.
+        let replaced = rules.add(Rule::simple(
             "unwrap",
             Term::app("F", vec![Term::var("x")]),
             Term::app("H", vec![Term::var("x")]),
         ));
+        assert_eq!(replaced.unwrap().rhs, Term::var("x"));
         assert_eq!(rules.len(), 2);
         assert!(rules.get("unwrap").unwrap().rhs.is_app("H"));
         assert!(rules.remove("unwrap"));

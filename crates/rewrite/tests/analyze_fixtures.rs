@@ -1,0 +1,292 @@
+//! Golden-diagnostic fixtures for the static analyzer: deliberately
+//! defective rules, each pinning the exact code and severity the
+//! analyzer must report (and nothing else it must not).
+
+use eds_rewrite::analyze::{analyze, SchemaProvider};
+use eds_rewrite::methods::MethodSig;
+use eds_rewrite::{parse_source, Diagnostic, MethodRegistry, RuleSet, Severity, SourceItem};
+
+/// Toy catalog: EMP(3 attributes) and DEPT(2) exist, nothing else.
+struct ToySchema;
+
+impl SchemaProvider for ToySchema {
+    fn relation_arity(&self, name: &str) -> Option<usize> {
+        match name {
+            "EMP" => Some(3),
+            "DEPT" => Some(2),
+            _ => None,
+        }
+    }
+}
+
+/// Load source and analyze it with the built-in + core-style registry.
+fn lint(src: &str) -> Vec<Diagnostic> {
+    let mut rules = RuleSet::new();
+    let mut strategy = eds_rewrite::Strategy::new();
+    for item in parse_source(src).expect("fixture must parse") {
+        match item {
+            SourceItem::Rule(r) => {
+                rules.add(r);
+            }
+            SourceItem::Block(b) => strategy.add_block(b),
+            SourceItem::Seq(s) => strategy.set_sequence(s),
+        }
+    }
+    let mut methods = MethodRegistry::with_builtins();
+    // A two-input, one-output method with a declared signature, so the
+    // fixtures can probe arity and output-position checks.
+    methods.register_with_sig(
+        "DERIVE",
+        MethodSig {
+            arity: 3,
+            outputs: &[2],
+        },
+        |_, _, _| Ok(false),
+    );
+    analyze(&rules, &strategy, &methods, Some(&ToySchema))
+}
+
+/// Assert the fixture produces exactly the expected (code, severity)
+/// multiset, in order.
+fn expect(src: &str, expected: &[(&str, Severity)]) {
+    let got = lint(src);
+    let shape: Vec<(&str, Severity)> = got.iter().map(|d| (d.code, d.severity)).collect();
+    assert_eq!(shape, expected, "diagnostics were: {got:#?}");
+}
+
+#[test]
+fn eds001_unbound_rhs_variable() {
+    expect(
+        "R : F(x) / --> G(x, ghost) / ;",
+        &[("EDS001", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds002_unbound_constraint_variable() {
+    expect(
+        "R : F(x) / ghost = 1 --> x / ;",
+        &[("EDS002", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds002_unbound_method_input() {
+    expect(
+        "R : F(x) / --> out / DERIVE(x, ghost, out) ;",
+        &[("EDS002", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds003_unknown_method() {
+    expect(
+        "R : F(x) / --> G(y) / CONJURE(x, y) ;",
+        &[("EDS003", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds004_method_arity_mismatch() {
+    expect(
+        "R : F(x) / --> G(y) / DERIVE(x, x, y, y) ;",
+        &[("EDS004", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds005_method_output_not_bindable() {
+    // The output position holds a non-ground application: neither a
+    // variable to bind nor a constant to compare against.
+    expect(
+        "R : F(x) / --> TRUE / DERIVE(x, x, H(y)) ;",
+        &[("EDS005", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds005_ground_output_is_a_check_not_an_error() {
+    expect("R : F(x) / --> TRUE / DERIVE(x, x, 7) ;", &[]);
+}
+
+#[test]
+fn eds006_adjacent_segment_variables_in_list() {
+    expect(
+        "R : F(LIST(x*, y*)) / --> COUNT(LIST(x*)) / ;",
+        &[("EDS006", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds006_multiple_segment_variables_in_set() {
+    expect(
+        "R : F(SET(x*, A, y*)) / --> F(SET(x*, y*)) / ;",
+        &[("EDS006", Severity::Warning), ("EDS006", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds007_segment_variable_under_plain_functor() {
+    expect(
+        "R : F(G(x*)) / --> TRUE / ;",
+        &[("EDS007", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds007_applies_to_lhs_only() {
+    // RHS splicing under a plain functor is legitimate (APPEND-style
+    // construction); constraints resolve bare segment variables to
+    // lists. Neither may fire EDS007.
+    expect("R : F(LIST(x*)) / ISEMPTY(x*) --> G(x*) / ;", &[]);
+}
+
+#[test]
+fn eds009_unresolved_block_and_sequence_references() {
+    expect(
+        "Known : F(x) / --> x / ;\n\
+         block(b, {Known, Missing}, 5) ;\n\
+         seq((b, ghostblock), 1) ;",
+        &[("EDS009", Severity::Warning), ("EDS009", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds010_growing_rule_in_unbounded_block() {
+    expect(
+        "Grow : A(x) / --> B(A(x), A(x)) / ;\n\
+         block(g, {Grow}, INF) ;",
+        &[("EDS010", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds010_not_reported_under_finite_limit() {
+    expect(
+        "Grow : A(x) / --> B(A(x), A(x)) / ;\n\
+         block(g, {Grow}, 50) ;",
+        &[],
+    );
+}
+
+#[test]
+fn eds011_lhs_subsumed_by_earlier_unconditional_rule() {
+    expect(
+        "General : F(x) / --> x / ;\n\
+         Specific : F(G(y)) / --> y / ;\n\
+         block(s, {General, Specific}, 5) ;",
+        &[("EDS011", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds011_conditional_earlier_rule_does_not_subsume() {
+    expect(
+        "General : F(x) / ISA(x, constant) --> x / ;\n\
+         Specific : F(G(y)) / --> y / ;\n\
+         block(s, {General, Specific}, 5) ;",
+        &[],
+    );
+}
+
+#[test]
+fn eds011_rule_listed_twice_in_one_block() {
+    expect(
+        "Once : F(x) / --> x / ;\n\
+         block(b, {Once, Once}, 5) ;",
+        &[("EDS011", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds012_self_feeding_pair_in_unbounded_block() {
+    expect(
+        "AtoB : A(x) / --> B(x) / ;\n\
+         BtoA : B(x) / --> A(x) / ;\n\
+         block(cycle, {AtoB, BtoA}, INF) ;",
+        &[("EDS012", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds013_operator_arity_mismatch() {
+    expect(
+        "Bad : FILTER(r) / --> r / ;",
+        &[("EDS013", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds013_spliced_arguments_are_exempt() {
+    expect("Ok : UNION(SET(args*)) / --> UNION(SET(args*)) / ;", &[]);
+}
+
+#[test]
+fn eds014_unknown_relation_in_operator_position() {
+    // Only the operator input position reports: the bare RHS atom is
+    // not a relation reference.
+    expect(
+        "Bad : FILTER(GHOSTREL, f) / --> GHOSTREL / ;",
+        &[("EDS014", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds014_known_relation_is_clean() {
+    expect("Ok : FILTER(EMP, f) / --> EMP / ;", &[]);
+}
+
+#[test]
+fn eds015_attribute_reference_out_of_range() {
+    // EMP has 3 attributes; 1.9 addresses the ninth. 2.1 addresses a
+    // second input that does not exist.
+    expect(
+        "Bad : SEARCH(LIST(EMP), 1.9 = 2.1, LIST(1.1)) / --> TRUE / ;",
+        &[("EDS015", Severity::Warning), ("EDS015", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds015_in_range_references_are_clean() {
+    expect(
+        "Ok : SEARCH(LIST(EMP, DEPT), 1.3 = 2.2, LIST(1.1)) / --> TRUE / ;",
+        &[],
+    );
+}
+
+#[test]
+fn fixtures_cover_at_least_ten_distinct_codes() {
+    // The registration path pins EDS008 separately (core crate); the
+    // fixtures above must cover at least ten distinct codes by
+    // themselves.
+    let sources = [
+        "R : F(x) / --> G(x, ghost) / ;",
+        "R : F(x) / ghost = 1 --> x / ;",
+        "R : F(x) / --> G(y) / CONJURE(x, y) ;",
+        "R : F(x) / --> G(y) / DERIVE(x, x, y, y) ;",
+        "R : F(x) / --> TRUE / DERIVE(x, x, H(y)) ;",
+        "R : F(LIST(x*, y*)) / --> COUNT(LIST(x*)) / ;",
+        "R : F(G(x*)) / --> TRUE / ;",
+        "Known : F(x) / --> x / ;\nblock(b, {Missing}, 5) ;",
+        "Grow : A(x) / --> B(A(x), A(x)) / ;\nblock(g, {Grow}, INF) ;",
+        "General : F(x) / --> x / ;\nSpecific : F(G(y)) / --> y / ;\n\
+         block(s, {General, Specific}, 5) ;",
+        "AtoB : A(x) / --> B(x) / ;\nBtoA : B(x) / --> A(x) / ;\n\
+         block(cycle, {AtoB, BtoA}, INF) ;",
+        "Bad : FILTER(r) / --> r / ;",
+        "Bad : FILTER(GHOSTREL, f) / --> GHOSTREL / ;",
+        "Bad : SEARCH(LIST(EMP), 1.9 = 2.1, LIST(1.1)) / --> TRUE / ;",
+    ];
+    let mut codes: Vec<&str> = sources
+        .iter()
+        .flat_map(|s| lint(s))
+        .map(|d| d.code)
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    assert!(
+        codes.len() >= 10,
+        "only {} distinct codes covered: {codes:?}",
+        codes.len()
+    );
+}

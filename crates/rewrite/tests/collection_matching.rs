@@ -14,7 +14,7 @@ fn seq_of(binds: &eds_rewrite::Bindings, name: &str) -> Vec<String> {
         .get_seq(name)
         .unwrap_or_else(|| panic!("{name}* unbound"))
         .iter()
-        .map(|t| t.to_string())
+        .map(ToString::to_string)
         .collect()
 }
 
@@ -72,7 +72,7 @@ fn two_seqvars_enumerate_every_split_in_order() {
         .iter()
         .map(|b| (seq_of(b, "x"), seq_of(b, "y")))
         .collect();
-    let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let s = |v: &[&str]| v.iter().map(ToString::to_string).collect::<Vec<_>>();
     assert_eq!(
         splits,
         vec![
@@ -93,7 +93,7 @@ fn two_seqvars_around_pivot_element() {
         .iter()
         .map(|b| (seq_of(b, "x"), seq_of(b, "y")))
         .collect();
-    let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let s = |v: &[&str]| v.iter().map(ToString::to_string).collect::<Vec<_>>();
     assert_eq!(
         splits,
         vec![(s(&[]), s(&["A", "B"])), (s(&["B", "A"]), s(&[])),]

@@ -11,7 +11,9 @@ fn load(src: &str) -> (RuleSet, Strategy) {
     let mut strategy = Strategy::new();
     for item in parse_source(src).unwrap() {
         match item {
-            SourceItem::Rule(r) => rules.add(r),
+            SourceItem::Rule(r) => {
+                rules.add(r);
+            }
             SourceItem::Block(b) => strategy.add_block(b),
             SourceItem::Seq(s) => strategy.set_sequence(s),
         }

@@ -237,7 +237,7 @@ impl Bencher {
             }
             samples.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
         }
-        samples.sort_by(|a, b| a.total_cmp(b));
+        samples.sort_by(f64::total_cmp);
         self.median_ns = samples[samples.len() / 2];
     }
 }
@@ -281,7 +281,7 @@ mod tests {
             g.bench_with_input(BenchmarkId::new("inc", 1), &1, |b, _| {
                 b.iter(|| {
                     count += 1;
-                })
+                });
             });
             g.finish();
         }

@@ -28,16 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. User rewrite rules in the rule language: a domain-specific
     //    simplification (readings are known to be < 200) and an
-    //    unfolding of a convenience predicate.
-    let added = dbms.add_rule_source(
-        "// READINGOK(x) unfolds to a range check.
-         UnfoldReadingOk : READINGOK(x) / --> x >= 0 AND x <= 100 / ;
-         // Domain knowledge: no reading exceeds 200, so x <= 200 is TRUE.
-         ReadingBound : x <= 200 / --> TRUE / ;
-         block(user, {UnfoldReadingOk, ReadingBound}, INF) ;
-         seq((user, normalize, merging, fixpoint, merging, permutation,
-              merging, semantic, simplify, normalize), 2) ;",
-    )?;
+    //    unfolding of a convenience predicate. The source lives in
+    //    `examples/custom_rules.rules` so the CI eds-lint job can check
+    //    it; registration lints it again (schema-aware) under EDS_LINT.
+    let added = dbms.add_rule_source(include_str!("custom_rules.rules"))?;
     println!("installed {added} user items (rules/blocks/seq)");
 
     // 3. The user predicate now works in queries and is unfolded before

@@ -112,7 +112,7 @@ fn show(dbms: &Dbms, label: &str, sql: &str) -> Result<(), Box<dyn std::error::E
     for row in rows.sorted_rows() {
         println!(
             "  {:?}",
-            row.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+            row.iter().map(ToString::to_string).collect::<Vec<_>>()
         );
     }
     println!();

@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = dbms.run_expr(&rewritten.expr)?;
     println!("result:");
     for row in result.sorted_rows() {
-        println!("  {:?}", row);
+        println!("  {row:?}");
     }
     assert_eq!(result.sorted_rows().len(), 2); // Ada and Grace
 
