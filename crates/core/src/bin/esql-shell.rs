@@ -146,6 +146,9 @@ fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
             let diagnostics = dbms.lint();
             for d in &diagnostics {
                 println!("{d}");
+                for f in &d.suggestions {
+                    println!("  fix: {}", f.description);
+                }
             }
             let errors = diagnostics.iter().filter(|d| d.is_error()).count();
             println!(

@@ -330,6 +330,10 @@ impl QueryRewriter {
             d.rule.as_deref().is_some_and(|r| new_rules.contains(r))
                 || d.block.as_deref().is_some_and(|b| new_blocks.contains(b))
                 || (d.rule.is_none() && d.block.is_none() && has_seq && d.part == "seq")
+                // A new sequence re-wires the whole flow graph, so the
+                // cross-block findings are this batch's even when the
+                // rules and blocks on the cycle pre-date it.
+                || (has_seq && matches!(d.code, "EDS016" | "EDS017"))
         }));
         diagnostics
     }

@@ -32,26 +32,32 @@ fn builtin_library_and_examples_lint_clean_at_deny() {
     .expect("example rules must lint clean at deny");
 }
 
-/// The built-in warnings are exactly the known size-increasing rules.
+/// The built-in warnings are exactly the known size-increasing rules,
+/// plus the one genuinely non-confluent critical pair: AndAssoc vs
+/// DeMorganAnd (the KB carries no OR-associativity rule that could join
+/// their reducts).
 #[test]
 fn builtin_warnings_are_the_expected_size_increases() {
     let rw = QueryRewriter::with_default_rules().unwrap();
     let diags = rw.lint(None);
     assert!(diags.iter().all(|d| d.severity == Severity::Warning));
-    assert!(diags.iter().all(|d| d.code == "EDS010"));
-    let mut rules: Vec<&str> = diags.iter().filter_map(|d| d.rule.as_deref()).collect();
-    rules.sort_unstable();
+    let mut shape: Vec<(&str, &str)> = diags
+        .iter()
+        .map(|d| (d.code, d.rule.as_deref().unwrap_or("")))
+        .collect();
+    shape.sort_unstable();
     assert_eq!(
-        rules,
+        shape,
         [
-            "DeMorganAnd",
-            "DeMorganOr",
-            "FilterToSearch",
-            "JoinToSearch",
-            "ProjectToSearch",
-            "SearchNestPush",
-            "SearchUnionPush",
-            "SearchUnionSplit",
+            ("EDS010", "DeMorganAnd"),
+            ("EDS010", "DeMorganOr"),
+            ("EDS010", "FilterToSearch"),
+            ("EDS010", "JoinToSearch"),
+            ("EDS010", "ProjectToSearch"),
+            ("EDS010", "SearchNestPush"),
+            ("EDS010", "SearchUnionPush"),
+            ("EDS010", "SearchUnionSplit"),
+            ("EDS018", "AndAssoc"),
         ]
     );
 }
@@ -194,6 +200,66 @@ fn diagnostics_attribute_to_the_new_batch_only() {
     assert!(diags.is_empty(), "leaked pre-existing findings: {diags:#?}");
 }
 
+/// The analyzer over the full built-in KB *with a populated catalog*
+/// (the paper's film database): the schema-aware checks stay silent on
+/// the builtins, and a user rule referencing a ghost relation adds
+/// exactly its own catalog + membership findings. Pins the complete
+/// (code, rule) multiset so any analyzer change here is a conscious one.
+#[test]
+fn film_catalog_lint_is_pinned_exactly() {
+    let mut dbms = Dbms::new().unwrap();
+    dbms.execute_ddl(
+        "TABLE FILM ( Numf : NUMERIC, Title : CHAR, Categories : CHAR) ;
+         TABLE APPEARS_IN ( Numf : NUMERIC, Refactor : CHAR) ;
+         TABLE DOMINATE ( Numf : NUMERIC, Refactor1 : CHAR, Refactor2 : CHAR, Score : INT) ;",
+    )
+    .unwrap();
+
+    let builtin_expected = [
+        ("EDS010", "DeMorganAnd"),
+        ("EDS010", "DeMorganOr"),
+        ("EDS010", "FilterToSearch"),
+        ("EDS010", "JoinToSearch"),
+        ("EDS010", "ProjectToSearch"),
+        ("EDS010", "SearchNestPush"),
+        ("EDS010", "SearchUnionPush"),
+        ("EDS010", "SearchUnionSplit"),
+        ("EDS018", "AndAssoc"),
+    ];
+    let shape = |diags: &[eds_rewrite::Diagnostic]| -> Vec<(&'static str, String)> {
+        let mut v: Vec<(&'static str, String)> = diags
+            .iter()
+            .map(|d| (d.code, d.rule.clone().unwrap_or_default()))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        shape(&dbms.lint()),
+        builtin_expected
+            .iter()
+            .map(|(c, r)| (*c, (*r).to_owned()))
+            .collect::<Vec<_>>(),
+        "catalog-backed lint of the builtins must stay exactly pinned"
+    );
+
+    // One user rule: a ghost relation on the LHS (EDS014) and no block
+    // membership (EDS020). The known FILM reference adds nothing.
+    dbms.add_rule_source_checked(
+        "Ghost : FILTER(NOSUCH, f) / --> FILTER(FILM, f) / ;",
+        LintPolicy::Warn,
+    )
+    .unwrap();
+    let mut expected: Vec<(&str, String)> = builtin_expected
+        .iter()
+        .map(|(c, r)| (*c, (*r).to_owned()))
+        .collect();
+    expected.push(("EDS014", "Ghost".to_owned()));
+    expected.push(("EDS020", "Ghost".to_owned()));
+    expected.sort_unstable();
+    assert_eq!(shape(&dbms.lint()), expected);
+}
+
 /// Schema-aware path: `Dbms::add_rule_source_checked` consults the
 /// catalog, so unknown relation references warn (and known ones don't).
 #[test]
@@ -214,8 +280,13 @@ fn catalog_backed_relation_check() {
         .unwrap();
     let diags = dbms.lint();
     assert!(diags.iter().any(|d| d.code == "EDS014"));
-    // A rule over the declared table is clean under the same catalog.
+    // A rule over the declared table raises no *catalog* finding under
+    // the same catalog. (EDS020 still notes it belongs to no block —
+    // that is the whole-strategy layer, not the schema check.)
     dbms.add_rule_source_checked("S : FILTER(EMP, f) / --> TRUE / ;", LintPolicy::Deny)
         .unwrap();
-    assert!(dbms.lint().iter().all(|d| d.rule.as_deref() != Some("S")));
+    assert!(dbms
+        .lint()
+        .iter()
+        .all(|d| d.rule.as_deref() != Some("S") || d.code == "EDS020"));
 }

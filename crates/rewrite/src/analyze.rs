@@ -24,19 +24,36 @@
 //! | `EDS013` | error | LERA operator functor applied with the wrong arity |
 //! | `EDS014` | warning | relation atom in an operator input position not found in the catalog |
 //! | `EDS015` | warning | attribute reference out of range for the (fully known) search inputs |
+//! | `EDS016` | warning | rewrite cycle over root functors spanning several unbounded blocks of the sequence |
+//! | `EDS017` | warning | unbounded block introduces functors no later rule in the sequence consumes |
+//! | `EDS018` | warning | overlapping rules in an unbounded block diverge with no rejoin (order-dependent results) |
+//! | `EDS019` | error | contradictory constraint set: the rule can never fire |
+//! | `EDS021` | warning | constraint is tautological or implied by the earlier constraints |
+//!
+//! (`EDS020` — rule not a member of any block — sits between the two.)
 //!
 //! Severity policy: *errors* are defects that make a rule dead or make it
 //! fail at application time; *warnings* flag termination hazards and
 //! heuristic findings that legitimate rules (the built-in DeMorgan and
 //! push-down rules among them) trip by design.
+//!
+//! Diagnostics come out of [`analyze`] deterministically ordered (by
+//! code, then rule, block, part, path, message) and deduplicated, and may
+//! carry machine-applicable [`Fix`] suggestions applied by
+//! [`apply_fixes`](crate::fixes::apply_fixes) (`eds-lint --fix`).
 
 use std::collections::HashSet;
 use std::fmt;
 
+use eds_adt::Value;
+
+use crate::fixes::{Fix, FixTarget};
+use crate::flow;
 use crate::matching::find_match;
 use crate::methods::MethodRegistry;
-use crate::rule::Rule;
-use crate::strategy::{Limit, RuleSet, Strategy};
+use crate::overlap;
+use crate::rule::{MethodCall, Rule};
+use crate::strategy::{Block, Limit, RuleSet, Strategy};
 use crate::term::Term;
 
 /// How bad a finding is. `deny`-policy registration rejects on errors
@@ -77,10 +94,12 @@ pub struct Diagnostic {
     pub path: Vec<usize>,
     /// Human-readable description.
     pub message: String,
+    /// Machine-applicable fixes; empty when no safe rewrite is known.
+    pub suggestions: Vec<Fix>,
 }
 
 impl Diagnostic {
-    fn new(
+    pub(crate) fn new(
         code: &'static str,
         severity: Severity,
         part: impl Into<String>,
@@ -94,21 +113,27 @@ impl Diagnostic {
             part: part.into(),
             path: Vec::new(),
             message,
+            suggestions: Vec::new(),
         }
     }
 
-    fn for_rule(mut self, rule: &str) -> Self {
+    pub(crate) fn for_rule(mut self, rule: &str) -> Self {
         self.rule = Some(rule.to_owned());
         self
     }
 
-    fn in_block(mut self, block: &str) -> Self {
+    pub(crate) fn in_block(mut self, block: &str) -> Self {
         self.block = Some(block.to_owned());
         self
     }
 
     fn at(mut self, path: &[usize]) -> Self {
         self.path = path.to_vec();
+        self
+    }
+
+    pub(crate) fn suggest(mut self, fix: Fix) -> Self {
+        self.suggestions.push(fix);
         self
     }
 
@@ -179,9 +204,10 @@ fn lera_arity(head: &str) -> Option<usize> {
         .map(|&(_, n)| n)
 }
 
-/// Analyze a whole knowledge base: every rule plus the strategy layer.
-/// Diagnostics come out in deterministic order (rules in insertion order,
-/// then blocks in definition order, then the sequence).
+/// Analyze a whole knowledge base: every rule plus the strategy layer,
+/// plus the whole-sequence abstract interpretation (functor flow,
+/// critical pairs). Diagnostics come out deterministically ordered (by
+/// code, then rule, block, part, path, message) and deduplicated.
 pub fn analyze(
     rules: &RuleSet,
     strategy: &Strategy,
@@ -193,6 +219,19 @@ pub fn analyze(
         out.extend(analyze_rule(rule, methods, schema));
     }
     out.extend(analyze_strategy(rules, strategy));
+    flow::check_flow(rules, strategy, &mut out);
+    overlap::check_overlaps(rules, strategy, methods, &mut out);
+    finalize(out)
+}
+
+/// Deterministic output: a stable total order plus deduplication of
+/// findings reached through more than one path.
+fn finalize(mut out: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    out.sort_by(|a, b| {
+        (a.code, &a.rule, &a.block, &a.part, &a.path, &a.message)
+            .cmp(&(b.code, &b.rule, &b.block, &b.part, &b.path, &b.message))
+    });
+    out.dedup();
     out
 }
 
@@ -222,6 +261,7 @@ pub fn analyze_rule(
     check_collection_vars(rule, &mut out);
     check_operator_arities(rule, &mut out);
     check_variable_flow(rule, methods, &mut out);
+    check_constraint_sanity(rule, &mut out);
     if let Some(schema) = schema {
         check_schema_refs(rule, schema, &mut out);
     }
@@ -392,7 +432,7 @@ fn check_variable_flow(rule: &Rule, methods: &MethodRegistry, out: &mut Vec<Diag
     }
     for v in rule.rhs.variables() {
         if !bound.contains(v) {
-            out.push(Diagnostic::new(
+            let mut d = Diagnostic::new(
                 "EDS001",
                 Severity::Error,
                 "rhs",
@@ -400,9 +440,40 @@ fn check_variable_flow(rule: &Rule, methods: &MethodRegistry, out: &mut Vec<Diag
                     "right-hand side uses variable {v} which neither the LHS nor any \
                      method output binds; application would fail with UnboundInRhs"
                 ),
-            ));
+            );
+            if let Some(fix) = bind_via_method_fix(rule, v, methods) {
+                d = d.suggest(fix);
+            }
+            out.push(d);
         }
     }
+}
+
+/// The EDS001 remediation: append a binding method call for the unbound
+/// variable. Prefers the paper's `SCHEMA(input, output)` when its
+/// standard signature is registered, falling back to the built-in
+/// `EVALUATE(expr, out)`.
+fn bind_via_method_fix(rule: &Rule, var: &str, methods: &MethodRegistry) -> Option<Fix> {
+    let name = ["SCHEMA", "EVALUATE"].into_iter().find(|n| {
+        methods
+            .signature(n)
+            .is_some_and(|s| s.arity == 2 && s.outputs == [1])
+    })?;
+    let input = rule
+        .lhs
+        .variables()
+        .first()
+        .map_or_else(|| Term::int(0), |v| Term::var(*v));
+    let mut fixed = rule.clone();
+    fixed.methods.push(MethodCall {
+        name: name.to_owned(),
+        args: vec![input.clone(), Term::var(var)],
+    });
+    Some(Fix {
+        description: format!("bind {var} via {name}({input}, {var})"),
+        target: FixTarget::Rule(rule.name.clone()),
+        replacement: format!("{fixed} ;"),
+    })
 }
 
 /// Check one constraint recursively, mirroring `eval_constraint`'s
@@ -666,6 +737,308 @@ fn check_schema_refs(rule: &Rule, schema: &dyn SchemaProvider, out: &mut Vec<Dia
     }
 }
 
+// -------------------------------------------------- constraint algebra
+
+/// Comparison functors the entailment engine reasons about.
+const CMP_OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+
+/// Flatten top-level `AND`s into conjuncts.
+pub(crate) fn conjuncts(t: &Term) -> Vec<&Term> {
+    match t.as_app() {
+        Some(("AND", [a, b])) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        _ => vec![t],
+    }
+}
+
+fn as_cmp(t: &Term) -> Option<(&'static str, &Term, &Term)> {
+    let (h, args) = t.as_app()?;
+    if args.len() != 2 {
+        return None;
+    }
+    CMP_OPS
+        .iter()
+        .find(|&&op| op == h)
+        .map(|&op| (op, &args[0], &args[1]))
+}
+
+fn as_int(t: &Term) -> Option<i64> {
+    match t.as_const()? {
+        Value::Int(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn flip(op: &str) -> &'static str {
+    match op {
+        "<" => ">",
+        ">" => "<",
+        "<=" => ">=",
+        ">=" => "<=",
+        "=" => "=",
+        _ => "<>",
+    }
+}
+
+/// Orient a comparison so a ground-integer operand sits on the right.
+fn oriented(t: &Term) -> Option<(&'static str, &Term, &Term)> {
+    let (op, l, r) = as_cmp(t)?;
+    if as_int(l).is_some() && as_int(r).is_none() {
+        Some((flip(op), r, l))
+    } else {
+        Some((op, l, r))
+    }
+}
+
+/// Evaluate a comparison between ground constants, where decidable.
+fn eval_ground(op: &str, l: &Term, r: &Term) -> Option<bool> {
+    if let (Some(a), Some(b)) = (as_int(l), as_int(r)) {
+        return Some(match op {
+            "=" => a == b,
+            "<>" => a != b,
+            "<" => a < b,
+            "<=" => a <= b,
+            ">" => a > b,
+            _ => a >= b,
+        });
+    }
+    let (lc, rc) = (l.as_const()?, r.as_const()?);
+    match op {
+        "=" => Some(lc == rc),
+        "<>" => Some(lc != rc),
+        _ => None,
+    }
+}
+
+/// Is the condition true under every binding?
+pub(crate) fn tautology(c: &Term) -> bool {
+    if matches!(c.as_const(), Some(Value::Bool(true))) {
+        return true;
+    }
+    let Some((op, l, r)) = as_cmp(c) else {
+        return false;
+    };
+    if let Some(v) = eval_ground(op, l, r) {
+        return v;
+    }
+    l == r && matches!(op, "=" | "<=" | ">=")
+}
+
+/// Is the condition false under every binding?
+fn self_contradictory(c: &Term) -> bool {
+    if matches!(c.as_const(), Some(Value::Bool(false))) {
+        return true;
+    }
+    let Some((op, l, r)) = as_cmp(c) else {
+        return false;
+    };
+    if let Some(v) = eval_ground(op, l, r) {
+        return !v;
+    }
+    l == r && matches!(op, "<" | ">" | "<>")
+}
+
+/// Inclusive integer interval denoted by `x op k` (`None` = unbounded).
+/// Only called for ordering ops and `=`, never `<>`.
+fn interval(op: &str, k: i64) -> (Option<i64>, Option<i64>) {
+    match op {
+        "=" => (Some(k), Some(k)),
+        "<" => (None, Some(k.saturating_sub(1))),
+        "<=" => (None, Some(k)),
+        ">" => (Some(k.saturating_add(1)), None),
+        _ => (Some(k), None), // ">="
+    }
+}
+
+/// Can `l op1 r` and `l op2 r` hold together for *any* l, r?
+fn incompatible(a: &str, b: &str) -> bool {
+    let pair = |x: &str, y: &str| (a == x && b == y) || (a == y && b == x);
+    pair("<", ">")
+        || pair("<", ">=")
+        || pair("<", "=")
+        || pair("<=", ">")
+        || pair("=", "<>")
+        || pair("=", ">")
+}
+
+/// Do two conjuncts contradict each other?
+fn pair_contradicts(a: &Term, b: &Term) -> bool {
+    let (Some((op1, l1, r1)), Some((op2, l2, r2))) = (oriented(a), oriented(b)) else {
+        return false;
+    };
+    if l1 == l2 && r1 == r2 && incompatible(op1, op2) {
+        return true;
+    }
+    // Swapped sides: restate b over (l1, r1) by flipping its operator.
+    if l1 == r2 && r1 == l2 && incompatible(op1, flip(op2)) {
+        return true;
+    }
+    if l1 == l2 {
+        if let (Some(k1), Some(k2)) = (as_int(r1), as_int(r2)) {
+            return bounds_empty(op1, k1, op2, k2);
+        }
+        if let (Some(c1), Some(c2)) = (r1.as_const(), r2.as_const()) {
+            let eq_ne = (op1 == "=" && op2 == "<>") || (op1 == "<>" && op2 == "=");
+            return (op1 == "=" && op2 == "=" && c1 != c2) || (eq_ne && c1 == c2);
+        }
+    }
+    false
+}
+
+/// Is the set of integers satisfying both `x op1 k1` and `x op2 k2`
+/// empty?
+fn bounds_empty(op1: &str, k1: i64, op2: &str, k2: i64) -> bool {
+    match (op1, op2) {
+        ("<>", "=") | ("=", "<>") => k1 == k2,
+        ("<>", _) | (_, "<>") => false,
+        _ => {
+            let (lo1, hi1) = interval(op1, k1);
+            let (lo2, hi2) = interval(op2, k2);
+            let lo = [lo1, lo2].into_iter().flatten().max();
+            let hi = [hi1, hi2].into_iter().flatten().min();
+            matches!((lo, hi), (Some(l), Some(h)) if l > h)
+        }
+    }
+}
+
+/// Is the whole conjunct set unsatisfiable (by the decidable fragment:
+/// literals, ground comparisons, irreflexivity, pairwise interval and
+/// operator conflicts)?
+pub(crate) fn contradicts(conjunct_set: &[&Term]) -> bool {
+    if conjunct_set.iter().any(|c| self_contradictory(c)) {
+        return true;
+    }
+    for (i, a) in conjunct_set.iter().enumerate() {
+        for b in conjunct_set.iter().skip(i + 1) {
+            if pair_contradicts(a, b) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Does `x opp kp` imply `x opc kc` over the integers?
+fn cmp_implies(opp: &str, kp: i64, opc: &str, kc: i64) -> bool {
+    if opp == "<>" {
+        return opc == "<>" && kp == kc;
+    }
+    if opc == "=" {
+        return opp == "=" && kp == kc;
+    }
+    if opc == "<>" {
+        // The premise interval must exclude kc.
+        let (lo, hi) = interval(opp, kp);
+        return lo.is_some_and(|l| kc < l) || hi.is_some_and(|h| kc > h);
+    }
+    // The conclusion interval must contain the premise interval.
+    let (plo, phi) = interval(opp, kp);
+    let (clo, chi) = interval(opc, kc);
+    let lo_ok = match (clo, plo) {
+        (None, _) => true,
+        (Some(c), Some(p)) => p >= c,
+        (Some(_), None) => false,
+    };
+    let hi_ok = match (chi, phi) {
+        (None, _) => true,
+        (Some(c), Some(p)) => p <= c,
+        (Some(_), None) => false,
+    };
+    lo_ok && hi_ok
+}
+
+/// Do the premises provably entail the conclusion? Sound but incomplete:
+/// syntactic equality, tautologies, and single-premise comparison
+/// weakening over ground integer bounds.
+pub(crate) fn entails(premises: &[&Term], conclusion: &Term) -> bool {
+    if tautology(conclusion) || premises.contains(&conclusion) {
+        return true;
+    }
+    let Some((opc, lc, rc)) = oriented(conclusion) else {
+        return false;
+    };
+    let Some(kc) = as_int(rc) else {
+        return false;
+    };
+    premises.iter().any(|p| {
+        oriented(p).is_some_and(|(opp, lp, rp)| {
+            lp == lc && as_int(rp).is_some_and(|kp| cmp_implies(opp, kp, opc, kc))
+        })
+    })
+}
+
+/// A fix that deletes the whole rule.
+fn delete_rule_fix(rule: &Rule, description: String) -> Fix {
+    Fix {
+        description,
+        target: FixTarget::Rule(rule.name.clone()),
+        replacement: String::new(),
+    }
+}
+
+/// EDS019 / EDS021: contradiction and redundancy over a rule's constraint
+/// set.
+fn check_constraint_sanity(rule: &Rule, out: &mut Vec<Diagnostic>) {
+    if rule.constraints.is_empty() {
+        return;
+    }
+    let all: Vec<&Term> = rule.constraints.iter().flat_map(conjuncts).collect();
+    if contradicts(&all) {
+        out.push(
+            Diagnostic::new(
+                "EDS019",
+                Severity::Error,
+                "constraint",
+                format!(
+                    "the constraint set {{{}}} is contradictory: no binding can satisfy \
+                     it, so the rule can never fire",
+                    rule.constraints
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            )
+            .suggest(delete_rule_fix(
+                rule,
+                format!("delete the unmatchable rule {}", rule.name),
+            )),
+        );
+        return;
+    }
+    for (i, c) in rule.constraints.iter().enumerate() {
+        let parts: Vec<&Term> = conjuncts(c);
+        let earlier: Vec<&Term> = rule.constraints[..i].iter().flat_map(conjuncts).collect();
+        let reason = if parts.iter().all(|p| tautology(p)) {
+            Some("is always true")
+        } else if !earlier.is_empty() && parts.iter().all(|p| entails(&earlier, p)) {
+            Some("is implied by the constraints before it")
+        } else {
+            None
+        };
+        if let Some(reason) = reason {
+            let mut slimmed = rule.clone();
+            slimmed.constraints.remove(i);
+            out.push(
+                Diagnostic::new(
+                    "EDS021",
+                    Severity::Warning,
+                    format!("constraint {}", i + 1),
+                    format!("constraint {c} {reason}; it only costs evaluation time"),
+                )
+                .suggest(Fix {
+                    description: format!("remove the redundant constraint {c}"),
+                    target: FixTarget::Rule(rule.name.clone()),
+                    replacement: format!("{slimmed} ;"),
+                }),
+            );
+        }
+    }
+}
+
 // ------------------------------------------------------------ strategy
 
 /// EDS009 / EDS010 / EDS011 / EDS012: block-level and sequence-level
@@ -692,6 +1065,17 @@ pub fn analyze_strategy(rules: &RuleSet, strategy: &Strategy) -> Vec<Diagnostic>
                 );
             }
             if !seen.insert(name.as_str()) {
+                let mut kept: Vec<String> = Vec::new();
+                for member in &block.rules {
+                    if !kept.contains(member) {
+                        kept.push(member.clone());
+                    }
+                }
+                let deduped = Block {
+                    name: block.name.clone(),
+                    rules: kept,
+                    limit: block.limit,
+                };
                 out.push(
                     Diagnostic::new(
                         "EDS011",
@@ -700,7 +1084,12 @@ pub fn analyze_strategy(rules: &RuleSet, strategy: &Strategy) -> Vec<Diagnostic>
                         format!("rule {name} is listed twice in block {}", block.name),
                     )
                     .for_rule(name)
-                    .in_block(&block.name),
+                    .in_block(&block.name)
+                    .suggest(Fix {
+                        description: format!("drop the repeated members of block {}", block.name),
+                        target: FixTarget::Block(block.name.clone()),
+                        replacement: format!("{deduped} ;"),
+                    }),
                 );
             }
         }
@@ -725,7 +1114,8 @@ pub fn analyze_strategy(rules: &RuleSet, strategy: &Strategy) -> Vec<Diagnostic>
                             ),
                         )
                         .for_rule(&rule.name)
-                        .in_block(&block.name),
+                        .in_block(&block.name)
+                        .suggest(flow::finite_limit_fix(block)),
                     );
                 }
             }
@@ -756,29 +1146,93 @@ pub fn analyze_strategy(rules: &RuleSet, strategy: &Strategy) -> Vec<Diagnostic>
             }
         }
 
-        // Subsumption: an earlier *unconditional* rule whose LHS matches a
-        // later rule's LHS fires first wherever the later rule would.
+        // Subsumption modulo constraints: an earlier method-free rule
+        // whose LHS matches a later rule's LHS — and whose constraints,
+        // instantiated through that match, are provably entailed by the
+        // later rule's own constraints — fires first wherever the later
+        // rule would.
         for (i, general) in members.iter().enumerate() {
-            if !general.constraints.is_empty() || !general.methods.is_empty() {
+            if !general.methods.is_empty() {
                 continue;
             }
             for specific in members.iter().skip(i + 1) {
-                if general.name != specific.name && subsumes(&general.lhs, &specific.lhs) {
-                    out.push(
-                        Diagnostic::new(
-                            "EDS011",
-                            Severity::Warning,
-                            "block",
-                            format!(
-                                "LHS is subsumed by the earlier unconditional rule {} in \
-                                 block {}; this rule can never fire there",
-                                general.name, block.name
-                            ),
-                        )
-                        .for_rule(&specific.name)
-                        .in_block(&block.name),
-                    );
+                if general.name == specific.name {
+                    continue;
                 }
+                let Some(binds) = find_match(&general.lhs, &freeze(&specific.lhs)) else {
+                    continue;
+                };
+                let premises_owned: Vec<Term> = specific.constraints.iter().map(freeze).collect();
+                let premises: Vec<&Term> = premises_owned.iter().flat_map(conjuncts).collect();
+                let weaker = general.constraints.iter().all(|c| {
+                    let inst = binds.apply(c);
+                    conjuncts(&inst).iter().all(|p| entails(&premises, p))
+                });
+                if !weaker {
+                    continue;
+                }
+                let trimmed = Block {
+                    name: block.name.clone(),
+                    rules: block
+                        .rules
+                        .iter()
+                        .filter(|n| *n != &specific.name)
+                        .cloned()
+                        .collect(),
+                    limit: block.limit,
+                };
+                let condition = if general.constraints.is_empty() {
+                    "unconditional".to_owned()
+                } else {
+                    "conditional (its constraints are provably no stronger)".to_owned()
+                };
+                out.push(
+                    Diagnostic::new(
+                        "EDS011",
+                        Severity::Warning,
+                        "block",
+                        format!(
+                            "LHS is subsumed by the earlier {condition} rule {} in \
+                             block {}; this rule can never fire there",
+                            general.name, block.name
+                        ),
+                    )
+                    .for_rule(&specific.name)
+                    .in_block(&block.name)
+                    .suggest(Fix {
+                        description: format!(
+                            "remove the shadowed rule {} from block {}",
+                            specific.name, block.name
+                        ),
+                        target: FixTarget::Block(block.name.clone()),
+                        replacement: format!("{trimmed} ;"),
+                    }),
+                );
+            }
+        }
+    }
+
+    // EDS020: a registered rule no block ever lists is dead weight — the
+    // strategy can never apply it.
+    if strategy.blocks().next().is_some() {
+        for rule in rules.iter() {
+            let listed = strategy
+                .blocks()
+                .any(|b| b.rules.iter().any(|n| n == &rule.name));
+            if !listed {
+                out.push(
+                    Diagnostic::new(
+                        "EDS020",
+                        Severity::Warning,
+                        "rule",
+                        format!(
+                            "rule {} is not a member of any block; the strategy can \
+                             never apply it",
+                            rule.name
+                        ),
+                    )
+                    .for_rule(&rule.name),
+                );
             }
         }
     }
@@ -813,15 +1267,12 @@ fn self_feeding_pair(a: &Rule, b: &Rule) -> bool {
     la != ra && ra == lb && rb == la && !(a.is_decreasing() && b.is_decreasing())
 }
 
-/// Does pattern `general` match every term `specific` matches? Decided by
-/// matching `general` against `specific` with the latter's variables
-/// frozen to fresh atoms (segment variables freeze to a single fresh
-/// element). Sound for the Warning it backs; segment freezing makes it
-/// approximate in both directions, which DESIGN.md documents.
-fn subsumes(general: &Term, specific: &Term) -> bool {
-    find_match(general, &freeze(specific)).is_some()
-}
-
+/// Freeze a pattern's variables to fresh atoms (segment variables freeze
+/// to a single fresh element), so that matching another pattern against
+/// the frozen term decides subsumption: the matcher succeeds iff the
+/// general pattern covers every instance of the frozen one. Sound for the
+/// Warning it backs; segment freezing makes it approximate in both
+/// directions, which DESIGN.md documents.
 fn freeze(t: &Term) -> Term {
     match t {
         Term::Var(v) => Term::atom(format!("\u{1}v{v}")),

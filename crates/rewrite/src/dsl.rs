@@ -40,10 +40,53 @@ pub enum SourceItem {
     Seq(Sequence),
 }
 
+/// A half-open byte range `[start, end)` into the original source text.
+///
+/// Spans cover an item from its first token through the terminating `;`,
+/// which is exactly the region a lint [fix](crate::fixes::Fix) replaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character of the item.
+    pub start: usize,
+    /// Byte offset one past the terminating `;`.
+    pub end: usize,
+}
+
+/// A top-level item together with the byte span of its source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedItem {
+    /// The parsed item.
+    pub item: SourceItem,
+    /// Where in the source text the item was written.
+    pub span: Span,
+}
+
 /// Parse a rule-language source text into its items.
 pub fn parse_source(src: &str) -> RwResult<Vec<SourceItem>> {
+    Ok(parse_source_spanned(src)?
+        .into_iter()
+        .map(|s| s.item)
+        .collect())
+}
+
+/// Parse a source text, keeping the byte span of each item so callers
+/// (the autofix engine, editors) can splice replacements back in.
+pub fn parse_source_spanned(src: &str) -> RwResult<Vec<SpannedItem>> {
     let tokens = lex(src)?;
-    Parser { tokens, pos: 0 }.parse_items()
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !matches!(p.peek(), Tok::Eof) {
+        let start = p.tokens[p.pos].start;
+        let item = p.parse_item()?;
+        // `parse_item` always consumes the terminating `;`, so the
+        // previous token is the one that closed the item.
+        let end = p.tokens[p.pos - 1].end;
+        items.push(SpannedItem {
+            item,
+            span: Span { start, end },
+        });
+    }
+    Ok(items)
 }
 
 /// Parse a single term (handy for tests and interactive use).
@@ -89,6 +132,10 @@ struct Spanned {
     tok: Tok,
     line: usize,
     col: usize,
+    /// Byte offset of the token's first character.
+    start: usize,
+    /// Byte offset one past the token's last character.
+    end: usize,
 }
 
 fn lex_err<T>(line: usize, col: usize, message: impl Into<String>) -> RwResult<T> {
@@ -102,6 +149,11 @@ fn lex_err<T>(line: usize, col: usize, message: impl Into<String>) -> RwResult<T
 fn lex(src: &str) -> RwResult<Vec<Spanned>> {
     let mut out = Vec::new();
     let chars: Vec<char> = src.chars().collect();
+    // Byte offset of each char index (plus the end-of-input sentinel), so
+    // token spans can be expressed in bytes over the original `&str`.
+    let mut byte_of: Vec<usize> = Vec::with_capacity(chars.len() + 1);
+    byte_of.extend(src.char_indices().map(|(b, _)| b));
+    byte_of.push(src.len());
     let mut i = 0;
     let mut line = 1;
     let mut col = 1;
@@ -112,6 +164,8 @@ fn lex(src: &str) -> RwResult<Vec<Spanned>> {
                 tok: $tok,
                 line,
                 col,
+                start: byte_of[i],
+                end: byte_of[i + $len],
             });
             i += $len;
             col += $len;
@@ -255,6 +309,8 @@ fn lex(src: &str) -> RwResult<Vec<Spanned>> {
         tok: Tok::Eof,
         line,
         col,
+        start: src.len(),
+        end: src.len(),
     });
     Ok(out)
 }
@@ -308,14 +364,6 @@ impl Parser {
         } else {
             self.err("trailing input after term")
         }
-    }
-
-    fn parse_items(&mut self) -> RwResult<Vec<SourceItem>> {
-        let mut items = Vec::new();
-        while !matches!(self.peek(), Tok::Eof) {
-            items.push(self.parse_item()?);
-        }
-        Ok(items)
     }
 
     fn parse_item(&mut self) -> RwResult<SourceItem> {
@@ -781,6 +829,32 @@ mod tests {
         // uses boolean literals.
         assert_eq!(parse_term("TRUE").unwrap(), Term::bool(true));
         assert_eq!(parse_term("false").unwrap(), Term::bool(false));
+    }
+
+    #[test]
+    fn spanned_items_cover_exact_source_slices() {
+        let src = "  First : F(x) / --> x / ;\n// note\nblock(b, {First}, INF) ;\n";
+        let items = parse_source_spanned(src).unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(
+            &src[items[0].span.start..items[0].span.end],
+            "First : F(x) / --> x / ;"
+        );
+        assert_eq!(
+            &src[items[1].span.start..items[1].span.end],
+            "block(b, {First}, INF) ;"
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_offsets_even_after_multibyte_text() {
+        // A multi-byte character in a comment must not desync spans.
+        let src = "// naïve café\nR : F(x) / --> x / ;";
+        let items = parse_source_spanned(src).unwrap();
+        assert_eq!(
+            &src[items[0].span.start..items[0].span.end],
+            "R : F(x) / --> x / ;"
+        );
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Cross-block functor-flow analysis over the whole sequence
+//! (`EDS016`/`EDS017`).
+//!
+//! Each rule is abstracted to the edge *LHS root functor → RHS root
+//! functor*; the edges of every unbounded block in the effective
+//! execution order form a flow graph. A strongly connected component
+//! whose edges span two or more unbounded blocks is a rewrite cycle the
+//! per-block check (`EDS012`) is structurally blind to: within any single
+//! block each half of the cycle looks like a plain one-way rewrite
+//! (`EDS016`). Dually, an unbounded block whose rules introduce functors
+//! no rule later in the sequence matches on saturates for nothing
+//! (`EDS017`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analyze::{Diagnostic, Severity};
+use crate::fixes::{Fix, FixTarget};
+use crate::rule::Rule;
+use crate::strategy::{Block, Limit, RuleSet, Strategy};
+use crate::symbol::Symbol;
+use crate::term::Term;
+
+/// Run both flow checks, appending findings to `out`.
+pub(crate) fn check_flow(rules: &RuleSet, strategy: &Strategy, out: &mut Vec<Diagnostic>) {
+    let (order, passes) = strategy.order();
+    if order.is_empty() {
+        return;
+    }
+    check_cross_block_cycles(rules, &order, passes, out);
+    check_wasted_saturation(rules, &order, passes, out);
+}
+
+/// One functor-flow edge: a rule in an unbounded block rewriting a
+/// `from`-rooted term into a `to`-rooted term.
+struct Edge<'a> {
+    from: Symbol,
+    to: Symbol,
+    rule: &'a Rule,
+    block: &'a Block,
+}
+
+fn flow_edges<'a>(rules: &'a RuleSet, order: &[&'a Block]) -> Vec<Edge<'a>> {
+    let mut seen_blocks = HashSet::new();
+    let mut edges = Vec::new();
+    for block in order {
+        if block.limit != Limit::Infinite || !seen_blocks.insert(block.name.as_str()) {
+            continue;
+        }
+        let mut seen_rules = HashSet::new();
+        for name in &block.rules {
+            if !seen_rules.insert(name.as_str()) {
+                continue;
+            }
+            let Some(rule) = rules.get(name) else {
+                continue;
+            };
+            let (Some(from), Some(to)) = (rule.lhs.head(), rule.rhs.head()) else {
+                continue;
+            };
+            // Same-root rewrites cannot *close* a cross-functor cycle and
+            // self-cycles within one block are EDS012's territory.
+            if from != to {
+                edges.push(Edge {
+                    from,
+                    to,
+                    rule,
+                    block,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// EDS016: strongly connected functor sets whose edges span at least two
+/// distinct unbounded blocks, with at least one non-decreasing rule on
+/// the cycle, under a sequence that revisits blocks (`passes >= 2`).
+fn check_cross_block_cycles(
+    rules: &RuleSet,
+    order: &[&Block],
+    passes: u64,
+    out: &mut Vec<Diagnostic>,
+) {
+    if passes < 2 {
+        // A single pass runs each block once in order; a functor pushed
+        // "back" to an earlier block's territory is never revisited.
+        return;
+    }
+    let edges = flow_edges(rules, order);
+    if edges.is_empty() {
+        return;
+    }
+
+    // Mutual reachability over a graph this small is cheapest as BFS from
+    // every node.
+    let mut adj: HashMap<Symbol, Vec<Symbol>> = HashMap::new();
+    let mut nodes: Vec<Symbol> = Vec::new();
+    for e in &edges {
+        for n in [e.from, e.to] {
+            if !nodes.contains(&n) {
+                nodes.push(n);
+            }
+        }
+        adj.entry(e.from).or_default().push(e.to);
+    }
+    let reach = |start: Symbol| -> HashSet<Symbol> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for &m in adj.get(&n).into_iter().flatten() {
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        seen
+    };
+    let reachable: HashMap<Symbol, HashSet<Symbol>> =
+        nodes.iter().map(|&n| (n, reach(n))).collect();
+
+    // Group nodes into cycles: u and v share one iff each reaches the
+    // other; a node on no cycle does not even reach itself.
+    let mut assigned: HashSet<Symbol> = HashSet::new();
+    for &n in &nodes {
+        if assigned.contains(&n) || !reachable[&n].contains(&n) {
+            continue;
+        }
+        let scc: Vec<Symbol> = nodes
+            .iter()
+            .copied()
+            .filter(|&m| reachable[&n].contains(&m) && reachable[&m].contains(&n))
+            .collect();
+        assigned.extend(scc.iter().copied());
+        let in_scc = |s: Symbol| scc.contains(&s);
+        let cycle_edges: Vec<&Edge> = edges
+            .iter()
+            .filter(|e| in_scc(e.from) && in_scc(e.to))
+            .collect();
+        let mut block_names: Vec<&str> =
+            cycle_edges.iter().map(|e| e.block.name.as_str()).collect();
+        block_names.sort_unstable();
+        block_names.dedup();
+        if block_names.len() < 2 || cycle_edges.iter().all(|e| e.rule.is_decreasing()) {
+            // Entirely inside one block (EDS012's job), or every step
+            // shrinks the term so the cycle burns itself out.
+            continue;
+        }
+        let functors = scc
+            .iter()
+            .map(Symbol::to_string)
+            .collect::<Vec<_>>()
+            .join(" <-> ");
+        let passes_txt = if passes == u64::MAX {
+            "INF".to_owned()
+        } else {
+            passes.to_string()
+        };
+        for e in &cycle_edges {
+            out.push(
+                Diagnostic::new(
+                    "EDS016",
+                    Severity::Warning,
+                    "rule",
+                    format!(
+                        "rule {} rewrites {} into {}, closing a rewrite cycle over {{{functors}}} \
+                         that spans the unbounded blocks {{{}}} across {passes_txt} passes; no \
+                         single block sees the whole cycle (EDS012 cannot fire) and the sequence \
+                         can ping-pong until pass exhaustion — give the blocks finite limits",
+                        e.rule.name,
+                        e.from,
+                        e.to,
+                        block_names.join(", "),
+                    ),
+                )
+                .for_rule(&e.rule.name)
+                .in_block(&e.block.name)
+                .suggest(finite_limit_fix(e.block)),
+            );
+        }
+    }
+}
+
+/// The stock EDS010/EDS016 remediation: rewrite the block with a finite
+/// condition-check budget.
+pub(crate) fn finite_limit_fix(block: &Block) -> Fix {
+    let bounded = Block {
+        name: block.name.clone(),
+        rules: block.rules.clone(),
+        limit: Limit::Finite(100),
+    };
+    Fix {
+        description: format!("replace block {}'s INF limit with 100", block.name),
+        target: FixTarget::Block(block.name.clone()),
+        replacement: format!("{bounded} ;"),
+    }
+}
+
+/// Every functor heading an `App` node anywhere in `t`.
+fn app_heads(t: &Term) -> HashSet<Symbol> {
+    fn walk(t: &Term, out: &mut HashSet<Symbol>) {
+        if let Term::App(h, args) = t {
+            out.insert(*h);
+            for a in args {
+                walk(a, out);
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    walk(t, &mut out);
+    out
+}
+
+/// EDS017: a rule in an unbounded block whose RHS introduces functors,
+/// none of which any rule at the same or a later sequence position (any
+/// position at all when the sequence makes a second pass) matches on.
+fn check_wasted_saturation(
+    rules: &RuleSet,
+    order: &[&Block],
+    passes: u64,
+    out: &mut Vec<Diagnostic>,
+) {
+    // LHS root functors per order position: what each block consumes.
+    let roots_at: Vec<HashSet<Symbol>> = order
+        .iter()
+        .map(|b| {
+            b.rules
+                .iter()
+                .filter_map(|n| rules.get(n))
+                .filter_map(|r| r.lhs.head())
+                .collect()
+        })
+        .collect();
+    let all_roots: HashSet<Symbol> = roots_at.iter().flatten().copied().collect();
+
+    let mut reported: HashSet<(&str, &str)> = HashSet::new();
+    for (p, block) in order.iter().enumerate() {
+        if block.limit != Limit::Infinite {
+            continue;
+        }
+        let consumers: HashSet<Symbol> = if passes >= 2 {
+            all_roots.clone()
+        } else {
+            roots_at[p..].iter().flatten().copied().collect()
+        };
+        for name in &block.rules {
+            let Some(rule) = rules.get(name) else {
+                continue;
+            };
+            let produced = app_heads(&rule.rhs);
+            if produced.is_empty() {
+                continue;
+            }
+            let introduced: Vec<Symbol> = {
+                let lhs_heads = app_heads(&rule.lhs);
+                let mut v: Vec<Symbol> = produced.difference(&lhs_heads).copied().collect();
+                v.sort_unstable_by_key(Symbol::to_string);
+                v
+            };
+            if introduced.is_empty() || !produced.is_disjoint(&consumers) {
+                continue;
+            }
+            if reported.insert((name.as_str(), block.name.as_str())) {
+                let names = introduced
+                    .iter()
+                    .map(Symbol::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push(
+                    Diagnostic::new(
+                        "EDS017",
+                        Severity::Warning,
+                        "rhs",
+                        format!(
+                            "rule introduces functor(s) {{{names}}} but no rule anywhere later \
+                             in the sequence matches on any functor its RHS produces; running \
+                             block {} to saturation (limit INF) is wasted work",
+                            block.name
+                        ),
+                    )
+                    .for_rule(&rule.name)
+                    .in_block(&block.name),
+                );
+            }
+        }
+    }
+}

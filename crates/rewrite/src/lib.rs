@@ -49,8 +49,11 @@ pub mod analyze;
 pub mod dsl;
 pub mod engine;
 pub mod error;
+pub mod fixes;
+mod flow;
 pub mod matching;
 pub mod methods;
+mod overlap;
 pub mod rule;
 pub mod strategy;
 pub mod symbol;
@@ -58,9 +61,10 @@ pub mod term;
 pub mod trace;
 
 pub use analyze::{analyze, analyze_rule, analyze_strategy, Diagnostic, SchemaProvider, Severity};
-pub use dsl::{parse_source, parse_term, SourceItem};
+pub use dsl::{parse_source, parse_source_spanned, parse_term, SourceItem, Span, SpannedItem};
 pub use engine::{apply_rule_once, Application, RewriteStats};
 pub use error::{RewriteError, RwResult};
+pub use fixes::{apply_fixes, Fix, FixOutcome, FixTarget};
 pub use matching::{all_matches, find_match, match_term, Control};
 pub use methods::{
     eval_constraint, eval_value, is_constant_term, normalize_builtins, resolve, BasicEnv,

@@ -1,0 +1,326 @@
+//! Critical-pair overlap detection inside unbounded blocks (`EDS018`).
+//!
+//! Two rules of the same saturating block *overlap* when one rule's LHS
+//! unifies with a non-variable position of the other's LHS: the unified
+//! term (the *peak*) can be rewritten two different ways, and which way
+//! the engine picks depends on rule order and traversal order. The pair
+//! is only worth a warning when the two reducts are *divergent* — not
+//! syntactically equal and not joinable by normalizing both sides with
+//! every pure rule of the knowledge base (a bounded, global joinability
+//! oracle in the spirit of Knuth–Bendix completion, minus completion).
+//!
+//! Scope limits, documented in DESIGN.md §4: only pure rules (no
+//! constraints, no method calls) participate, rules mentioning segment
+//! variables are skipped (unification is syntactic first-order), a rule's
+//! overlap with itself at the root is ignored (trivially joinable), and
+//! the joinability normalizer runs under a finite budget so detection
+//! errs toward reporting.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::analyze::{Diagnostic, Severity};
+use crate::methods::{BasicEnv, MethodRegistry};
+use crate::rule::Rule;
+use crate::strategy::{apply_block, Block, Limit, RuleSet, Strategy};
+use crate::symbol::Symbol;
+use crate::term::Term;
+
+/// Condition-check budget for the joinability normalizer. One unit buys
+/// one rule-match *attempt* (not one rewrite), so a knowledge base with
+/// R pure rules spends R per sweep; 4096 funds dozens of sweeps over
+/// critical-pair-sized terms while still bounding a diverging normalizer.
+const JOIN_BUDGET: u64 = 4096;
+
+/// EDS018 over every unbounded block of the strategy.
+pub(crate) fn check_overlaps(
+    rules: &RuleSet,
+    strategy: &Strategy,
+    methods: &MethodRegistry,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Joinability oracle: normalize with *all* pure rules of the whole
+    // knowledge base, not just the block under scrutiny — a peak whose
+    // two reducts meet after a later block's cleanup step is confluent
+    // for the strategy as a whole.
+    let norm_names: Vec<String> = rules
+        .iter()
+        .filter(|r| is_pure(r))
+        .map(|r| r.name.clone())
+        .collect();
+    let norm_block = Block {
+        name: "<joinability>".to_owned(),
+        rules: norm_names,
+        limit: Limit::Finite(JOIN_BUDGET),
+    };
+    let env = BasicEnv::new();
+    // The engine refuses results carrying unbound variables (its subjects
+    // are ground queries), so symbolic reducts are normalized with their
+    // variables frozen to marked atoms and thawed afterwards: pattern
+    // matching treats an opaque atom and a subject variable identically.
+    let normalize = |t: &Term| -> Term {
+        let frozen = freeze_vars(t);
+        let done = match apply_block(rules, &norm_block, methods, &env, frozen.clone(), false) {
+            Ok(o) => o.term,
+            Err(_) => frozen,
+        };
+        thaw_vars(&done)
+    };
+
+    let mut seen_blocks: HashSet<&str> = HashSet::new();
+    let mut emitted: HashSet<(String, String, String)> = HashSet::new();
+    for block in strategy.blocks() {
+        if block.limit != Limit::Infinite || !seen_blocks.insert(block.name.as_str()) {
+            continue;
+        }
+        let mut participants: Vec<&Rule> = Vec::new();
+        for name in &block.rules {
+            let Some(rule) = rules.get(name) else {
+                continue;
+            };
+            if is_pure(rule)
+                && !has_seq_var(&rule.lhs)
+                && !has_seq_var(&rule.rhs)
+                && !participants.iter().any(|r| r.name == rule.name)
+            {
+                participants.push(rule);
+            }
+        }
+        for (i, a) in participants.iter().enumerate() {
+            for (j, b) in participants.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for path in b.lhs.positions() {
+                    // Root overlaps are symmetric; visit them once per
+                    // unordered pair. Proper subterm overlaps depend on
+                    // which rule is inner, so both orders run.
+                    if path.is_empty() && i > j {
+                        continue;
+                    }
+                    if !b.lhs.at(&path).is_some_and(|t| matches!(t, Term::App(..))) {
+                        continue;
+                    }
+                    let Some((peak, inner, outer)) = critical_pair(a, b, &path) else {
+                        continue;
+                    };
+                    if inner == outer || normalize(&inner) == normalize(&outer) {
+                        continue;
+                    }
+                    let (first, second) =
+                        if block_position(block, &a.name) <= block_position(block, &b.name) {
+                            (a, b)
+                        } else {
+                            (b, a)
+                        };
+                    let key = (block.name.clone(), first.name.clone(), second.name.clone());
+                    if !emitted.insert(key) {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(
+                            "EDS018",
+                            Severity::Warning,
+                            "lhs",
+                            format!(
+                                "rules {} and {} overlap on the term {peak} in block {} and \
+                                 their reducts stay different after normalization ({} vs {}); \
+                                 the rewrite result depends on rule order — make the pair \
+                                 confluent or split the block",
+                                a.name,
+                                b.name,
+                                block.name,
+                                normalize(&inner),
+                                normalize(&outer),
+                            ),
+                        )
+                        .for_rule(&first.name)
+                        .in_block(&block.name),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Marker prefix for frozen variables; `\u{1}` cannot be lexed, so no
+/// user atom can collide.
+const FREEZE_PREFIX: &str = "\u{1}o";
+
+fn freeze_vars(t: &Term) -> Term {
+    match t {
+        Term::Var(v) => Term::atom(format!("{FREEZE_PREFIX}{v}")),
+        Term::App(h, args) => {
+            let frozen: Vec<Term> = args.iter().map(freeze_vars).collect();
+            Term::App(*h, frozen.into())
+        }
+        _ => t.clone(),
+    }
+}
+
+fn thaw_vars(t: &Term) -> Term {
+    match t {
+        Term::App(h, args) if args.is_empty() => match h.as_str().strip_prefix(FREEZE_PREFIX) {
+            Some(name) => Term::var(name),
+            None => t.clone(),
+        },
+        Term::App(h, args) => {
+            let thawed: Vec<Term> = args.iter().map(thaw_vars).collect();
+            Term::App(*h, thawed.into())
+        }
+        _ => t.clone(),
+    }
+}
+
+fn is_pure(r: &Rule) -> bool {
+    r.constraints.is_empty() && r.methods.is_empty()
+}
+
+fn has_seq_var(t: &Term) -> bool {
+    match t {
+        Term::SeqVar(_) => true,
+        Term::App(_, args) => args.iter().any(has_seq_var),
+        _ => false,
+    }
+}
+
+fn block_position(block: &Block, rule: &str) -> usize {
+    block
+        .rules
+        .iter()
+        .position(|n| n == rule)
+        .unwrap_or(usize::MAX)
+}
+
+/// The critical pair of `a` overlapping `b` at `path` inside `b.lhs`:
+/// `(peak, inner_reduct, outer_reduct)`, or `None` when the patterns do
+/// not unify there. `a`'s variables are renamed apart first.
+fn critical_pair(a: &Rule, b: &Rule, path: &[usize]) -> Option<(Term, Term, Term)> {
+    let la = rename_vars(&a.lhs);
+    let ra = rename_vars(&a.rhs);
+    let sub = b.lhs.at(path)?;
+    let mut subst = Subst::new();
+    if !unify(&la, sub, &mut subst) {
+        return None;
+    }
+    let peak = substitute(&b.lhs, &subst);
+    let inner = substitute(&b.lhs.replace_at(path, ra), &subst);
+    let outer = substitute(&b.rhs, &subst);
+    Some((peak, inner, outer))
+}
+
+/// Rename every variable `v` to `v\u{2}` so the two rules of a pair never
+/// share a name accidentally.
+fn rename_vars(t: &Term) -> Term {
+    match t {
+        Term::Var(v) => Term::var(format!("{v}\u{2}")),
+        Term::App(h, args) => {
+            let renamed: Vec<Term> = args.iter().map(rename_vars).collect();
+            Term::App(*h, renamed.into())
+        }
+        _ => t.clone(),
+    }
+}
+
+type Subst = HashMap<Symbol, Term>;
+
+/// Chase a variable through the substitution to its representative.
+fn resolve<'a>(t: &'a Term, s: &'a Subst) -> &'a Term {
+    let mut cur = t;
+    while let Term::Var(v) = cur {
+        match s.get(v) {
+            Some(next) => cur = next,
+            None => break,
+        }
+    }
+    cur
+}
+
+fn occurs(v: Symbol, t: &Term, s: &Subst) -> bool {
+    match resolve(t, s) {
+        Term::Var(w) => *w == v,
+        Term::App(_, args) => args.iter().any(|a| occurs(v, a, s)),
+        _ => false,
+    }
+}
+
+/// Syntactic first-order unification with occurs check. Sequence
+/// variables make unification fail outright: participants are filtered
+/// before this runs, but a `SeqVar` can still surface through resolution.
+fn unify(a: &Term, b: &Term, s: &mut Subst) -> bool {
+    let (ra, rb) = (resolve(a, s).clone(), resolve(b, s).clone());
+    match (&ra, &rb) {
+        (Term::Var(x), Term::Var(y)) if x == y => true,
+        (Term::Var(x), t) | (t, Term::Var(x)) => {
+            if occurs(*x, t, s) {
+                return false;
+            }
+            s.insert(*x, t.clone());
+            true
+        }
+        (Term::Const(x), Term::Const(y)) => x == y,
+        (Term::App(h1, a1), Term::App(h2, a2)) => {
+            h1 == h2
+                && a1.len() == a2.len()
+                && a1.iter().zip(a2.iter()).all(|(x, y)| unify(x, y, s))
+        }
+        _ => false,
+    }
+}
+
+/// Deep-apply the substitution (resolving chains) to a term.
+fn substitute(t: &Term, s: &Subst) -> Term {
+    let r = resolve(t, s);
+    match r {
+        Term::App(h, args) => {
+            let subbed: Vec<Term> = args.iter().map(|a| substitute(a, s)).collect();
+            Term::App(*h, subbed.into())
+        }
+        _ => r.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(src: &str) -> Rule {
+        match crate::dsl::parse_source(src).unwrap().remove(0) {
+            crate::dsl::SourceItem::Rule(r) => r,
+            _ => panic!("not a rule"),
+        }
+    }
+
+    #[test]
+    fn unification_binds_both_sides_and_occurs_checks() {
+        let mut s = Subst::new();
+        let a = Term::app("F", vec![Term::var("x"), Term::atom("A")]);
+        let b = Term::app("F", vec![Term::atom("B"), Term::var("y")]);
+        assert!(unify(&a, &b, &mut s));
+        assert_eq!(substitute(&a, &s), substitute(&b, &s));
+
+        let mut s = Subst::new();
+        let cyclic = Term::app("F", vec![Term::var("x")]);
+        assert!(!unify(&Term::var("x"), &cyclic, &mut s));
+    }
+
+    #[test]
+    fn critical_pair_at_root_instantiates_both_rhss() {
+        let a = rule("A : F(x, A) / --> x / ;");
+        let b = rule("B : F(B, y) / --> y / ;");
+        let (peak, inner, outer) = critical_pair(&a, &b, &[]).unwrap();
+        assert_eq!(peak, Term::app("F", vec![Term::atom("B"), Term::atom("A")]));
+        assert_eq!(inner, Term::atom("B"));
+        assert_eq!(outer, Term::atom("A"));
+    }
+
+    #[test]
+    fn critical_pair_below_root_wraps_the_inner_reduct() {
+        let inner_rule = rule("I : G(y) / --> y / ;");
+        let outer_rule = rule("O : F(G(x)) / --> x / ;");
+        let (peak, inner, outer) = critical_pair(&inner_rule, &outer_rule, &[0]).unwrap();
+        assert!(peak.is_app("F"));
+        // Inner reduct: F(G(x)) with the inner redex G(x) collapsed to
+        // its argument, i.e. one F-wrapper around the outer reduct.
+        assert_eq!(inner, Term::app("F", vec![outer]));
+    }
+}

@@ -48,6 +48,15 @@ impl Limit {
     }
 }
 
+impl std::fmt::Display for Limit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Limit::Finite(n) => write!(f, "{n}"),
+            Limit::Infinite => write!(f, "INF"),
+        }
+    }
+}
+
 /// A named block of rules with its application limit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {
@@ -57,6 +66,22 @@ pub struct Block {
     pub rules: Vec<String>,
     /// Condition-check budget.
     pub limit: Limit,
+}
+
+impl std::fmt::Display for Block {
+    /// Renders in the concrete syntax of Figure 6 minus the trailing `;`,
+    /// so `format!("{block} ;")` reparses — the autofix engine relies on
+    /// this to regenerate block definitions.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "block({}, {{", self.name)?;
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}, {})", self.limit)
+    }
 }
 
 /// The meta-rule ordering blocks: run `blocks` in sequence, `passes`
@@ -211,7 +236,7 @@ impl Strategy {
     }
 
     /// The effective block execution order.
-    fn order(&self) -> (Vec<&Block>, u64) {
+    pub(crate) fn order(&self) -> (Vec<&Block>, u64) {
         match &self.sequence {
             Some(seq) => (
                 seq.blocks.iter().filter_map(|n| self.block(n)).collect(),

@@ -254,6 +254,232 @@ fn eds015_in_range_references_are_clean() {
     );
 }
 
+// ---------------------------------------------- whole-strategy checks
+
+/// The canonical cross-block ping-pong: each half of the A<->B cycle
+/// lives in its own unbounded block, so the per-block EDS012 check finds
+/// nothing, while the functor-flow graph over the whole sequence does.
+const PING_PONG_SPLIT: &str = "AtoB : A(x) / --> B(x) / ;\n\
+     BtoA : B(x) / --> A(x) / ;\n\
+     block(first, {AtoB}, INF) ;\n\
+     block(second, {BtoA}, INF) ;\n\
+     seq((first, second), 2) ;";
+
+#[test]
+fn eds016_cross_block_cycle_over_two_unbounded_blocks() {
+    expect(
+        PING_PONG_SPLIT,
+        &[("EDS016", Severity::Warning), ("EDS016", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds016_catches_the_split_cycle_eds012_cannot_see() {
+    // Same two rules. Merged into one block: EDS012 territory, EDS016
+    // silent. Split across blocks: EDS012 structurally blind, EDS016
+    // fires. The two checks partition the cycle space between them.
+    let merged = "AtoB : A(x) / --> B(x) / ;\n\
+         BtoA : B(x) / --> A(x) / ;\n\
+         block(both, {AtoB, BtoA}, INF) ;\n\
+         seq((both), 2) ;";
+    let merged_codes: Vec<&str> = lint(merged).iter().map(|d| d.code).collect();
+    assert!(merged_codes.contains(&"EDS012") && !merged_codes.contains(&"EDS016"));
+    let split_codes: Vec<&str> = lint(PING_PONG_SPLIT).iter().map(|d| d.code).collect();
+    assert!(split_codes.contains(&"EDS016") && !split_codes.contains(&"EDS012"));
+}
+
+#[test]
+fn eds016_not_reported_when_one_block_is_bounded() {
+    expect(
+        "AtoB : A(x) / --> B(x) / ;\n\
+         BtoA : B(x) / --> A(x) / ;\n\
+         block(first, {AtoB}, INF) ;\n\
+         block(second, {BtoA}, 50) ;\n\
+         seq((first, second), 2) ;",
+        &[],
+    );
+}
+
+#[test]
+fn eds016_not_reported_for_a_single_pass() {
+    // One pass cannot ping-pong: the sequence never returns to the first
+    // block. What remains is the tail block saturating on a functor no
+    // later position consumes — EDS017's finding, not EDS016's.
+    expect(
+        "AtoB : A(x) / --> B(x) / ;\n\
+         BtoA : B(x) / --> A(x) / ;\n\
+         block(first, {AtoB}, INF) ;\n\
+         block(second, {BtoA}, INF) ;\n\
+         seq((first, second), 1) ;",
+        &[("EDS017", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds017_saturating_block_whose_output_nothing_consumes() {
+    expect(
+        "Produce : A(x) / --> ORPHAN(x) / ;\n\
+         Consume : B(G(x)) / --> x / ;\n\
+         block(p, {Produce}, INF) ;\n\
+         block(c, {Consume}, INF) ;\n\
+         seq((p, c), 1) ;",
+        &[("EDS017", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds017_not_reported_when_a_later_block_matches_the_output() {
+    expect(
+        "Produce : A(x) / --> ORPHAN(x) / ;\n\
+         Consume : ORPHAN(x) / --> x / ;\n\
+         block(p, {Produce}, INF) ;\n\
+         block(c, {Consume}, INF) ;\n\
+         seq((p, c), 1) ;",
+        &[],
+    );
+}
+
+#[test]
+fn eds018_root_overlap_with_divergent_reducts() {
+    // F(B, A) rewrites to B under First and to A under Second; neither
+    // reduct rewrites further, so the result is rule-order-dependent.
+    expect(
+        "First : F(x, A) / --> x / ;\n\
+         Second : F(B, y) / --> y / ;\n\
+         block(amb, {First, Second}, INF) ;",
+        &[("EDS018", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds018_subterm_overlap_with_divergent_reducts() {
+    // The peak F(G(x)) reduces to F(x) via Inner inside, to x via Outer
+    // at the root, and the two never meet.
+    expect(
+        "Inner : G(y) / --> y / ;\n\
+         Outer : F(G(x)) / --> x / ;\n\
+         block(o, {Inner, Outer}, INF) ;",
+        &[("EDS018", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds018_not_reported_when_reducts_are_equal() {
+    // Both rules send the peak AND2(T, T) to T.
+    expect(
+        "AT : AND2(f, T) / --> f / ;\n\
+         BT : AND2(T, f) / --> f / ;\n\
+         block(j, {AT, BT}, INF) ;",
+        &[],
+    );
+}
+
+#[test]
+fn eds018_not_reported_when_reducts_join_after_normalization() {
+    // The Drop-inside-Wrap peak N(C(f, T)) yields N(f) inside and
+    // D(f, T) outside; only the SinkD cleanup step joins them, so the
+    // joinability oracle must normalize with the whole rule base.
+    expect(
+        "Wrap : N(C(f, g)) / --> D(f, g) / ;\n\
+         Drop : C(f, T) / --> f / ;\n\
+         SimpT : N(T) / --> T / ;\n\
+         SinkD : D(f, T) / --> N(f) / ;\n\
+         block(n, {Wrap, Drop, SimpT, SinkD}, INF) ;",
+        &[],
+    );
+}
+
+#[test]
+fn eds019_numerically_contradictory_constraints() {
+    expect(
+        "Dead : F(x, y) / x > 5, x < 3 --> TRUE / ;",
+        &[("EDS019", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds019_conflicting_equalities() {
+    expect(
+        "DeadEq : F(x) / x = 1, x = 2 --> x / ;",
+        &[("EDS019", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds019_symbolically_contradictory_pair() {
+    expect(
+        "Dead2 : F(x, y) / x < y, y < x --> TRUE / ;",
+        &[("EDS019", Severity::Error)],
+    );
+}
+
+#[test]
+fn eds019_satisfiable_interval_is_clean() {
+    expect("Live : F(x) / x > 3, x < 5 --> x / ;", &[]);
+}
+
+#[test]
+fn eds020_rule_in_no_block() {
+    expect(
+        "Used : F(x) / --> x / ;\n\
+         Orphan : G(x) / --> x / ;\n\
+         block(b, {Used}, 5) ;",
+        &[("EDS020", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds020_silent_when_no_blocks_exist_at_all() {
+    // A bare rule file (no strategy yet) is a legitimate intermediate
+    // state; every rule being blockless is not worth a warning storm.
+    expect("Loose : F(x) / --> x / ;", &[]);
+}
+
+#[test]
+fn eds021_constraint_implied_by_an_earlier_one() {
+    expect(
+        "Redundant : F(x) / x > 5, x > 3 --> x / ;",
+        &[("EDS021", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds021_tautological_constraint() {
+    expect(
+        "Taut : F(x) / x = x --> x / ;",
+        &[("EDS021", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds021_strictly_tightening_constraints_are_clean() {
+    expect("Tight : F(x) / x > 3, x > 5 --> x / ;", &[]);
+}
+
+#[test]
+fn eds011_constraint_aware_subsumption() {
+    // General's guard x > 0 is provably weaker than Specific's z > 5
+    // under the match x |-> z, so Specific can never fire.
+    expect(
+        "General : F(x) / x > 0 --> TRUE / ;\n\
+         Specific : F(z) / z > 5 --> FALSE / ;\n\
+         block(s, {General, Specific}, 5) ;",
+        &[("EDS011", Severity::Warning)],
+    );
+}
+
+#[test]
+fn eds011_stronger_earlier_constraint_does_not_subsume() {
+    // Here the earlier rule's guard x > 5 is *stronger* than z > 0:
+    // terms with 0 < z <= 5 still reach Specific.
+    expect(
+        "General : F(x) / x > 5 --> TRUE / ;\n\
+         Specific : F(z) / z > 0 --> FALSE / ;\n\
+         block(s, {General, Specific}, 5) ;",
+        &[],
+    );
+}
+
 #[test]
 fn fixtures_cover_at_least_ten_distinct_codes() {
     // The registration path pins EDS008 separately (core crate); the
@@ -276,6 +502,15 @@ fn fixtures_cover_at_least_ten_distinct_codes() {
         "Bad : FILTER(r) / --> r / ;",
         "Bad : FILTER(GHOSTREL, f) / --> GHOSTREL / ;",
         "Bad : SEARCH(LIST(EMP), 1.9 = 2.1, LIST(1.1)) / --> TRUE / ;",
+        PING_PONG_SPLIT,
+        "Produce : A(x) / --> ORPHAN(x) / ;\nblock(p, {Produce}, INF) ;\n\
+         seq((p), 1) ;",
+        "First : F(x, A) / --> x / ;\nSecond : F(B, y) / --> y / ;\n\
+         block(amb, {First, Second}, INF) ;",
+        "Dead : F(x, y) / x > 5, x < 3 --> TRUE / ;",
+        "Used : F(x) / --> x / ;\nOrphan : G(x) / --> x / ;\n\
+         block(b, {Used}, 5) ;",
+        "Taut : F(x) / x = x --> x / ;",
     ];
     let mut codes: Vec<&str> = sources
         .iter()
@@ -285,7 +520,7 @@ fn fixtures_cover_at_least_ten_distinct_codes() {
     codes.sort_unstable();
     codes.dedup();
     assert!(
-        codes.len() >= 10,
+        codes.len() >= 16,
         "only {} distinct codes covered: {codes:?}",
         codes.len()
     );

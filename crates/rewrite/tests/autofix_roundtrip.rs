@@ -1,0 +1,133 @@
+//! Autofix round-trips: for every diagnostic that carries a suggestion,
+//! applying fixes until a pass changes nothing must (1) eliminate the
+//! diagnostic that suggested them, (2) introduce no new *errors*, and
+//! (3) be idempotent — one more pass applies zero fixes. This is the
+//! in-process contract behind `eds-lint --fix` and `--fix --check`.
+
+use eds_rewrite::analyze::analyze;
+use eds_rewrite::{
+    apply_fixes, parse_source, Diagnostic, MethodRegistry, RuleSet, SourceItem, Strategy,
+};
+
+fn lint(src: &str) -> Vec<Diagnostic> {
+    let mut rules = RuleSet::new();
+    let mut strategy = Strategy::new();
+    for item in parse_source(src).expect("fixture must parse") {
+        match item {
+            SourceItem::Rule(r) => {
+                rules.add(r);
+            }
+            SourceItem::Block(b) => strategy.add_block(b),
+            SourceItem::Seq(s) => strategy.set_sequence(s),
+        }
+    }
+    analyze(&rules, &strategy, &MethodRegistry::with_builtins(), None)
+}
+
+/// Apply fix passes to convergence (bounded), then check the contract.
+fn roundtrip(src: &str, code: &str) -> String {
+    let before = lint(src);
+    assert!(
+        before
+            .iter()
+            .any(|d| d.code == code && !d.suggestions.is_empty()),
+        "fixture must produce a fixable {code}, got: {before:#?}"
+    );
+    let error_count = |diags: &[Diagnostic]| {
+        diags
+            .iter()
+            .filter(|d| d.severity == eds_rewrite::Severity::Error)
+            .count()
+    };
+    let mut text = src.to_owned();
+    for _ in 0..8 {
+        let out = apply_fixes(&text, &lint(&text)).expect("fixed source must parse");
+        if out.applied == 0 {
+            break;
+        }
+        text = out.text;
+    }
+    let after = lint(&text);
+    assert!(
+        after.iter().all(|d| d.code != code),
+        "{code} must be gone after fixing, still have: {after:#?}\nsource now:\n{text}"
+    );
+    assert!(
+        error_count(&after) <= error_count(&before),
+        "fixing must not mint new errors: {after:#?}"
+    );
+    let again = apply_fixes(&text, &after).expect("converged source must parse");
+    assert_eq!(again.applied, 0, "fixing must be idempotent");
+    assert_eq!(again.text, text);
+    text
+}
+
+#[test]
+fn eds001_unbound_rhs_variable_bound_via_method() {
+    let fixed = roundtrip("R : F(x) / --> G(x, ghost) / ;", "EDS001");
+    assert!(
+        fixed.contains("EVALUATE"),
+        "fix binds the variable: {fixed}"
+    );
+}
+
+#[test]
+fn eds010_growing_rule_gets_a_finite_limit() {
+    let fixed = roundtrip(
+        "Grow : A(x) / --> B(A(x), A(x)) / ;\nblock(g, {Grow}, INF) ;",
+        "EDS010",
+    );
+    assert!(fixed.contains("block(g, {Grow}, 100) ;"), "got: {fixed}");
+}
+
+#[test]
+fn eds011_shadowed_rule_removed_from_the_block() {
+    let fixed = roundtrip(
+        "General : F(x) / --> x / ;\n\
+         Specific : F(G(y)) / --> y / ;\n\
+         block(s, {General, Specific}, 5) ;",
+        "EDS011",
+    );
+    assert!(fixed.contains("block(s, {General}, 5) ;"), "got: {fixed}");
+}
+
+#[test]
+fn eds011_duplicate_listing_deduplicated() {
+    let fixed = roundtrip(
+        "Once : F(x) / --> x / ;\nblock(b, {Once, Once}, 5) ;",
+        "EDS011",
+    );
+    assert!(fixed.contains("block(b, {Once}, 5) ;"), "got: {fixed}");
+}
+
+#[test]
+fn eds016_cross_block_cycle_bounded_on_both_sides() {
+    let fixed = roundtrip(
+        "AtoB : A(x) / --> B(x) / ;\n\
+         BtoA : B(x) / --> A(x) / ;\n\
+         block(first, {AtoB}, INF) ;\n\
+         block(second, {BtoA}, INF) ;\n\
+         seq((first, second), 2) ;",
+        "EDS016",
+    );
+    assert!(
+        fixed.contains("block(first, {AtoB}, 100) ;")
+            && fixed.contains("block(second, {BtoA}, 100) ;"),
+        "both blocks must end up bounded: {fixed}"
+    );
+}
+
+#[test]
+fn eds019_unsatisfiable_rule_deleted_outright() {
+    let fixed = roundtrip("Dead : F(x, y) / x > 5, x < 3 --> TRUE / ;", "EDS019");
+    assert_eq!(fixed.trim(), "", "the dead rule is simply gone: {fixed}");
+}
+
+#[test]
+fn eds021_redundant_constraint_dropped() {
+    let fixed = roundtrip("Redundant : F(x) / x > 5, x > 3 --> x / ;", "EDS021");
+    assert!(
+        fixed.contains("x > 5") && !fixed.contains("x > 3"),
+        "the implied conjunct goes, the tight one stays: {fixed}"
+    );
+}
