@@ -17,7 +17,12 @@
 //! from the exec medians.
 //!
 //! Usage: `cargo bench -p eds-bench --bench exec && cargo run -p eds-bench
-//! --bin bench_report_exec`.
+//! --bin bench_report_exec`. With `--check-scan-scaling` the run also
+//! fails (exit 1) if any `scan*` workload scales *backwards* — a
+//! `speedup_p4` below its `speedup_p1` means adding workers made the
+//! scan slower, which the morsel scheduler's worker policy is supposed
+//! to make impossible (it falls back to one worker rather than
+//! over-partitioning).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -66,9 +71,11 @@ fn median(mut xs: Vec<f64>) -> f64 {
 }
 
 fn main() {
+    let check_scan_scaling = std::env::args().any(|a| a == "--check-scan-scaling");
     let root = workspace_root();
     let before = read_tsv(&root.join("crates/bench/baselines/before/exec.tsv"));
     let after = read_tsv(&root.join("target/bench-tsv/exec.tsv"));
+    let mut scan_violations: Vec<String> = Vec::new();
 
     // Workloads in baseline order: `<workload>/seq` in the before file.
     let workloads: Vec<String> = before
@@ -102,6 +109,9 @@ fn main() {
                 if kind == "exec" {
                     speedups_p1.push(s1);
                     speedups_p4.push(s4);
+                }
+                if w.starts_with("scan") && s4 < s1 {
+                    scan_violations.push(format!("{w}: speedup_p4 {s4:.2} < speedup_p1 {s1:.2}"));
                 }
                 let _ = write!(
                     entries,
@@ -148,4 +158,12 @@ fn main() {
     fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
     println!("wrote {}", out.display());
     print!("{json}");
+
+    if check_scan_scaling && !scan_violations.is_empty() {
+        eprintln!("scan workloads scaled backwards with more workers:");
+        for v in &scan_violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
 }

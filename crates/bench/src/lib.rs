@@ -317,6 +317,32 @@ pub fn exec_workloads() -> Vec<(&'static str, Dbms, String)> {
     ]
 }
 
+/// The morsel-scheduler workload suite: one million-row `SCAN` table
+/// shared by several queries (`(id, sql)` pairs), so the exec bench can
+/// measure the morsel executor on inputs hundreds of morsels deep. At
+/// 16 k rows a scan is ~8 morsels and scheduling overhead is visible;
+/// at 1 M rows (489 morsels) the parallel path has room to win — the
+/// crossover the `EXPERIMENTS.md` entry records. Kept separate from
+/// [`exec_workloads`], whose entries are addressed by index.
+pub fn exec_workloads_1m() -> (Dbms, Vec<(&'static str, String)>) {
+    let dbms = scan_dbms(1_000_000, 7);
+    let queries = vec![
+        (
+            "scan1m_int_filter",
+            "SELECT K FROM SCAN WHERE A > 800 AND B < 300 ;".to_owned(),
+        ),
+        (
+            "scan1m_str_filter",
+            "SELECT K FROM SCAN WHERE Tag = 'hot' ;".to_owned(),
+        ),
+        (
+            "scan1m_group_agg",
+            "SELECT G, MakeSet(K) FROM SCAN WHERE A > 900 GROUP BY G ;".to_owned(),
+        ),
+    ];
+    (dbms, queries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

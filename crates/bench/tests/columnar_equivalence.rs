@@ -30,6 +30,9 @@ fn all_configs() -> Vec<EvalOptions> {
                         join,
                         parallelism,
                         columnar,
+                        // Exercise derived/local mirrors on every
+                        // intermediate, however small.
+                        derived_mirror_min: 0,
                     });
                 }
             }

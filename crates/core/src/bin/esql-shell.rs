@@ -14,6 +14,7 @@
 //! .constraint <rule ;>  declare an integrity constraint
 //! .limit <block> <n|INF>   change a block's application limit
 //! .lint                 statically analyze the knowledge base
+//! .stats                plan-cache and parallel-executor counters
 //! .tables               list tables and views
 //! .quit                 exit
 //! ```
@@ -104,14 +105,19 @@ fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
         None => (cmd, ""),
     };
     match head {
-        ".quit" | ".exit" => return false,
+        ".quit" | ".exit" => {
+            // Join the morsel workers so the process exits cleanly.
+            eds_core::engine::shutdown_pool();
+            return false;
+        }
         ".help" => println!(
             ".help / .quit / .tables / .rules\n\
              .explain <query ;>      canonical + rewritten plan + trace\n\
              .rule <rule ;>          add an optimization rule\n\
              .constraint <rule ;>    declare an integrity constraint\n\
              .limit <block> <n|INF>  change a block's limit\n\
-             .lint                   statically analyze the knowledge base"
+             .lint                   statically analyze the knowledge base\n\
+             .stats                  plan-cache and parallel-executor counters"
         ),
         ".tables" => {
             println!("tables: {}", dbms.db.catalog.table_names().join(", "));
@@ -142,6 +148,19 @@ fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
             Ok(n) => println!("{n} constraint(s) declared."),
             Err(e) => eprintln!("error: {e}"),
         },
+        ".stats" => {
+            let pc = dbms.rewriter.plan_cache_stats();
+            println!(
+                "plan cache: {} hit(s), {} miss(es), {} eviction(s), {} invalidation(s)",
+                pc.hits, pc.misses, pc.evictions, pc.invalidations
+            );
+            let ps = dbms.parallel_stats();
+            println!(
+                "executor:   {} parallel run(s), {} morsel(s) dispatched, \
+                 {} cursor retries, last run used {} worker(s)",
+                ps.parallel_runs, ps.morsels_dispatched, ps.cursor_retries, ps.last_workers
+            );
+        }
         ".lint" => {
             let diagnostics = dbms.lint();
             for d in &diagnostics {

@@ -30,6 +30,7 @@ pub mod pipeline;
 pub mod semantic;
 
 use eds_engine::{eval_with, Database, EvalOptions, EvalStats, Relation, Row};
+pub use eds_engine::{parallel_stats, ParallelStats};
 use eds_esql::{parse_query, Stmt};
 use eds_lera::{translate_query, CostModel, Estimate, Expr, Schema, SchemaCtx};
 
@@ -239,6 +240,14 @@ impl Dbms {
     /// Evaluate a plan, returning work counters.
     pub fn run_expr_with_stats(&self, expr: &Expr) -> CoreResult<(Relation, EvalStats)> {
         Ok(eval_with(expr, &self.db, self.eval_options)?)
+    }
+
+    /// Snapshot of the morsel executor's process-wide counters —
+    /// parallel runs, morsels dispatched, cursor contention — the
+    /// execution-side companion of
+    /// [`QueryRewriter::plan_cache_stats`](pipeline::QueryRewriter::plan_cache_stats).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        parallel_stats()
     }
 
     /// Full pipeline: parse → translate → rewrite → execute.

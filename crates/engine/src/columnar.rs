@@ -54,6 +54,26 @@ impl NullBitmap {
     pub(crate) fn is_null(&self, i: usize) -> bool {
         self.any && (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
+
+    /// Whether any row is NULL at all — kernels skip their null pass
+    /// entirely on all-valid columns (the common case).
+    #[inline]
+    pub(crate) fn any(&self) -> bool {
+        self.any
+    }
+
+    /// Record row `i` as appended, growing the word vector as needed so
+    /// `is_null` never indexes out of bounds once `any` flips on.
+    fn push(&mut self, i: usize, null: bool) {
+        let w = i / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        if null {
+            self.words[w] |= 1 << (i % 64);
+            self.any = true;
+        }
+    }
 }
 
 /// One attribute of a columnar mirror. Typed variants hold the decoded
@@ -164,6 +184,84 @@ impl Column {
             Column::Spill(values) => values[i].clone(),
         }
     }
+
+    /// Would `v` fit this column's layout without changing it? NULL fits
+    /// every typed column; spill columns accept anything. Appending a
+    /// typed value to a spill column keeps it spilled (a fresh rebuild
+    /// might have chosen a typed layout for an all-NULL column, but the
+    /// mirror stays byte-identical to the row store either way — spill
+    /// is only a missed acceleration, never a correctness difference).
+    fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (Column::Spill(_), _)
+                | (Column::Int { .. }, Value::Int(_) | Value::Null)
+                | (Column::Real { .. }, Value::Real(_) | Value::Null)
+                | (Column::Bool { .. }, Value::Bool(_) | Value::Null)
+                | (Column::Str { .. }, Value::Str(_) | Value::Null)
+        )
+    }
+
+    /// Append `v` as row `i`. Callers must have checked [`Column::accepts`]
+    /// first — this is the decode pass of the same two-pass discipline
+    /// [`build_column`] uses, so a mismatch mid-row never leaves a column
+    /// half-appended.
+    fn push(&mut self, v: &Value, i: usize) {
+        match (self, v) {
+            (Column::Int { values, nulls }, Value::Int(x)) => {
+                values.push(*x);
+                nulls.push(i, false);
+            }
+            (Column::Int { values, nulls }, Value::Null) => {
+                values.push(0);
+                nulls.push(i, true);
+            }
+            (Column::Real { values, nulls }, Value::Real(x)) => {
+                values.push(x.0);
+                nulls.push(i, false);
+            }
+            (Column::Real { values, nulls }, Value::Null) => {
+                values.push(0.0);
+                nulls.push(i, true);
+            }
+            (Column::Bool { values, nulls }, Value::Bool(x)) => {
+                values.push(*x);
+                nulls.push(i, false);
+            }
+            (Column::Bool { values, nulls }, Value::Null) => {
+                values.push(false);
+                nulls.push(i, true);
+            }
+            (
+                Column::Str {
+                    ids,
+                    pool,
+                    lookup,
+                    nulls,
+                },
+                Value::Str(s),
+            ) => {
+                let id = match lookup.get(s.as_str()) {
+                    Some(&id) => id,
+                    None => {
+                        let id = pool.len() as u32;
+                        let interned: Arc<str> = Arc::from(s.as_str());
+                        pool.push(interned.clone());
+                        lookup.insert(interned, id);
+                        id
+                    }
+                };
+                ids.push(id);
+                nulls.push(i, false);
+            }
+            (Column::Str { ids, nulls, .. }, Value::Null) => {
+                ids.push(0);
+                nulls.push(i, true);
+            }
+            (Column::Spill(values), v) => values.push(v.clone()),
+            _ => unreachable!("accepts() admitted only matching kinds"),
+        }
+    }
 }
 
 /// A columnar mirror of a relation: one [`Column`] per attribute.
@@ -246,6 +344,27 @@ impl ColumnarRelation {
     /// Row-view: rebuild the full row at `i` (0-based).
     pub fn row(&self, i: usize) -> Row {
         self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Incrementally append one row to the mirror. Returns `false` —
+    /// leaving the mirror untouched — when the row's arity differs or
+    /// any value does not fit its column's typed layout, in which case
+    /// the caller must drop the mirror and let the next scan rebuild.
+    /// Two passes, like [`ColumnarRelation::build`]: every column is
+    /// checked before any column is touched.
+    pub(crate) fn push_row(&mut self, row: &[Value]) -> bool {
+        if row.len() != self.columns.len() {
+            return false;
+        }
+        if !self.columns.iter().zip(row).all(|(c, v)| c.accepts(v)) {
+            return false;
+        }
+        let i = self.len;
+        for (c, v) in self.columns.iter_mut().zip(row) {
+            c.push(v, i);
+        }
+        self.len += 1;
+        true
     }
 }
 

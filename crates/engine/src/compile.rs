@@ -694,105 +694,409 @@ fn mirror(op: CmpOp) -> CmpOp {
     }
 }
 
-/// Refine a selection vector with a per-row predicate. `None` means
-/// "every row in `[lo, hi)`" — the first constraining kernel
-/// materializes it, later kernels retain in place.
+/// Lanes per unrolled strip of the flag kernels. 16 `u8` flags is one
+/// SSE register / half a NEON quad-pair; LLVM turns the fixed-trip
+/// inner loops below into packed compares without any intrinsics.
+const FLAG_LANES: usize = 16;
+
+/// AND `test(vals[j])` into `flags[j]` for every lane, branchlessly:
+/// the comparison result is converted to `0`/`1` and combined with
+/// `&=`, so there is no data-dependent branch for the vectorizer to
+/// trip on. `chunks_exact` gives the compiler a fixed-trip inner loop;
+/// the remainder is handled scalar.
 #[inline]
-fn refine(sel: &mut Option<Vec<u32>>, lo: usize, hi: usize, pred: impl Fn(usize) -> bool) {
-    match sel {
-        None => *sel = Some((lo..hi).filter(|&i| pred(i)).map(|i| i as u32).collect()),
-        Some(v) => v.retain(|&i| pred(i as usize)),
+fn and_map<T: Copy>(flags: &mut [u8], vals: &[T], test: impl Fn(T) -> bool) {
+    debug_assert_eq!(flags.len(), vals.len());
+    let mut fc = flags.chunks_exact_mut(FLAG_LANES);
+    let mut vc = vals.chunks_exact(FLAG_LANES);
+    for (fs, vs) in (&mut fc).zip(&mut vc) {
+        for j in 0..FLAG_LANES {
+            fs[j] &= u8::from(test(vs[j]));
+        }
+    }
+    for (f, v) in fc.into_remainder().iter_mut().zip(vc.remainder()) {
+        *f &= u8::from(test(*v));
     }
 }
 
+/// Two-column variant of [`and_map`].
+#[inline]
+fn and_map2<A: Copy, B: Copy>(flags: &mut [u8], a: &[A], b: &[B], test: impl Fn(A, B) -> bool) {
+    debug_assert_eq!(flags.len(), a.len());
+    debug_assert_eq!(flags.len(), b.len());
+    let mut fc = flags.chunks_exact_mut(FLAG_LANES);
+    let mut ac = a.chunks_exact(FLAG_LANES);
+    let mut bc = b.chunks_exact(FLAG_LANES);
+    for ((fs, xs), ys) in (&mut fc).zip(&mut ac).zip(&mut bc) {
+        for j in 0..FLAG_LANES {
+            fs[j] &= u8::from(test(xs[j], ys[j]));
+        }
+    }
+    for ((f, x), y) in fc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *f &= u8::from(test(*x, *y));
+    }
+}
+
+/// Dispatch the comparison operator **outside** the hot loop: each arm
+/// instantiates [`and_map`] with a monomorphic branch-free test, so the
+/// loop body contains exactly one compare + one AND per lane.
+#[inline]
+fn and_cmp<T: Copy>(
+    flags: &mut [u8],
+    vals: &[T],
+    op: CmpOp,
+    ord: impl Fn(T) -> std::cmp::Ordering + Copy,
+) {
+    match op {
+        CmpOp::Eq => and_map(flags, vals, move |v| ord(v).is_eq()),
+        CmpOp::Ne => and_map(flags, vals, move |v| ord(v).is_ne()),
+        CmpOp::Lt => and_map(flags, vals, move |v| ord(v).is_lt()),
+        CmpOp::Gt => and_map(flags, vals, move |v| ord(v).is_gt()),
+        CmpOp::Le => and_map(flags, vals, move |v| ord(v).is_le()),
+        CmpOp::Ge => and_map(flags, vals, move |v| ord(v).is_ge()),
+    }
+}
+
+/// Two-column variant of [`and_cmp`].
+#[inline]
+fn and_cmp2<A: Copy, B: Copy>(
+    flags: &mut [u8],
+    a: &[A],
+    b: &[B],
+    op: CmpOp,
+    ord: impl Fn(A, B) -> std::cmp::Ordering + Copy,
+) {
+    match op {
+        CmpOp::Eq => and_map2(flags, a, b, move |x, y| ord(x, y).is_eq()),
+        CmpOp::Ne => and_map2(flags, a, b, move |x, y| ord(x, y).is_ne()),
+        CmpOp::Lt => and_map2(flags, a, b, move |x, y| ord(x, y).is_lt()),
+        CmpOp::Gt => and_map2(flags, a, b, move |x, y| ord(x, y).is_gt()),
+        CmpOp::Le => and_map2(flags, a, b, move |x, y| ord(x, y).is_le()),
+        CmpOp::Ge => and_map2(flags, a, b, move |x, y| ord(x, y).is_ge()),
+    }
+}
+
+/// Clear the flags of NULL rows. Skipped outright for all-valid columns
+/// (the common case), so fully dense data pays nothing for nullability.
+#[inline]
+fn and_not_null(flags: &mut [u8], nulls: &NullBitmap, lo: usize) {
+    if !nulls.any() {
+        return;
+    }
+    for (j, f) in flags.iter_mut().enumerate() {
+        *f &= u8::from(!nulls.is_null(lo + j));
+    }
+}
+
+/// Rows per selection strip. The flag buffer for one strip is a 1 KiB
+/// stack array that stays in L1 across every kernel pass and the final
+/// extraction, so adding a conjunct never adds a full-width pass over
+/// a heap flag vector — only over the (typed, contiguous) column data
+/// it actually reads.
+const SELECT_STRIP: usize = 1024;
+
 impl ColumnarPred<'_> {
-    /// Indices in `[lo, hi)` (ascending) whose rows satisfy every
-    /// conjunct. Infallible by construction: only conjuncts that cannot
-    /// error lower to kernels.
-    pub fn select_range(&self, lo: usize, hi: usize) -> Vec<u32> {
-        let mut sel: Option<Vec<u32>> = None;
-        for kern in &self.kernels {
-            match kern {
-                Kern::AllTrue => {}
-                Kern::NeverTrue => return Vec::new(),
-                Kern::NotNull1(n) => refine(&mut sel, lo, hi, |i| !n.is_null(i)),
-                Kern::NotNull2(an, bn) => {
-                    refine(&mut sel, lo, hi, |i| !an.is_null(i) && !bn.is_null(i));
+    /// Apply one kernel to the strip `[lo, hi)`, AND-ing its verdict
+    /// into `flags` (one byte per row of the strip).
+    fn apply(kern: &Kern<'_>, flags: &mut [u8], lo: usize, hi: usize) {
+        match kern {
+            Kern::AllTrue | Kern::NeverTrue => {}
+            Kern::NotNull1(nb) => and_not_null(flags, nb, lo),
+            Kern::NotNull2(an, bn) => {
+                and_not_null(flags, an, lo);
+                and_not_null(flags, bn, lo);
+            }
+            Kern::IntConst {
+                values,
+                nulls,
+                op,
+                k,
+            } => {
+                let k = *k;
+                and_cmp(flags, &values[lo..hi], *op, move |v: i64| v.cmp(&k));
+                and_not_null(flags, nulls, lo);
+            }
+            Kern::IntConstF {
+                values,
+                nulls,
+                op,
+                k,
+            } => {
+                let k = *k;
+                and_cmp(flags, &values[lo..hi], *op, move |v: i64| {
+                    (v as f64).total_cmp(&k)
+                });
+                and_not_null(flags, nulls, lo);
+            }
+            Kern::RealConst {
+                values,
+                nulls,
+                op,
+                k,
+            } => {
+                let k = *k;
+                and_cmp(flags, &values[lo..hi], *op, move |v: f64| v.total_cmp(&k));
+                and_not_null(flags, nulls, lo);
+            }
+            Kern::BoolConst {
+                values,
+                nulls,
+                op,
+                k,
+            } => {
+                let k = *k;
+                and_cmp(flags, &values[lo..hi], *op, move |v: bool| v.cmp(&k));
+                and_not_null(flags, nulls, lo);
+            }
+            Kern::StrPool { ids, nulls, truth } => {
+                // Pool-id truth lookup is a gather, not a vector lane:
+                // probe only rows still selected (the flag branch is
+                // all-true — perfectly predicted — when this kernel
+                // runs first).
+                for (j, f) in flags.iter_mut().enumerate() {
+                    if *f != 0 {
+                        *f = u8::from(truth[ids[lo + j] as usize]);
+                    }
                 }
-                Kern::IntConst {
-                    values,
-                    nulls,
-                    op,
-                    k,
-                } => refine(&mut sel, lo, hi, |i| {
-                    !nulls.is_null(i) && holds(*op, values[i].cmp(k))
-                }),
-                Kern::IntConstF {
-                    values,
-                    nulls,
-                    op,
-                    k,
-                } => refine(&mut sel, lo, hi, |i| {
-                    !nulls.is_null(i) && holds(*op, (values[i] as f64).total_cmp(k))
-                }),
-                Kern::RealConst {
-                    values,
-                    nulls,
-                    op,
-                    k,
-                } => refine(&mut sel, lo, hi, |i| {
-                    !nulls.is_null(i) && holds(*op, values[i].total_cmp(k))
-                }),
-                Kern::BoolConst {
-                    values,
-                    nulls,
-                    op,
-                    k,
-                } => refine(&mut sel, lo, hi, |i| {
-                    !nulls.is_null(i) && holds(*op, values[i].cmp(k))
-                }),
-                Kern::StrPool { ids, nulls, truth } => refine(&mut sel, lo, hi, |i| {
-                    !nulls.is_null(i) && truth[ids[i] as usize]
-                }),
-                Kern::IntInt { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
-                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].cmp(&b[i]))
-                }),
-                Kern::IntReal { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
-                    !an.is_null(i) && !bn.is_null(i) && holds(*op, (a[i] as f64).total_cmp(&b[i]))
-                }),
-                Kern::RealInt { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
-                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].total_cmp(&(b[i] as f64)))
-                }),
-                Kern::RealReal { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
-                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].total_cmp(&b[i]))
-                }),
-                Kern::BoolBool { a, b, an, bn, op } => refine(&mut sel, lo, hi, |i| {
-                    !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].cmp(&b[i]))
-                }),
-                Kern::StrStr {
-                    a_ids,
-                    a_pool,
-                    b_ids,
-                    b_pool,
-                    an,
-                    bn,
-                    op,
-                } => refine(&mut sel, lo, hi, |i| {
-                    !an.is_null(i)
-                        && !bn.is_null(i)
-                        && holds(
+                and_not_null(flags, nulls, lo);
+            }
+            Kern::IntInt { a, b, an, bn, op } => {
+                and_cmp2(flags, &a[lo..hi], &b[lo..hi], *op, |x: i64, y: i64| {
+                    x.cmp(&y)
+                });
+                and_not_null(flags, an, lo);
+                and_not_null(flags, bn, lo);
+            }
+            Kern::IntReal { a, b, an, bn, op } => {
+                and_cmp2(flags, &a[lo..hi], &b[lo..hi], *op, |x: i64, y: f64| {
+                    (x as f64).total_cmp(&y)
+                });
+                and_not_null(flags, an, lo);
+                and_not_null(flags, bn, lo);
+            }
+            Kern::RealInt { a, b, an, bn, op } => {
+                and_cmp2(flags, &a[lo..hi], &b[lo..hi], *op, |x: f64, y: i64| {
+                    x.total_cmp(&(y as f64))
+                });
+                and_not_null(flags, an, lo);
+                and_not_null(flags, bn, lo);
+            }
+            Kern::RealReal { a, b, an, bn, op } => {
+                and_cmp2(flags, &a[lo..hi], &b[lo..hi], *op, |x: f64, y: f64| {
+                    x.total_cmp(&y)
+                });
+                and_not_null(flags, an, lo);
+                and_not_null(flags, bn, lo);
+            }
+            Kern::BoolBool { a, b, an, bn, op } => {
+                and_cmp2(flags, &a[lo..hi], &b[lo..hi], *op, |x: bool, y: bool| {
+                    x.cmp(&y)
+                });
+                and_not_null(flags, an, lo);
+                and_not_null(flags, bn, lo);
+            }
+            Kern::StrStr {
+                a_ids,
+                a_pool,
+                b_ids,
+                b_pool,
+                an,
+                bn,
+                op,
+            } => {
+                // String payload compares are gathers too: compare only
+                // rows still selected.
+                for (j, f) in flags.iter_mut().enumerate() {
+                    if *f != 0 {
+                        let i = lo + j;
+                        *f = u8::from(holds(
                             *op,
                             a_pool[a_ids[i] as usize]
                                 .as_ref()
                                 .cmp(b_pool[b_ids[i] as usize].as_ref()),
-                        )
-                }),
-            }
-            if matches!(&sel, Some(v) if v.is_empty()) {
-                return Vec::new();
+                        ));
+                    }
+                }
+                and_not_null(flags, an, lo);
+                and_not_null(flags, bn, lo);
             }
         }
-        sel.unwrap_or_else(|| (lo..hi).map(|i| i as u32).collect())
+    }
+
+    /// Apply one kernel to a sparse (absolute-index) survivor list,
+    /// dropping rows it rejects. Operator dispatch is hoisted out of
+    /// the per-row loop exactly as in [`Self::apply`]; each arm is a
+    /// monomorphic `retain` over the (already small) index list.
+    fn retain_sparse(kern: &Kern<'_>, sel: &mut Vec<u32>) {
+        match kern {
+            Kern::AllTrue | Kern::NeverTrue => {}
+            Kern::NotNull1(nb) => sel.retain(|&i| !nb.is_null(i as usize)),
+            Kern::NotNull2(an, bn) => {
+                sel.retain(|&i| !an.is_null(i as usize) && !bn.is_null(i as usize));
+            }
+            Kern::IntConst {
+                values,
+                nulls,
+                op,
+                k,
+            } => sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.is_null(i) && holds(*op, values[i].cmp(k))
+            }),
+            Kern::IntConstF {
+                values,
+                nulls,
+                op,
+                k,
+            } => sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.is_null(i) && holds(*op, (values[i] as f64).total_cmp(k))
+            }),
+            Kern::RealConst {
+                values,
+                nulls,
+                op,
+                k,
+            } => sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.is_null(i) && holds(*op, values[i].total_cmp(k))
+            }),
+            Kern::BoolConst {
+                values,
+                nulls,
+                op,
+                k,
+            } => sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.is_null(i) && holds(*op, values[i].cmp(k))
+            }),
+            Kern::StrPool { ids, nulls, truth } => sel.retain(|&i| {
+                let i = i as usize;
+                !nulls.is_null(i) && truth[ids[i] as usize]
+            }),
+            Kern::IntInt { a, b, an, bn, op } => sel.retain(|&i| {
+                let i = i as usize;
+                !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].cmp(&b[i]))
+            }),
+            Kern::IntReal { a, b, an, bn, op } => sel.retain(|&i| {
+                let i = i as usize;
+                !an.is_null(i) && !bn.is_null(i) && holds(*op, (a[i] as f64).total_cmp(&b[i]))
+            }),
+            Kern::RealInt { a, b, an, bn, op } => sel.retain(|&i| {
+                let i = i as usize;
+                !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].total_cmp(&(b[i] as f64)))
+            }),
+            Kern::RealReal { a, b, an, bn, op } => sel.retain(|&i| {
+                let i = i as usize;
+                !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].total_cmp(&b[i]))
+            }),
+            Kern::BoolBool { a, b, an, bn, op } => sel.retain(|&i| {
+                let i = i as usize;
+                !an.is_null(i) && !bn.is_null(i) && holds(*op, a[i].cmp(&b[i]))
+            }),
+            Kern::StrStr {
+                a_ids,
+                a_pool,
+                b_ids,
+                b_pool,
+                an,
+                bn,
+                op,
+            } => sel.retain(|&i| {
+                let i = i as usize;
+                !an.is_null(i)
+                    && !bn.is_null(i)
+                    && holds(
+                        *op,
+                        a_pool[a_ids[i] as usize]
+                            .as_ref()
+                            .cmp(b_pool[b_ids[i] as usize].as_ref()),
+                    )
+            }),
+        }
+    }
+
+    /// Indices in `[lo, hi)` (ascending) whose rows satisfy every
+    /// conjunct. Infallible by construction: only conjuncts that cannot
+    /// error lower to kernels.
+    ///
+    /// Evaluation is strip-at-a-time and **adaptive**. Each
+    /// [`SELECT_STRIP`]-row strip starts on a byte-per-row selection
+    /// *flag* buffer: kernels make contiguous branchless passes AND-ing
+    /// their verdict into the flags ([`and_map`]/[`and_map2`]), so
+    /// column data streams through typed slices in strict ascending
+    /// order — the layout the compiler auto-vectorizes — while the
+    /// flag buffer lives on the stack and never leaves L1. After each
+    /// dense pass the strip's survivor count (an L1 byte sum) decides
+    /// whether to stay dense or pivot: once fewer than a quarter of the
+    /// strip survives, the survivors are extracted into a sparse index
+    /// list and the remaining kernels run as per-index gathers
+    /// ([`Self::retain_sparse`]), so a highly selective leading
+    /// conjunct — `B = 3` in front of a tail of near-vacuous range
+    /// checks, say — spares the tail its full-width passes.
+    pub fn select_range(&self, lo: usize, hi: usize) -> Vec<u32> {
+        if hi <= lo || self.kernels.iter().any(|k| matches!(k, Kern::NeverTrue)) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut flags = [1u8; SELECT_STRIP];
+        let mut sparse: Vec<u32> = Vec::new();
+        let mut strip_lo = lo;
+        while strip_lo < hi {
+            let strip_hi = (strip_lo + SELECT_STRIP).min(hi);
+            let n = strip_hi - strip_lo;
+            let f = &mut flags[..n];
+            f.fill(1);
+            let mut dense = true;
+            let mut dead = false;
+            let mut kerns = self.kernels.iter();
+            while let Some(kern) = kerns.next() {
+                if dense {
+                    Self::apply(kern, f, strip_lo, strip_hi);
+                    if kerns.len() == 0 {
+                        break;
+                    }
+                    let survivors: usize = f.iter().map(|&x| x as usize).sum();
+                    if survivors == 0 {
+                        dead = true;
+                        break;
+                    }
+                    if survivors * 4 <= n {
+                        sparse.clear();
+                        for (j, flag) in f.iter().enumerate() {
+                            if *flag != 0 {
+                                sparse.push((strip_lo + j) as u32);
+                            }
+                        }
+                        dense = false;
+                    }
+                } else {
+                    Self::retain_sparse(kern, &mut sparse);
+                    if sparse.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+            if !dead {
+                if dense {
+                    for (j, flag) in f.iter().enumerate() {
+                        if *flag != 0 {
+                            out.push((strip_lo + j) as u32);
+                        }
+                    }
+                } else {
+                    out.extend_from_slice(&sparse);
+                }
+            }
+            strip_lo = strip_hi;
+        }
+        out
     }
 }
 
@@ -808,6 +1112,25 @@ impl CompiledPred {
             kernels.push(lower_conjunct(c, cols)?);
         }
         Some(ColumnarPred { kernels })
+    }
+
+    /// Whether every conjunct has the *shape* the columnar lowering
+    /// accepts — first-input slot references and constants under a
+    /// plain comparison (or a constant `TRUE`). Used to decide whether
+    /// building a columnar mirror of a **derived** relation could pay
+    /// off before spending the build; a `true` here does not guarantee
+    /// [`CompiledPred::columnar`] succeeds (spill columns still veto),
+    /// only that the predicate shape cannot be the reason it fails.
+    pub fn columnar_eligible(&self) -> bool {
+        self.conjuncts.iter().all(|c| match c.fast.as_ref() {
+            Some(FastQual::True) => true,
+            Some(FastQual::Cmp { left, right, .. }) => {
+                let slot_or_const =
+                    |r: &FastRef| matches!(r, FastRef::Slot { rel0: 0, .. } | FastRef::Konst(_));
+                slot_or_const(left) && slot_or_const(right)
+            }
+            None => false,
+        })
     }
 }
 

@@ -22,10 +22,13 @@ pub struct Database {
     pub functions: FunctionRegistry,
     relations: HashMap<String, Relation>,
     /// Columnar mirrors of stored relations, built lazily on first
-    /// scan and invalidated by every mutation path (all of which go
-    /// through methods of this struct — `relations` is private).
-    /// `None` records "not column-friendly" so an all-spill table is
-    /// not re-scanned on every query.
+    /// scan. Every mutation path goes through methods of this struct
+    /// (`relations` is private): row [`Database::insert`] maintains an
+    /// existing mirror incrementally, while bulk/unstructured mutations
+    /// ([`Database::relation_mut`], [`Database::truncate`]) invalidate
+    /// the touched table's entry — and only that entry, so mirrors of
+    /// unrelated tables survive. `None` records "not column-friendly"
+    /// so an all-spill table is not re-scanned on every query.
     columnar: Mutex<HashMap<String, Option<Arc<ColumnarRelation>>>>,
 }
 
@@ -146,7 +149,12 @@ impl Database {
         Ok(n)
     }
 
-    /// Insert a row into a base table.
+    /// Insert a row into a base table. A cached columnar mirror of the
+    /// table is maintained incrementally — the new row's values are
+    /// appended to the typed columns in place — instead of being thrown
+    /// away. Only when a value does not fit its column's layout (or the
+    /// cached entry is stale or negative) is the entry dropped so the
+    /// next scan rebuilds from the rows.
     pub fn insert(&mut self, table: &str, row: Row) -> EngineResult<()> {
         let key = table.to_ascii_uppercase();
         let rel = self
@@ -160,8 +168,23 @@ impl Database {
                 found: row.len(),
             });
         }
+        let prev_len = rel.len();
         rel.push(row);
-        self.invalidate_columnar(&key);
+        let appended = rel.rows.last().expect("just pushed").clone();
+        let cache = self.columnar.get_mut().expect("columnar cache poisoned");
+        if let Some(entry) = cache.get_mut(&key) {
+            // A negative entry ("not column-friendly") is removed rather
+            // than kept: the new row may make the table mirror-worthy.
+            let maintained = match entry.as_mut() {
+                Some(mirror) if mirror.len() == prev_len => {
+                    Arc::make_mut(mirror).push_row(&appended)
+                }
+                _ => false,
+            };
+            if !maintained {
+                cache.remove(&key);
+            }
+        }
         Ok(())
     }
 
@@ -253,6 +276,70 @@ mod tests {
             db.insert("NOPE", vec![]),
             Err(EngineError::UnknownRelation(_))
         ));
+    }
+
+    #[test]
+    fn unrelated_tables_mirror_survives_insert() {
+        let mut db = Database::new();
+        db.execute_ddl("TABLE A (X : INT);\nTABLE B (Y : INT);")
+            .unwrap();
+        db.insert("A", vec![1.into()]).unwrap();
+        db.insert("B", vec![10.into()]).unwrap();
+        let a_before = db.columnar("A").expect("A is column-friendly");
+        db.insert("B", vec![20.into()]).unwrap();
+        // Mutating B must not disturb A's cached mirror: same Arc, not a
+        // rebuild and not a clone.
+        let a_after = db.columnar("A").expect("A still mirrored");
+        assert!(Arc::ptr_eq(&a_before, &a_after));
+    }
+
+    #[test]
+    fn insert_maintains_mirror_incrementally() {
+        let mut db = Database::new();
+        db.execute_ddl("TABLE C (X : INT, Y : INT);").unwrap();
+        db.insert("C", vec![1.into(), Value::Null]).unwrap();
+        // Column Y is all-NULL at build time, so it spills. An insert
+        // that triggered a rebuild would re-type it as Int; incremental
+        // maintenance keeps the existing layout — observable proof the
+        // mirror was appended to, not rebuilt.
+        let before = db.columnar("C").expect("X is typed");
+        assert!(!before.column_is_typed(1));
+        db.insert("C", vec![2.into(), 5.into()]).unwrap();
+        let after = db.columnar("C").expect("mirror maintained");
+        assert_eq!(after.len(), 2);
+        assert!(!after.column_is_typed(1), "rebuild happened");
+        assert_eq!(after.row(1), vec![Value::Int(2), Value::Int(5)]);
+        // NULL appends extend the bitmap of a typed column.
+        db.insert("C", vec![Value::Null, 7.into()]).unwrap();
+        let third = db.columnar("C").expect("mirror maintained");
+        assert_eq!(third.row(2), vec![Value::Null, Value::Int(7)]);
+    }
+
+    #[test]
+    fn kind_mismatch_insert_drops_mirror() {
+        let mut db = Database::new();
+        db.execute_ddl("TABLE D (X : INT);").unwrap();
+        db.insert("D", vec![1.into()]).unwrap();
+        assert!(db.columnar("D").is_some());
+        // The engine does not type-check row values against the schema,
+        // so a Str can land in an INT column; the mirror must refuse the
+        // append and fall back to a rebuild (which spills -> no mirror).
+        db.insert("D", vec![Value::str("oops")]).unwrap();
+        assert!(db.columnar("D").is_none());
+        assert_eq!(db.cardinality("D"), Some(2));
+    }
+
+    #[test]
+    fn insert_clears_negative_mirror_entry() {
+        let mut db = Database::new();
+        db.execute_ddl("TABLE E (X : INT);").unwrap();
+        // Empty table: negative entry cached.
+        assert!(db.columnar("E").is_none());
+        db.insert("E", vec![3.into()]).unwrap();
+        // The insert removed the negative entry, so the mirror can now
+        // be built.
+        let mirror = db.columnar("E").expect("rebuilt after negative entry");
+        assert_eq!(mirror.row(0), vec![Value::Int(3)]);
     }
 
     #[test]

@@ -14,10 +14,11 @@
 //!   allocations along instead of deep-copying values;
 //! * set operations use hash membership instead of quadratic scans;
 //! * scans, nested-loop enumeration and hash-join probe output are
-//!   partitioned across threads when [`EvalOptions::parallelism`] > 1
-//!   and the input is large enough to amortize thread startup.
-//!   Partitions are contiguous chunks merged in order, so results (and
-//!   result *order*) are identical to the sequential plan.
+//!   morsel-partitioned across a persistent worker pool when
+//!   [`EvalOptions::parallelism`] > 1 and the input spans more than one
+//!   morsel (see [`crate::parallel`]). Morsels are contiguous runs
+//!   merged in input order, so results (and result *order*) are
+//!   identical to the sequential plan.
 //!
 //! The original per-tuple tree-walking interpreter is preserved verbatim
 //! in [`crate::reference`] for differential testing.
@@ -58,10 +59,11 @@ pub struct EvalOptions {
     /// Search/join strategy.
     pub join: JoinMode,
     /// Worker threads for partitioned operators. `1` (the default) is
-    /// fully sequential; higher values split large scans, nested-loop
-    /// enumerations and hash-probe output into contiguous chunks
-    /// evaluated by scoped threads and merged in order, preserving both
-    /// results and result order exactly.
+    /// fully sequential; higher values let large scans, nested-loop
+    /// enumerations and hash-probe output be drained morsel-by-morsel
+    /// by the persistent worker pool (see [`crate::parallel`]) and
+    /// merged in input order, preserving both results and result order
+    /// exactly.
     pub parallelism: usize,
     /// Use columnar mirrors of stored base tables where the operator
     /// and predicate shapes allow it: Filter/Search qualifications whose
@@ -72,6 +74,15 @@ pub struct EvalOptions {
     /// identical to the row path (differential-tested); defaults to on,
     /// `EDS_COLUMNAR=0` turns it off process-wide.
     pub columnar: bool,
+    /// Minimum rows before a **derived** relation — a fixpoint
+    /// local/delta binding or any non-base operator input — gets a
+    /// columnar mirror of its own. Mirror construction is `O(rows)`, so
+    /// the gate keeps small intermediates on the row path where the
+    /// build could never pay for itself; `0` mirrors every eligible
+    /// derived input (what the differential suites use), `usize::MAX`
+    /// restricts columnar evaluation to stored base tables. Only
+    /// consulted when [`EvalOptions::columnar`] is on.
+    pub derived_mirror_min: usize,
 }
 
 /// Process-wide default for [`EvalOptions::columnar`], read once from
@@ -88,6 +99,7 @@ impl Default for EvalOptions {
             join: JoinMode::default(),
             parallelism: 1,
             columnar: env_columnar_default(),
+            derived_mirror_min: 4096,
         }
     }
 }
@@ -133,12 +145,7 @@ pub fn eval_with(
     db: &Database,
     opts: EvalOptions,
 ) -> EngineResult<(Relation, EvalStats)> {
-    let mut ctx = Ctx {
-        db,
-        opts,
-        locals: HashMap::new(),
-        stats: EvalStats::default(),
-    };
+    let mut ctx = Ctx::new(db, opts);
     let rel = eval_expr(expr, &mut ctx)?;
     Ok((rel, ctx.stats))
 }
@@ -146,12 +153,7 @@ pub fn eval_with(
 /// Evaluate a constant scalar (no attribute references) against a
 /// database — used for `INSERT ... VALUES` expressions.
 pub fn eval_const_scalar(s: &Scalar, db: &Database) -> EngineResult<Value> {
-    let ctx = Ctx {
-        db,
-        opts: EvalOptions::default(),
-        locals: HashMap::new(),
-        stats: EvalStats::default(),
-    };
+    let ctx = Ctx::new(db, EvalOptions::default());
     let bound = bind_fields(s, &[], &ctx)?;
     eval_scalar(&bound, &[], &ctx)
 }
@@ -166,9 +168,38 @@ pub struct Ctx<'a> {
     pub locals: HashMap<String, Relation>,
     /// Work counters.
     pub stats: EvalStats,
+    /// Columnar mirrors of fixpoint-local bindings, built lazily per
+    /// binding (`None` caches "not column-friendly") and dropped on
+    /// rebind via [`Ctx::bind_local`], so a stale mirror can never be
+    /// consulted.
+    pub local_mirrors: HashMap<String, Option<Arc<ColumnarRelation>>>,
 }
 
 impl Ctx<'_> {
+    /// A context over a database with no locals bound.
+    pub fn new(db: &Database, opts: EvalOptions) -> Ctx<'_> {
+        Ctx {
+            db,
+            opts,
+            locals: HashMap::new(),
+            stats: EvalStats::default(),
+            local_mirrors: HashMap::new(),
+        }
+    }
+
+    /// Bind (or rebind) a fixpoint local, invalidating any columnar
+    /// mirror of the previous binding. Returns the previous binding.
+    pub(crate) fn bind_local(&mut self, key: String, rel: Relation) -> Option<Relation> {
+        self.local_mirrors.remove(&key);
+        self.locals.insert(key, rel)
+    }
+
+    /// Remove a fixpoint local together with its mirror.
+    pub(crate) fn unbind_local(&mut self, key: &str) {
+        self.local_mirrors.remove(key);
+        self.locals.remove(key);
+    }
+
     fn schema_ctx(&self) -> SchemaCtx<'_> {
         let mut sc = SchemaCtx::new(&self.db.catalog);
         for (name, rel) in &self.locals {
@@ -178,65 +209,18 @@ impl Ctx<'_> {
     }
 }
 
-/// Minimum rows of work per spawned worker: below this, thread startup
-/// costs more than it saves.
-const PARALLEL_THRESHOLD: usize = 512;
-
-/// Worker count actually used for an input of `len` items when the
-/// caller requested `parallelism`: clamped to the machine's available
-/// parallelism (oversubscribing a saturated machine only adds scheduling
-/// overhead) and to one worker per [`PARALLEL_THRESHOLD`] items (so a
-/// spawn always has enough work to amortize itself).
-fn effective_workers(parallelism: usize, len: usize) -> usize {
-    if parallelism <= 1 || len < PARALLEL_THRESHOLD {
-        return 1;
-    }
-    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    parallelism.min(hw).min(len / PARALLEL_THRESHOLD).max(1)
-}
-
-/// Run `f` over contiguous chunks of `items`, one chunk per effective
-/// worker, and return the per-chunk results in chunk order. Errors
-/// surface in chunk order, matching what a sequential left-to-right
-/// evaluation would report first.
+/// Run `f` over morsel-sized contiguous sub-slices of `items` on the
+/// persistent worker pool, returning per-morsel results in input order.
+/// Errors surface in morsel order, matching what a sequential
+/// left-to-right evaluation would report first. See [`crate::parallel`].
 fn run_partitioned<T, R, F>(items: &[T], parallelism: usize, f: F) -> EngineResult<Vec<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(&[T]) -> EngineResult<R> + Sync,
 {
-    run_chunked(items, effective_workers(parallelism, items.len()), f)
-}
-
-/// The partitioned runner with an explicit worker count (separated from
-/// the [`effective_workers`] policy so tests can exercise the scoped
-/// threads and in-order merge on any machine).
-fn run_chunked<T, R, F>(items: &[T], workers: usize, f: F) -> EngineResult<Vec<R>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> EngineResult<R> + Sync,
-{
-    if workers <= 1 || items.is_empty() {
-        return Ok(vec![f(items)?]);
-    }
-    let workers = workers.min(items.len());
-    let chunk_size = items.len().div_ceil(workers);
-    let chunks: Vec<&[T]> = items.chunks(chunk_size).collect();
-    let fref = &f;
-    let mut results: Vec<EngineResult<R>> = Vec::with_capacity(chunks.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .skip(1)
-            .map(|&c| s.spawn(move || fref(c)))
-            .collect();
-        results.push(fref(chunks[0]));
-        for h in handles {
-            results.push(h.join().expect("partition worker panicked"));
-        }
-    });
-    results.into_iter().collect()
+    let workers = crate::parallel::effective_workers(parallelism, items.len());
+    crate::parallel::run_morsels(items, workers, f)
 }
 
 /// Columnar mirror backing `input`, when the columnar path may be used:
@@ -257,30 +241,83 @@ fn base_columnar(input: &Expr, ctx: &Ctx<'_>, expect_len: usize) -> Option<Arc<C
     (cols.len() == expect_len).then_some(cols)
 }
 
-/// Run a lowered predicate over `[0, len)`, partitioned into contiguous
-/// index ranges like the row operators partition their rows; ranges
-/// merge in order, so the selection vector is ascending — the exact
-/// sequential scan order.
+/// Whether a derived relation of `len` rows is large enough to be worth
+/// mirroring under the options' [`EvalOptions::derived_mirror_min`]
+/// gate (empty relations never are — there is nothing to scan).
+fn derived_mirror_worthwhile(ctx: &Ctx<'_>, len: usize) -> bool {
+    len >= ctx.opts.derived_mirror_min.max(1)
+}
+
+/// Columnar mirror for a `Base` input that may be a fixpoint local:
+/// stored tables use the database's cached mirror ([`base_columnar`]);
+/// locals — the recursion variable and its semi-naive `#DELTA` — build
+/// a mirror of the *current* binding, cached in the context and
+/// invalidated on every rebind ([`Ctx::bind_local`]), so chained
+/// operators inside a fixpoint round stay on the typed path.
+fn local_or_base_mirror(
+    input: &Expr,
+    ctx: &mut Ctx<'_>,
+    rel: &Relation,
+) -> Option<Arc<ColumnarRelation>> {
+    if !ctx.opts.columnar {
+        return None;
+    }
+    let Expr::Base(name) = input else { return None };
+    let key = name.to_ascii_uppercase();
+    if !ctx.locals.contains_key(&key) {
+        return base_columnar(input, ctx, rel.len());
+    }
+    if !derived_mirror_worthwhile(ctx, rel.len()) {
+        return None;
+    }
+    let mirror = ctx
+        .local_mirrors
+        .entry(key)
+        .or_insert_with(|| ColumnarRelation::build(rel).map(Arc::new))
+        .clone()?;
+    // Defense in depth, as for stored tables: a mirror that does not
+    // match the relation just evaluated must never be consulted.
+    (mirror.len() == rel.len()).then_some(mirror)
+}
+
+/// Columnar mirror backing `input` for qualification `pred`, covering
+/// all three input classes: stored base tables (database-cached),
+/// fixpoint locals (context-cached per binding), and arbitrary derived
+/// relations — view outputs and other operator results — which get a
+/// **transient** mirror built on the spot. Transient builds are gated
+/// on [`EvalOptions::derived_mirror_min`] *and* on the predicate shape
+/// being columnar-eligible, so the `O(rows)` build is only paid when
+/// the kernel scan it enables can actually run.
+fn input_mirror(
+    input: &Expr,
+    ctx: &mut Ctx<'_>,
+    rel: &Relation,
+    pred: &CompiledPred,
+) -> Option<Arc<ColumnarRelation>> {
+    if !ctx.opts.columnar {
+        return None;
+    }
+    if matches!(input, Expr::Base(_)) {
+        return local_or_base_mirror(input, ctx, rel);
+    }
+    if !derived_mirror_worthwhile(ctx, rel.len()) || !pred.columnar_eligible() {
+        return None;
+    }
+    ColumnarRelation::build(rel).map(Arc::new)
+}
+
+/// Run a lowered predicate over `[0, len)`, morsel-partitioned into
+/// contiguous index ranges like the row operators partition their rows;
+/// morsels merge in order, so the selection vector is ascending — the
+/// exact sequential scan order.
 fn select_partitioned(
     pred: &ColumnarPred<'_>,
     len: usize,
     parallelism: usize,
 ) -> EngineResult<Vec<u32>> {
-    let workers = effective_workers(parallelism, len);
-    if workers <= 1 {
-        return Ok(pred.select_range(0, len));
-    }
-    let chunk = len.div_ceil(workers);
-    let ranges: Vec<(usize, usize)> = (0..workers)
-        .map(|w| (w * chunk, ((w + 1) * chunk).min(len)))
-        .collect();
-    let parts = run_chunked(&ranges, workers, |rs| {
-        let mut out: Vec<u32> = Vec::new();
-        for &(lo, hi) in rs {
-            out.extend(pred.select_range(lo, hi));
-        }
-        Ok(out)
-    })?;
+    let workers = crate::parallel::effective_workers(parallelism, len);
+    let parts =
+        crate::parallel::run_morsel_ranges(len, workers, |lo, hi| Ok(pred.select_range(lo, hi)))?;
     Ok(parts.into_iter().flatten().collect())
 }
 
@@ -318,12 +355,14 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             let bound = bind_fields(pred, std::slice::from_ref(&*rel.schema), ctx)?;
             let env = EvalEnv::of(ctx.db);
             let prog = CompiledPred::compile(&bound, &env);
-            // Columnar path: base-table scan whose qualification lowers
-            // fully to typed kernels. The kernels compute a selection
-            // vector over the columns; surviving rows are gathered from
-            // the shared row store, so output rows are the *same*
-            // allocations the row path would keep.
-            if let Some(cols) = base_columnar(input, ctx, rel.len()) {
+            // Columnar path: a scan — of a stored table, a fixpoint
+            // local, or a derived input worth a transient mirror —
+            // whose qualification lowers fully to typed kernels. The
+            // kernels compute a selection vector over the columns;
+            // surviving rows are gathered from the shared row store, so
+            // output rows are the *same* allocations the row path would
+            // keep.
+            if let Some(cols) = input_mirror(input, ctx, &rel, &prog) {
                 if let Some(cpred) = prog.columnar(&cols) {
                     let sel = select_partitioned(&cpred, cols.len(), ctx.opts.parallelism)?;
                     let mut out = Relation::empty(rel.schema.clone());
@@ -511,7 +550,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             // single input in identical row order, so one path serves
             // nested-loop and hash alike.
             if rels.len() == 1 {
-                if let Some(cols) = base_columnar(&inputs[0], ctx, rels[0].len()) {
+                if let Some(cols) = input_mirror(&inputs[0], ctx, &rels[0], &cpred) {
                     if let Some(colpred) = cpred.columnar(&cols) {
                         let sel = select_partitioned(&colpred, cols.len(), ctx.opts.parallelism)?;
                         ctx.stats.combinations_tried += rels[0].len() as u64;
@@ -643,12 +682,14 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
                     // Candidate enumeration is sequential (it builds
                     // per-input hash tables); the per-combination
                     // re-check and projection are partitioned. Columnar
-                    // mirrors of base inputs let single-attribute integer
-                    // join keys build typed `i64` hash tables.
+                    // mirrors of base inputs — stored tables and
+                    // fixpoint locals/deltas alike — let
+                    // single-attribute integer join keys build typed
+                    // `i64` hash tables.
                     let mirrors: Vec<Option<Arc<ColumnarRelation>>> = inputs
                         .iter()
                         .zip(&rels)
-                        .map(|(i, r)| base_columnar(i, ctx, r.len()))
+                        .map(|(i, r)| local_or_base_mirror(i, ctx, r))
                         .collect();
                     let combos = hash_search(&rels, &bound_pred, &mirrors, ctx)?;
                     let parts = run_partitioned(&combos, ctx.opts.parallelism, |part| {
@@ -682,6 +723,9 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             nested,
             kind,
         } => {
+            if let Some(out) = fused_scan_nest(expr, ctx)? {
+                return Ok(out);
+            }
             let rel = eval_input(input, ctx)?;
             let out_schema = infer_schema(expr, &ctx.schema_ctx())?;
             let item_of = |row: &SharedRow| {
@@ -743,6 +787,139 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
         }
         Expr::Dedup(input) => Ok(eval_expr(input, ctx)?.deduped()),
     }
+}
+
+/// Fused scan+nest: when `Nest` consumes a single-base select-project
+/// (`Search` with one `Base` input, or `Filter` over `Base`) whose
+/// qualification lowers fully to columnar kernels and whose projected
+/// columns are plain slot references, group straight from the columns
+/// over the selection vector — the intermediate filtered/projected rows
+/// are never materialized. Results, result order and work counters are
+/// identical to the unfused pipeline: the skipped intermediate still
+/// counts its `rows_emitted` (and `combinations_tried` for `Search`),
+/// groups sort by key exactly as the row-path `Nest` sorts them, and
+/// any shape the fusion does not cover returns `None` to fall back
+/// untouched — re-evaluating the inner `Base` on fallback is a borrow,
+/// so a failed attempt costs nothing and cannot double-count work.
+fn fused_scan_nest(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Option<Relation>> {
+    let Expr::Nest {
+        input,
+        group,
+        nested,
+        kind,
+    } = expr
+    else {
+        return Ok(None);
+    };
+    if !ctx.opts.columnar {
+        return Ok(None);
+    }
+    let (base, pred, proj) = match &**input {
+        Expr::Search { inputs, pred, proj }
+            if inputs.len() == 1 && matches!(inputs[0], Expr::Base(_)) =>
+        {
+            (&inputs[0], pred, Some(&proj[..]))
+        }
+        Expr::Filter { input: fi, pred } if matches!(&**fi, Expr::Base(_)) => (&**fi, pred, None),
+        _ => return Ok(None),
+    };
+    let rel = eval_input(base, ctx)?;
+    let out_schema = infer_schema(expr, &ctx.schema_ctx())?;
+    let is_search = proj.is_some();
+    let bound = bind_fields(pred, std::slice::from_ref(&*rel.schema), ctx)?;
+    // `Search` short-circuits FALSE/empty before counting any work; an
+    // empty `Filter` input reaches the same empty output with zero
+    // counters through either pipeline.
+    if rel.is_empty() || (is_search && bound.is_false()) {
+        return Ok(Some(Relation::empty(out_schema)));
+    }
+    let env = EvalEnv::of(ctx.db);
+    let cpred = CompiledPred::compile(&bound, &env);
+    let Some(cols) = input_mirror(base, ctx, &rel, &cpred) else {
+        return Ok(None);
+    };
+    let Some(colpred) = cpred.columnar(&cols) else {
+        return Ok(None);
+    };
+    // Map `Nest` attributes (1-based into the intermediate schema) to
+    // base columns: through the projection for `Search` — every target
+    // must be an infallible in-bounds slot copy — or identity for
+    // `Filter`.
+    let col_of: Vec<usize> = match proj {
+        Some(proj) => {
+            let mut slots = Vec::with_capacity(proj.len());
+            for e in proj {
+                let b = bind_fields(e, std::slice::from_ref(&*rel.schema), ctx)?;
+                match CompiledProj::compile(&b, &env)
+                    .slot0()
+                    .filter(|&a| a < cols.arity())
+                {
+                    Some(a) => slots.push(a),
+                    None => return Ok(None),
+                }
+            }
+            slots
+        }
+        None => (0..cols.arity()).collect(),
+    };
+    let width = col_of.len();
+    if group.iter().chain(nested).any(|&a| a == 0 || a > width) {
+        return Ok(None);
+    }
+
+    let sel = select_partitioned(&colpred, cols.len(), ctx.opts.parallelism)?;
+    if is_search {
+        ctx.stats.combinations_tried += rel.len() as u64;
+    }
+    // The intermediate select-project rows are never built, but the
+    // unfused pipeline would have emitted them.
+    ctx.stats.rows_emitted += sel.len() as u64;
+
+    let item_cols: Vec<usize> = nested.iter().map(|&n| col_of[n - 1]).collect();
+    let item_of = |i: usize| {
+        if let [c] = item_cols[..] {
+            cols.value_at(i, c)
+        } else {
+            Value::Tuple(item_cols.iter().map(|&c| cols.value_at(i, c)).collect())
+        }
+    };
+    let mut out = Relation::empty(out_schema);
+    if let [g] = group[..] {
+        let gcol = col_of[g - 1];
+        let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+        for &i in &sel {
+            let i = i as usize;
+            groups
+                .entry(cols.value_at(i, gcol))
+                .or_default()
+                .push(item_of(i));
+        }
+        let mut entries: Vec<(Value, Vec<Value>)> = groups.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, items) in entries {
+            out.push(vec![key, Value::coll(*kind, items)]);
+            ctx.stats.rows_emitted += 1;
+        }
+    } else {
+        let mut groups: HashMap<Vec<Value>, Vec<Value>> = HashMap::new();
+        for &i in &sel {
+            let i = i as usize;
+            let key: Vec<Value> = group
+                .iter()
+                .map(|&g| cols.value_at(i, col_of[g - 1]))
+                .collect();
+            groups.entry(key).or_default().push(item_of(i));
+        }
+        let mut entries: Vec<(Vec<Value>, Vec<Value>)> = groups.into_iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, items) in entries {
+            let mut row: Row = key;
+            row.push(Value::coll(*kind, items));
+            out.push(row);
+            ctx.stats.rows_emitted += 1;
+        }
+    }
+    Ok(Some(out))
 }
 
 /// Left-deep hash-join enumeration of candidate input combinations. Each
@@ -1136,53 +1313,5 @@ pub(crate) fn eval_cmp_broadcast(op: &eds_lera::CmpOp, l: &Value, r: &Value) -> 
             CmpOp::Le => ord.is_le(),
             CmpOp::Ge => ord.is_ge(),
         }),
-    }
-}
-
-#[cfg(test)]
-mod partition_tests {
-    use super::{effective_workers, run_chunked, PARALLEL_THRESHOLD};
-
-    #[test]
-    fn chunked_results_merge_in_order() {
-        let items: Vec<u64> = (0..10_000).collect();
-        for workers in [1usize, 2, 4, 7] {
-            let parts =
-                run_chunked(&items, workers, |chunk| Ok(chunk.to_vec())).expect("no errors");
-            let merged: Vec<u64> = parts.into_iter().flatten().collect();
-            assert_eq!(merged, items, "workers={workers} broke order");
-        }
-    }
-
-    #[test]
-    fn chunked_error_surfaces_in_chunk_order() {
-        let items: Vec<u64> = (0..4096).collect();
-        // Every chunk containing a multiple of 1000 fails, reporting the
-        // first offending value it sees; the error that wins must be the
-        // one sequential evaluation would hit first (from chunk 0).
-        let err = run_chunked(&items, 4, |chunk| {
-            match chunk.iter().find(|v| **v % 1000 == 0) {
-                Some(v) => Err(crate::error::EngineError::UnknownRelation(v.to_string())),
-                None => Ok(()),
-            }
-        })
-        .expect_err("must fail");
-        assert_eq!(
-            err.to_string(),
-            super::EngineError::UnknownRelation("0".into()).to_string()
-        );
-    }
-
-    #[test]
-    fn effective_workers_policy() {
-        // Below the threshold: never partition.
-        assert_eq!(effective_workers(4, PARALLEL_THRESHOLD - 1), 1);
-        // parallelism=1: never partition.
-        assert_eq!(effective_workers(1, 1_000_000), 1);
-        // Large input: bounded by requested parallelism and the machine.
-        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-        assert_eq!(effective_workers(4, 1_000_000), 4.min(hw));
-        // Each worker must have at least PARALLEL_THRESHOLD items.
-        assert!(effective_workers(64, 2 * PARALLEL_THRESHOLD) <= 2);
     }
 }

@@ -35,6 +35,7 @@ pub mod database;
 pub mod error;
 pub mod eval;
 pub mod fixpoint;
+pub mod parallel;
 pub mod reference;
 pub mod relation;
 
@@ -44,5 +45,6 @@ pub use database::Database;
 pub use error::{EngineError, EngineResult};
 pub use eval::{eval, eval_const_scalar, eval_with, EvalOptions, EvalStats, JoinMode};
 pub use fixpoint::{FixMode, FixOptions};
+pub use parallel::{effective_workers, parallel_stats, shutdown_pool, ParallelStats, MORSEL_ROWS};
 pub use reference::eval_reference;
 pub use relation::{Relation, Row, SharedRow};

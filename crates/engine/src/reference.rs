@@ -21,18 +21,13 @@ use eds_lera::{infer_schema, Expr, LeraError, Scalar, Schema};
 
 use crate::database::Database;
 use crate::error::{EngineError, EngineResult};
-use crate::eval::{bind_fields, eval_scalar, Ctx, EvalOptions, EvalStats, JoinMode};
+use crate::eval::{bind_fields, eval_scalar, Ctx, EvalOptions, JoinMode};
 use crate::fixpoint::{count_occurrences, replace_nth_base, FixMode};
 use crate::relation::{Relation, Row, SharedRow};
 
 /// Evaluate a plan with the reference (seed) strategies.
 pub fn eval_reference(expr: &Expr, db: &Database, opts: EvalOptions) -> EngineResult<Relation> {
-    let mut ctx = Ctx {
-        db,
-        opts,
-        locals: HashMap::new(),
-        stats: EvalStats::default(),
-    };
+    let mut ctx = Ctx::new(db, opts);
     ref_expr(expr, &mut ctx)
 }
 
