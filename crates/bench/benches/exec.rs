@@ -19,7 +19,7 @@
 //! reference executor (the seed interpreter preserved in
 //! `eds_engine::reference`).
 
-use eds_bench::{exec_workloads, exec_workloads_1m};
+use eds_bench::{exec_workloads, exec_workloads_1m, execute_many_workloads, literal_sql};
 use eds_core::Dbms;
 use eds_engine::{effective_workers, eval_reference, EvalOptions, JoinMode};
 use eds_lera::Expr;
@@ -80,16 +80,27 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("exec");
     group.sample_size(15);
 
+    // `EDS_EXEC_ONLY=em` restricts the run to the prepared-statement
+    // amortization workloads — they are microseconds-scale, so CI can
+    // afford to *measure* them (rather than smoke them) and gate on the
+    // committed floors with `bench_report_exec --check-prepared-floor`.
+    let only_em = std::env::var("EDS_EXEC_ONLY").is_ok_and(|v| v == "em");
+
+    if !only_em {
+        exec_suite(&mut group);
+    }
+    execute_many_suite(&mut group);
+    if !only_em {
+        repeat_rewrite_suite(&mut group);
+    }
+    group.finish();
+}
+
+fn exec_suite(group: &mut BenchmarkGroup<'_>) {
     for (id, dbms, sql) in exec_workloads() {
         let prepared = dbms.prepare(&sql).unwrap();
         let rewritten = dbms.rewrite(&prepared).unwrap();
-        bench_both(
-            &mut group,
-            id,
-            &dbms,
-            &rewritten.expr,
-            EvalOptions::default(),
-        );
+        bench_both(group, id, &dbms, &rewritten.expr, EvalOptions::default());
     }
 
     // The film join again under the hash physical strategy.
@@ -101,7 +112,7 @@ fn bench(c: &mut Criterion) {
         };
         let prepared = dbms.prepare(&sql).unwrap();
         let rewritten = dbms.rewrite(&prepared).unwrap();
-        bench_both(&mut group, "film_join_hash", &dbms, &rewritten.expr, opts);
+        bench_both(group, "film_join_hash", &dbms, &rewritten.expr, opts);
     }
 
     // Million-row scans — the morsel scheduler's target workloads (489
@@ -131,21 +142,58 @@ fn bench(c: &mut Criterion) {
                     b.iter(|| eds_engine::eval_with(e, &dbms.db, opts).unwrap());
                 });
             }
-            bench_both(
-                &mut group,
-                id,
-                &dbms,
-                &rewritten.expr,
-                EvalOptions::default(),
-            );
+            bench_both(group, id, &dbms, &rewritten.expr, EvalOptions::default());
         }
         group.sample_size(15);
     }
+}
 
-    // Repeated rewrite of one identical prepared query — the plan-cache
-    // workload (on the seed, every iteration pays the full rewrite
-    // kernel; now the first iteration fills the cache and the rest are
-    // a hash lookup).
+/// Prepared-statement amortization: prepare once, execute many with
+/// varying binds. The committed `<id>/seq` baseline is the unprepared
+/// path on the same tree — a full `query()` (parse, view expansion,
+/// rewrite with a warm plan cache, term bridging, evaluation) per
+/// execution with the binds substituted as literals; re-record with
+/// `EDS_EXEC_BASELINE=1`. The `<id>/p1` measurement cycles
+/// `PreparedStmt::execute` over the same bind arrays. Both sides are
+/// asserted byte-identical before timing.
+fn execute_many_suite(group: &mut BenchmarkGroup<'_>) {
+    let record_baseline = std::env::var("EDS_EXEC_BASELINE").is_ok_and(|v| v != "0");
+    for (id, dbms, sql, binds) in execute_many_workloads() {
+        let stmt = dbms.prepare_stmt(&sql).unwrap();
+        let literals: Vec<String> = binds.iter().map(|b| literal_sql(&sql, b)).collect();
+        for (b, lit) in binds.iter().zip(&literals) {
+            assert_eq!(
+                stmt.execute(&dbms, b).unwrap().rows,
+                dbms.query(lit).unwrap().rows,
+                "{id}: prepared execution diverges from the literal query for {b:?}"
+            );
+        }
+        if record_baseline {
+            group.bench_with_input(BenchmarkId::new(id, "seq"), &literals, |bch, ls| {
+                let mut i = 0usize;
+                bch.iter(|| {
+                    let rel = dbms.query(&ls[i % ls.len()]).unwrap();
+                    i += 1;
+                    rel
+                });
+            });
+        }
+        group.bench_with_input(BenchmarkId::new(id, "p1"), &binds, |bch, bs| {
+            let mut i = 0usize;
+            bch.iter(|| {
+                let rel = stmt.execute(&dbms, &bs[i % bs.len()]).unwrap();
+                i += 1;
+                rel
+            });
+        });
+    }
+}
+
+/// Repeated rewrite of one identical prepared query — the plan-cache
+/// workload (on the seed, every iteration pays the full rewrite
+/// kernel; now the first iteration fills the cache and the rest are
+/// a hash lookup).
+fn repeat_rewrite_suite(group: &mut BenchmarkGroup<'_>) {
     {
         let (_, dbms, sql) = exec_workloads().swap_remove(1);
         let prepared = dbms.prepare(&sql).unwrap();
@@ -172,7 +220,6 @@ fn bench(c: &mut Criterion) {
             stats.evictions
         );
     }
-    group.finish();
 }
 
 criterion_group!(benches, bench);

@@ -23,6 +23,20 @@
 //! scan slower, which the morsel scheduler's worker policy is supposed
 //! to make impossible (it falls back to one worker rather than
 //! over-partitioning).
+//!
+//! The `em_*` workloads measure prepared-statement amortization
+//! (kind `execute_many`): `<id>/seq` is the unprepared per-query path
+//! (full parse + rewrite + bridge per execution, plan cache warm) and
+//! `<id>/p1` is `PreparedStmt::execute` cycling the same binds. They
+//! are excluded from the exec medians and summarized separately under
+//! `median_speedup_execute_many`. With `--check-prepared-floor` the
+//! run fails (exit 1) when any workload listed in
+//! `crates/bench/baselines/prepared_floors.tsv` falls below its
+//! committed minimum speedup, or when fewer than two `execute_many`
+//! workloads are present at all. When the current run's TSV carries a
+//! fresh `em_*/seq` median (an `EDS_EXEC_BASELINE=1` run), it takes
+//! precedence over the committed one so that gate compares two
+//! medians from the same host.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -72,10 +86,12 @@ fn median(mut xs: Vec<f64>) -> f64 {
 
 fn main() {
     let check_scan_scaling = std::env::args().any(|a| a == "--check-scan-scaling");
+    let check_prepared_floor = std::env::args().any(|a| a == "--check-prepared-floor");
     let root = workspace_root();
     let before = read_tsv(&root.join("crates/bench/baselines/before/exec.tsv"));
     let after = read_tsv(&root.join("target/bench-tsv/exec.tsv"));
     let mut scan_violations: Vec<String> = Vec::new();
+    let mut prepared_speedups: BTreeMap<String, f64> = BTreeMap::new();
 
     // Workloads in baseline order: `<workload>/seq` in the before file.
     let workloads: Vec<String> = before
@@ -88,17 +104,32 @@ fn main() {
     let mut speedups_p4: Vec<f64> = Vec::new();
     let mut first = true;
     for w in &workloads {
-        let before_ns = before[&format!("{w}/seq")];
+        // For the em_* workloads an `EDS_EXEC_BASELINE=1` run records a
+        // fresh `<id>/seq` alongside `<id>/p1`; prefer it over the
+        // committed number so the floor gate compares two medians from
+        // the *same host* (CI runners are not the baseline machine).
+        let before_ns = if w.starts_with("em_") {
+            *after
+                .get(&format!("{w}/seq"))
+                .unwrap_or(&before[&format!("{w}/seq")])
+        } else {
+            before[&format!("{w}/seq")]
+        };
         let Some(&p1) = after.get(&format!("{w}/p1")) else {
             eprintln!("warning: {w}/p1 missing from current run, skipping");
             continue;
         };
         let kind = if w == "repeat_rewrite" {
             "rewrite"
+        } else if w.starts_with("em_") {
+            "execute_many"
         } else {
             "exec"
         };
         let s1 = before_ns / p1;
+        if kind == "execute_many" {
+            prepared_speedups.insert(w.clone(), s1);
+        }
         if !first {
             entries.push_str(",\n");
         }
@@ -121,8 +152,8 @@ fn main() {
                 );
             }
             None => {
-                // The plan-cache workload is parallelism-independent and
-                // only measured once.
+                // The plan-cache and prepared-statement workloads are
+                // parallelism-independent and only measured once.
                 if kind == "exec" {
                     speedups_p1.push(s1);
                 }
@@ -143,16 +174,35 @@ fn main() {
          row-at-a-time executor (EDS_COLUMNAR=0) on the same tree; after = overhauled executor \
          at EvalOptions.parallelism 1 and 4. Every configuration is asserted byte-identical to \
          the reference executor before timing. repeat_rewrite measures the rewrite-output plan \
-         cache and is excluded from the exec medians.\",\n",
+         cache and the em_* workloads measure prepared-statement amortization (before = \
+         unprepared per-query path on the same tree, after = PreparedStmt::execute cycling the \
+         same binds); both are excluded from the exec medians.\",\n",
     );
-    let _ = write!(
-        json,
-        "  \"entries\": [\n{entries}\n  ],\n  \
-         \"median_speedup_exec_p1\": {:.2},\n  \
-         \"median_speedup_exec_p4\": {:.2}\n}}\n",
-        median(speedups_p1),
-        median(speedups_p4),
-    );
+    let _ = write!(json, "  \"entries\": [\n{entries}\n  ]");
+    // An `EDS_EXEC_ONLY=em` run measures only the execute_many suite, so
+    // the exec medians may have nothing to summarize.
+    if !speedups_p1.is_empty() {
+        let _ = write!(
+            json,
+            ",\n  \"median_speedup_exec_p1\": {:.2}",
+            median(speedups_p1)
+        );
+    }
+    if !speedups_p4.is_empty() {
+        let _ = write!(
+            json,
+            ",\n  \"median_speedup_exec_p4\": {:.2}",
+            median(speedups_p4)
+        );
+    }
+    if !prepared_speedups.is_empty() {
+        let _ = write!(
+            json,
+            ",\n  \"median_speedup_execute_many\": {:.2}",
+            median(prepared_speedups.values().copied().collect())
+        );
+    }
+    json.push_str("\n}\n");
 
     let out = root.join("BENCH_exec.json");
     fs::write(&out, &json).unwrap_or_else(|e| panic!("cannot write {}: {e}", out.display()));
@@ -165,5 +215,32 @@ fn main() {
             eprintln!("  {v}");
         }
         std::process::exit(1);
+    }
+
+    if check_prepared_floor {
+        let mut floor_violations: Vec<String> = Vec::new();
+        if prepared_speedups.len() < 2 {
+            floor_violations.push(format!(
+                "only {} execute_many workload(s) measured, need at least 2",
+                prepared_speedups.len()
+            ));
+        }
+        let floors = read_tsv(&root.join("crates/bench/baselines/prepared_floors.tsv"));
+        for (id, floor) in &floors {
+            match prepared_speedups.get(id) {
+                None => floor_violations.push(format!("{id}: not measured (floor {floor:.1}x)")),
+                Some(&s) if s < *floor => {
+                    floor_violations.push(format!("{id}: speedup {s:.2}x below floor {floor:.1}x"));
+                }
+                Some(_) => {}
+            }
+        }
+        if !floor_violations.is_empty() {
+            eprintln!("prepared-statement amortization below its committed floor:");
+            for v in &floor_violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
     }
 }

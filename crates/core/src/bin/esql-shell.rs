@@ -15,17 +15,22 @@
 //! .limit <block> <n|INF>   change a block's application limit
 //! .lint                 statically analyze the knowledge base
 //! .stats                plan-cache and parallel-executor counters
+//! .prepare <name> <query ;>   prepare a `?`-parameterized statement
+//! .exec <name> [value ...]    execute it with bind values
 //! .tables               list tables and views
 //! .quit                 exit
 //! ```
 
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
-use eds_core::{Dbms, Executed};
+use eds_adt::Value;
+use eds_core::{Dbms, Executed, PreparedStmt};
 use eds_rewrite::Limit;
 
 fn main() {
     let mut dbms = Dbms::new().expect("built-in rules must load");
+    let mut stmts: HashMap<String, PreparedStmt> = HashMap::new();
     println!("EDS rule-based query rewriter — ESQL shell (.help for help)");
 
     let stdin = std::io::stdin();
@@ -50,7 +55,7 @@ fn main() {
         let trimmed = line.trim();
 
         if buffer.is_empty() && trimmed.starts_with('.') {
-            if !meta_command(&mut dbms, trimmed) {
+            if !meta_command(&mut dbms, &mut stmts, trimmed) {
                 break;
             }
             continue;
@@ -98,8 +103,61 @@ fn print_relation(rel: &eds_engine::Relation) {
     println!("({} row(s))", rel.len());
 }
 
+/// Parse the bind values of `.exec`: integers, reals, NULL, TRUE/FALSE,
+/// and `'single quoted'` strings (quotes optional for bare words).
+fn parse_binds(src: &str) -> Result<Vec<Value>, String> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c == '\'' {
+            chars.next();
+            let mut s = String::new();
+            loop {
+                match chars.next() {
+                    Some('\'') if chars.peek() == Some(&'\'') => {
+                        chars.next();
+                        s.push('\'');
+                    }
+                    Some('\'') => break,
+                    Some(ch) => s.push(ch),
+                    None => return Err("unterminated string".into()),
+                }
+            }
+            out.push(Value::str(s));
+            continue;
+        }
+        let mut tok = String::new();
+        while let Some(&ch) = chars.peek() {
+            if ch.is_whitespace() {
+                break;
+            }
+            tok.push(ch);
+            chars.next();
+        }
+        let v = if tok.eq_ignore_ascii_case("NULL") {
+            Value::Null
+        } else if tok.eq_ignore_ascii_case("TRUE") {
+            Value::Bool(true)
+        } else if tok.eq_ignore_ascii_case("FALSE") {
+            Value::Bool(false)
+        } else if let Ok(i) = tok.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(r) = tok.parse::<f64>() {
+            Value::real(r)
+        } else {
+            Value::str(tok)
+        };
+        out.push(v);
+    }
+    Ok(out)
+}
+
 /// Returns false to quit.
-fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
+fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd: &str) -> bool {
     let (head, rest) = match cmd.split_once(char::is_whitespace) {
         Some((h, r)) => (h, r.trim()),
         None => (cmd, ""),
@@ -117,7 +175,9 @@ fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
              .constraint <rule ;>    declare an integrity constraint\n\
              .limit <block> <n|INF>  change a block's limit\n\
              .lint                   statically analyze the knowledge base\n\
-             .stats                  plan-cache and parallel-executor counters"
+             .stats                  plan-cache and parallel-executor counters\n\
+             .prepare <name> <query ;>   prepare a ?-parameterized statement\n\
+             .exec <name> [value ...]    execute it with bind values"
         ),
         ".tables" => {
             println!("tables: {}", dbms.db.catalog.table_names().join(", "));
@@ -154,12 +214,45 @@ fn meta_command(dbms: &mut Dbms, cmd: &str) -> bool {
                 "plan cache: {} hit(s), {} miss(es), {} eviction(s), {} invalidation(s)",
                 pc.hits, pc.misses, pc.evictions, pc.invalidations
             );
+            println!(
+                "shape tier: {} hit(s), {} miss(es) ({} prepared statement shape(s) cached)",
+                pc.shape_hits,
+                pc.shape_misses,
+                dbms.rewriter.shape_cache_len()
+            );
             let ps = dbms.parallel_stats();
             println!(
                 "executor:   {} parallel run(s), {} morsel(s) dispatched, \
                  {} cursor retries, last run used {} worker(s)",
                 ps.parallel_runs, ps.morsels_dispatched, ps.cursor_retries, ps.last_workers
             );
+        }
+        ".prepare" => match rest.split_once(char::is_whitespace) {
+            Some((name, sql)) if !sql.trim().is_empty() => match dbms.prepare_stmt(sql.trim()) {
+                Ok(stmt) => {
+                    println!("prepared '{name}' ({} parameter(s)).", stmt.param_count());
+                    stmts.insert(name.to_string(), stmt);
+                }
+                Err(e) => eprintln!("error: {e}"),
+            },
+            _ => eprintln!("usage: .prepare <name> <query ;>"),
+        },
+        ".exec" => {
+            let (name, vals) = match rest.split_once(char::is_whitespace) {
+                Some((n, v)) => (n, v),
+                None => (rest, ""),
+            };
+            match stmts.get(name) {
+                None if name.is_empty() => eprintln!("usage: .exec <name> [value ...]"),
+                None => eprintln!("error: no prepared statement '{name}' (.prepare first)"),
+                Some(stmt) => match parse_binds(vals) {
+                    Err(e) => eprintln!("error: {e}"),
+                    Ok(binds) => match stmt.execute(dbms, &binds) {
+                        Ok(rel) => print_relation(&rel),
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                },
+            }
         }
         ".lint" => {
             let diagnostics = dbms.lint();

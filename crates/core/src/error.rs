@@ -36,6 +36,14 @@ pub enum CoreError {
         /// Analyzer findings for the rejected source.
         diagnostics: Vec<Diagnostic>,
     },
+    /// A prepared statement was executed with the wrong number of bind
+    /// values.
+    BindMismatch {
+        /// `?` parameters the statement declares.
+        expected: usize,
+        /// Values the bind array supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -56,6 +64,12 @@ impl fmt::Display for CoreError {
                     write!(f, "\n  {d}")?;
                 }
                 Ok(())
+            }
+            CoreError::BindMismatch { expected, got } => {
+                write!(
+                    f,
+                    "statement takes {expected} bind value(s), {got} supplied"
+                )
             }
         }
     }

@@ -69,6 +69,108 @@ pub struct Prepared {
     pub sql: String,
 }
 
+/// A parameterized prepared statement: parse, translate, rewrite and
+/// lower happened **once** at [`Dbms::prepare_stmt`] time; each
+/// [`PreparedStmt::execute`] only checks the bind arity, verifies the
+/// rewriter's invalidation epoch, and evaluates the cached plan with the
+/// bind array — repeat executions go straight to the engine.
+///
+/// The cached plan is shared (`Arc`) with the rewriter's shape-tier
+/// cache, and the epoch snapshot ties it to the knowledge base: any
+/// rule/DDL/constraint change advances the rewriter's invalidation
+/// counter, and the next `execute` transparently re-rewrites through
+/// the shape tier before running.
+#[derive(Debug)]
+pub struct PreparedStmt {
+    /// Original source text.
+    sql: String,
+    /// Output schema of the (parameterized) plan.
+    schema: Schema,
+    /// Number of `?` parameters the statement declares.
+    param_count: usize,
+    /// The canonical (pre-rewrite) parameterized plan, kept for epoch
+    /// refreshes.
+    canonical: Expr,
+    /// Rewritten + lowered plan and the invalidation epoch it was
+    /// produced under.
+    plan: std::sync::Mutex<StmtPlan>,
+}
+
+#[derive(Debug)]
+struct StmtPlan {
+    expr: std::sync::Arc<Expr>,
+    epoch: u64,
+}
+
+impl PreparedStmt {
+    /// The statement's source text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Output schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of `?` parameters a bind array must supply.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Execute with a bind array: `params[i]` is the value of `?i`
+    /// (numbered left to right in source order). The array length must
+    /// equal [`PreparedStmt::param_count`] exactly —
+    /// [`CoreError::BindMismatch`] otherwise.
+    pub fn execute(&self, dbms: &Dbms, params: &[eds_adt::Value]) -> CoreResult<Relation> {
+        self.execute_with_stats(dbms, params).map(|(rel, _)| rel)
+    }
+
+    /// [`PreparedStmt::execute`], also returning the engine's work
+    /// counters.
+    pub fn execute_with_stats(
+        &self,
+        dbms: &Dbms,
+        params: &[eds_adt::Value],
+    ) -> CoreResult<(Relation, EvalStats)> {
+        if params.len() != self.param_count {
+            return Err(CoreError::BindMismatch {
+                expected: self.param_count,
+                got: params.len(),
+            });
+        }
+        let plan = self.current_plan(dbms)?;
+        Ok(eds_engine::eval_with_params(
+            &plan,
+            &dbms.db,
+            dbms.eval_options,
+            params,
+        )?)
+    }
+
+    /// The rewritten plan, re-rewriting through the shape tier when the
+    /// rewriter's invalidation epoch has moved since it was cached.
+    fn current_plan(&self, dbms: &Dbms) -> CoreResult<std::sync::Arc<Expr>> {
+        let epoch = dbms.rewriter.invalidation_epoch();
+        {
+            let plan = self.plan.lock().expect("prepared plan poisoned");
+            if plan.epoch == epoch {
+                return Ok(std::sync::Arc::clone(&plan.expr));
+            }
+        }
+        // Stale: the knowledge base, catalog or constraints changed.
+        // Re-rewrite outside the lock (the shape tier may already hold
+        // the fresh plan if a sibling statement refreshed first).
+        let (expr, _, _) =
+            dbms.rewriter
+                .rewrite_shape(&self.canonical, &dbms.db, &dbms.constraints)?;
+        let mut plan = self.plan.lock().expect("prepared plan poisoned");
+        plan.expr = std::sync::Arc::clone(&expr);
+        plan.epoch = epoch;
+        Ok(expr)
+    }
+}
+
 /// Outcome of executing one statement through [`Dbms::execute`].
 #[derive(Debug, Clone)]
 pub enum Executed {
@@ -214,6 +316,29 @@ impl Dbms {
             expr,
             schema,
             sql: sql.to_owned(),
+        })
+    }
+
+    /// Prepare a parameterized statement: parse and translate `sql`
+    /// (with `?` placeholders numbered left to right), rewrite the
+    /// parameterized plan **once** through the shape tier of the plan
+    /// cache — rules whose conditions would inspect a parameter's value
+    /// see a non-constant `PARAM(i)` leaf and defer to bind time — and
+    /// lower it. The returned statement executes repeatedly against
+    /// different bind arrays without re-parsing or re-rewriting.
+    pub fn prepare_stmt(&self, sql: &str) -> CoreResult<PreparedStmt> {
+        let epoch = self.rewriter.invalidation_epoch();
+        let prepared = self.prepare(sql)?;
+        let param_count = prepared.expr.max_param().map_or(0, |m| m as usize + 1);
+        let (expr, _, _) =
+            self.rewriter
+                .rewrite_shape(&prepared.expr, &self.db, &self.constraints)?;
+        Ok(PreparedStmt {
+            sql: prepared.sql,
+            schema: prepared.schema,
+            param_count,
+            canonical: prepared.expr,
+            plan: std::sync::Mutex::new(StmtPlan { expr, epoch }),
         })
     }
 

@@ -88,6 +88,16 @@ struct CachedPlan {
     budget_exhausted: bool,
 }
 
+/// One cached prepared-statement shape: the rewritten **and lowered**
+/// plan, shared (`Arc`) by every prepared statement with the same
+/// fingerprint so a shape hit skips the term→algebra conversion too.
+#[derive(Clone)]
+struct ShapedPlan {
+    expr: std::sync::Arc<Expr>,
+    stats: RewriteStats,
+    budget_exhausted: bool,
+}
+
 /// Default plan-cache capacity: cached rewrites above this count evict
 /// the whole cache (simple, and a workload with more than this many
 /// distinct prepared shapes is already re-preparing, not re-executing).
@@ -112,14 +122,22 @@ fn plan_cache_cap_from_env() -> usize {
 /// events (each of which also empties the cache).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PlanCacheStats {
-    /// Rewrites answered from the cache.
+    /// Rewrites answered from the term tier.
     pub hits: u64,
-    /// Rewrites that ran the strategy (and then filled the cache).
+    /// Rewrites that ran the strategy (and then filled the term tier).
     pub misses: u64,
-    /// Entries dropped because the cache reached its capacity.
+    /// Prepared-shape rewrites answered from the shape tier (the
+    /// rewritten *and lowered* plan came straight out of the cache).
+    pub shape_hits: u64,
+    /// Prepared-shape rewrites that fell through the shape tier (and
+    /// then filled it; the fall-through itself also counts a term-tier
+    /// hit or miss).
+    pub shape_misses: u64,
+    /// Entries dropped because a tier reached its capacity.
     pub evictions: u64,
     /// Invalidation events (rule/strategy/method/catalog/constraint
-    /// changes).
+    /// changes). Doubles as the epoch prepared statements check before
+    /// reusing their cached plan.
     pub invalidations: u64,
 }
 
@@ -129,6 +147,8 @@ pub struct PlanCacheStats {
 struct PlanCacheCounters {
     hits: AtomicU64,
     misses: AtomicU64,
+    shape_hits: AtomicU64,
+    shape_misses: AtomicU64,
     evictions: AtomicU64,
     invalidations: AtomicU64,
 }
@@ -138,6 +158,8 @@ impl PlanCacheCounters {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            shape_hits: self.shape_hits.load(Ordering::Relaxed),
+            shape_misses: self.shape_misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             invalidations: self.invalidations.load(Ordering::Relaxed),
         }
@@ -158,7 +180,13 @@ pub struct QueryRewriter {
     /// [`QueryRewriter::invalidate_plan_cache`], by catalog/constraint
     /// changes in the embedding DBMS.
     plan_cache: Mutex<HashMap<Term, CachedPlan>>,
-    /// Capacity of `plan_cache` (0 disables caching entirely).
+    /// Second cache tier for prepared statements, keyed on the
+    /// *parameterized* canonical term (the statement fingerprint: `?`
+    /// placeholders appear as `PARAM(i)` leaves, so statements differing
+    /// only in bind values share one entry). Stores the rewritten and
+    /// lowered plan; invalidated together with the term tier.
+    shape_cache: Mutex<HashMap<Term, ShapedPlan>>,
+    /// Capacity of each cache tier (0 disables caching entirely).
     plan_cache_cap: usize,
     /// Hit/miss/eviction/invalidation counters.
     counters: PlanCacheCounters,
@@ -172,6 +200,7 @@ impl fmt::Debug for QueryRewriter {
             .field("methods", &self.methods)
             .field("collect_trace", &self.collect_trace)
             .field("plan_cache_len", &self.plan_cache_len())
+            .field("shape_cache_len", &self.shape_cache_len())
             .field("plan_cache_cap", &self.plan_cache_cap)
             .field("plan_cache_stats", &self.plan_cache_stats())
             .finish()
@@ -190,6 +219,7 @@ impl Clone for QueryRewriter {
             // Counters start at zero with it — they describe this
             // instance's cache, not its lineage.
             plan_cache: Mutex::new(HashMap::new()),
+            shape_cache: Mutex::new(HashMap::new()),
             plan_cache_cap: self.plan_cache_cap,
             counters: PlanCacheCounters::default(),
         }
@@ -207,6 +237,7 @@ impl QueryRewriter {
             methods,
             collect_trace: false,
             plan_cache: Mutex::new(HashMap::new()),
+            shape_cache: Mutex::new(HashMap::new()),
             plan_cache_cap: plan_cache_cap_from_env(),
             counters: PlanCacheCounters::default(),
         }
@@ -413,11 +444,28 @@ impl QueryRewriter {
     pub fn invalidate_plan_cache(&self) {
         self.counters.invalidations.fetch_add(1, Ordering::Relaxed);
         self.plan_cache.lock().expect("plan cache poisoned").clear();
+        self.shape_cache
+            .lock()
+            .expect("shape cache poisoned")
+            .clear();
     }
 
-    /// Number of cached rewrites.
+    /// Number of cached rewrites in the term tier.
     pub fn plan_cache_len(&self) -> usize {
         self.plan_cache.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Number of cached prepared shapes in the shape tier.
+    pub fn shape_cache_len(&self) -> usize {
+        self.shape_cache.lock().expect("shape cache poisoned").len()
+    }
+
+    /// Monotonic invalidation epoch: the count of invalidation events so
+    /// far. A prepared statement snapshots this when it caches its plan
+    /// and re-rewrites when the counter has moved — the same hooks that
+    /// clear the caches (rule/DDL/constraint changes) advance it.
+    pub fn invalidation_epoch(&self) -> u64 {
+        self.counters.invalidations.load(Ordering::Relaxed)
     }
 
     /// The plan cache's capacity (entries; 0 = caching disabled).
@@ -436,6 +484,13 @@ impl QueryRewriter {
                 .evictions
                 .fetch_add(cache.len() as u64, Ordering::Relaxed);
             cache.clear();
+        }
+        let mut shapes = self.shape_cache.lock().expect("shape cache poisoned");
+        if shapes.len() > cap {
+            self.counters
+                .evictions
+                .fetch_add(shapes.len() as u64, Ordering::Relaxed);
+            shapes.clear();
         }
     }
 
@@ -515,6 +570,56 @@ impl QueryRewriter {
             outcome.trace,
             outcome.budget_exhausted,
         ))
+    }
+
+    /// Rewrite a parameterized canonical plan through the **shape
+    /// tier**: the key is the canonical term itself (`?` placeholders
+    /// are `PARAM(i)` leaves, so every statement with the same shape
+    /// shares one entry regardless of eventual bind values), and the
+    /// entry stores the rewritten *and lowered* plan behind an `Arc` —
+    /// a hit skips rule matching and the term→algebra conversion both.
+    /// Misses fall through to the term tier, warming it for ad-hoc
+    /// rewrites of the same canonical term.
+    pub fn rewrite_shape(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        constraints: &ConstraintStore,
+    ) -> CoreResult<(std::sync::Arc<Expr>, RewriteStats, bool)> {
+        use std::sync::Arc;
+        let key = expr_to_term(expr);
+        if self.plan_cache_cap == 0 {
+            let (term, stats, _, budget) = self.rewrite_term_uncached(key, db, constraints)?;
+            return Ok((Arc::new(expr_from_term(&term)?), stats, budget));
+        }
+        if let Some(hit) = self
+            .shape_cache
+            .lock()
+            .expect("shape cache poisoned")
+            .get(&key)
+        {
+            self.counters.shape_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(&hit.expr), hit.stats, hit.budget_exhausted));
+        }
+        self.counters.shape_misses.fetch_add(1, Ordering::Relaxed);
+        let (term, stats, _, budget_exhausted) = self.rewrite_term(key.clone(), db, constraints)?;
+        let lowered = Arc::new(expr_from_term(&term)?);
+        let mut cache = self.shape_cache.lock().expect("shape cache poisoned");
+        if cache.len() >= self.plan_cache_cap {
+            self.counters
+                .evictions
+                .fetch_add(cache.len() as u64, Ordering::Relaxed);
+            cache.clear();
+        }
+        cache.insert(
+            key,
+            ShapedPlan {
+                expr: Arc::clone(&lowered),
+                stats,
+                budget_exhausted,
+            },
+        );
+        Ok((lowered, stats, budget_exhausted))
     }
 
     /// Rewrite a LERA plan (through the plan cache).

@@ -43,15 +43,26 @@ pub struct EvalEnv<'a> {
     pub types: &'a TypeRegistry,
     /// ADT function registry.
     pub functions: &'a FunctionRegistry,
+    /// Bind array for positional statement parameters: `?i` resolves to
+    /// `params[i]`. Empty for ad-hoc queries; a `?` evaluated against an
+    /// empty (or too-short) array is an [`EngineError::UnboundParam`].
+    pub params: &'a [Value],
 }
 
 impl<'a> EvalEnv<'a> {
-    /// Environment view of a database.
+    /// Environment view of a database (no statement parameters bound).
     pub fn of(db: &'a Database) -> Self {
+        Self::with_params(db, &[])
+    }
+
+    /// Environment view of a database with a bind array for `?`
+    /// parameters.
+    pub fn with_params(db: &'a Database, params: &'a [Value]) -> Self {
         EvalEnv {
             objects: &db.objects,
             types: &db.catalog.types,
             functions: &db.functions,
+            params,
         }
     }
 
@@ -76,6 +87,11 @@ pub enum CompiledScalar {
     },
     /// Literal.
     Const(Value),
+    /// Positional statement parameter: a slot into the bind array the
+    /// evaluation environment carries. The program itself stays
+    /// bind-independent — the same compiled plan serves every execution
+    /// of a prepared statement; only the array changes.
+    Param(u16),
     /// `GETFIELD(input, idx)` with a constant index — the shape
     /// `bind_fields` always produces.
     GetField {
@@ -148,6 +164,7 @@ impl CompiledScalar {
                 attr: *attr,
             },
             Scalar::Const(v) => CompiledScalar::Const(v.clone()),
+            Scalar::Param(i) => CompiledScalar::Param(*i),
             Scalar::Field { name, .. } => CompiledScalar::UnboundField { name: name.clone() },
             Scalar::Call { func, args } => {
                 let compiled: Vec<CompiledScalar> =
@@ -228,6 +245,11 @@ impl CompiledScalar {
                 })
             }
             CompiledScalar::Const(v) => Ok(Cow::Borrowed(v)),
+            CompiledScalar::Param(i) => env
+                .params
+                .get(*i as usize)
+                .map(Cow::Borrowed)
+                .ok_or(EngineError::UnboundParam(*i)),
             CompiledScalar::GetField { input, idx1 } => {
                 let v = input.eval(tuples, env)?;
                 getfield_cow(v, *idx1, env)
@@ -370,6 +392,10 @@ enum FastRef {
     },
     /// A literal.
     Konst(Value),
+    /// A statement parameter — resolved from the environment's bind
+    /// array per evaluation, so the fast path serves every execution of
+    /// a prepared statement without re-classification.
+    Param(u16),
 }
 
 impl FastRef {
@@ -380,6 +406,7 @@ impl FastRef {
                 attr0: attr - 1,
             }),
             CompiledScalar::Const(v) => Some(FastRef::Konst(v.clone())),
+            CompiledScalar::Param(i) => Some(FastRef::Param(*i)),
             CompiledScalar::GetField { input, idx1 } if *idx1 >= 1 => match input.as_ref() {
                 CompiledScalar::ValueOf(inner) => match inner.as_ref() {
                     CompiledScalar::Attr { rel, attr } if *rel >= 1 && *attr >= 1 => {
@@ -402,6 +429,9 @@ impl FastRef {
         match self {
             FastRef::Slot { rel0, attr0 } => tuples.get(*rel0)?.get(*attr0),
             FastRef::Konst(v) => Some(v),
+            // An unbound parameter returns None: the general program
+            // re-runs and reports the UnboundParam error.
+            FastRef::Param(i) => env.params.get(*i as usize),
             FastRef::DerefField { rel0, attr0, idx0 } => match tuples.get(*rel0)?.get(*attr0)? {
                 Value::Object(oid) => match env.objects.value(*oid) {
                     Ok(Value::Tuple(items)) => items.get(*idx0),
@@ -1106,10 +1136,19 @@ impl CompiledPred {
     /// function calls, disjunctions, spill columns, …) — the caller
     /// then uses the row path for the whole predicate, preserving
     /// evaluation order, errors and results exactly.
-    pub fn columnar<'c>(&self, cols: &'c ColumnarRelation) -> Option<ColumnarPred<'c>> {
+    /// `params` is the statement's bind array: a `?` operand is resolved
+    /// to its bound value *at lowering time* — per execution — so the
+    /// kernel it selects is the same typed constant kernel a literal
+    /// would get (including the Int↔Real widening variants), while the
+    /// compiled predicate itself stays bind-independent.
+    pub fn columnar<'c>(
+        &self,
+        cols: &'c ColumnarRelation,
+        params: &[Value],
+    ) -> Option<ColumnarPred<'c>> {
         let mut kernels = Vec::with_capacity(self.conjuncts.len());
         for c in &self.conjuncts {
-            kernels.push(lower_conjunct(c, cols)?);
+            kernels.push(lower_conjunct(c, cols, params)?);
         }
         Some(ColumnarPred { kernels })
     }
@@ -1125,8 +1164,12 @@ impl CompiledPred {
         self.conjuncts.iter().all(|c| match c.fast.as_ref() {
             Some(FastQual::True) => true,
             Some(FastQual::Cmp { left, right, .. }) => {
-                let slot_or_const =
-                    |r: &FastRef| matches!(r, FastRef::Slot { rel0: 0, .. } | FastRef::Konst(_));
+                let slot_or_const = |r: &FastRef| {
+                    matches!(
+                        r,
+                        FastRef::Slot { rel0: 0, .. } | FastRef::Konst(_) | FastRef::Param(_)
+                    )
+                };
                 slot_or_const(left) && slot_or_const(right)
             }
             None => false,
@@ -1134,28 +1177,48 @@ impl CompiledPred {
     }
 }
 
-fn lower_conjunct<'c>(c: &Conjunct, cols: &'c ColumnarRelation) -> Option<Kern<'c>> {
+/// A comparison operand after bind-time resolution: a first-input
+/// column, or a concrete value (a literal, or a `?` looked up in the
+/// bind array).
+enum Opnd<'v> {
+    Col(usize),
+    Val(&'v Value),
+}
+
+/// Resolve a fast reference against the bind array. `None` for shapes
+/// the columnar lowering cannot serve (non-first-input slots, deref
+/// chains) and for unbound parameters — the row path then reports the
+/// error.
+fn operand<'v>(r: &'v FastRef, params: &'v [Value]) -> Option<Opnd<'v>> {
+    match r {
+        FastRef::Slot { rel0: 0, attr0 } => Some(Opnd::Col(*attr0)),
+        FastRef::Konst(k) => Some(Opnd::Val(k)),
+        FastRef::Param(i) => params.get(*i as usize).map(Opnd::Val),
+        _ => None,
+    }
+}
+
+fn lower_conjunct<'c>(
+    c: &Conjunct,
+    cols: &'c ColumnarRelation,
+    params: &[Value],
+) -> Option<Kern<'c>> {
     match c.fast.as_ref()? {
         FastQual::True => Some(Kern::AllTrue),
-        FastQual::Cmp { op, left, right } => match (left, right) {
-            (FastRef::Slot { rel0: 0, attr0 }, FastRef::Konst(k)) => {
-                lower_col_const(*op, cols.column(*attr0)?, k)
-            }
-            (FastRef::Konst(k), FastRef::Slot { rel0: 0, attr0 }) => {
-                lower_col_const(mirror(*op), cols.column(*attr0)?, k)
-            }
-            (FastRef::Slot { rel0: 0, attr0: a }, FastRef::Slot { rel0: 0, attr0: b }) => {
-                lower_col_col(*op, cols.column(*a)?, cols.column(*b)?)
-            }
-            (FastRef::Konst(k1), FastRef::Konst(k2)) => {
-                Some(match eval_cmp_broadcast(op, k1, k2) {
+        FastQual::Cmp { op, left, right } => {
+            match (operand(left, params)?, operand(right, params)?) {
+                (Opnd::Col(a), Opnd::Val(k)) => lower_col_const(*op, cols.column(a)?, k),
+                (Opnd::Val(k), Opnd::Col(a)) => lower_col_const(mirror(*op), cols.column(a)?, k),
+                (Opnd::Col(a), Opnd::Col(b)) => {
+                    lower_col_col(*op, cols.column(a)?, cols.column(b)?)
+                }
+                (Opnd::Val(k1), Opnd::Val(k2)) => Some(match eval_cmp_broadcast(op, k1, k2) {
                     Value::Bool(true) => Kern::AllTrue,
                     // FALSE, NULL, or a broadcast collection: never TRUE.
                     _ => Kern::NeverTrue,
-                })
+                }),
             }
-            _ => None,
-        },
+        }
     }
 }
 

@@ -294,6 +294,28 @@ mod tests {
     }
 
     #[test]
+    fn truncate_invalidates_only_its_own_mirror() {
+        let mut db = Database::new();
+        db.execute_ddl("TABLE A (X : INT);\nTABLE B (Y : INT);")
+            .unwrap();
+        db.insert("A", vec![1.into()]).unwrap();
+        db.insert("B", vec![10.into()]).unwrap();
+        let a_before = db.columnar("A").expect("A is column-friendly");
+        let b_before = db.columnar("B").expect("B is column-friendly");
+        db.truncate("B").unwrap();
+        // Truncation must drop exactly the truncated table's mirror:
+        // B rebuilds (empty), A keeps the very same Arc.
+        let a_after = db.columnar("A").expect("A still mirrored");
+        assert!(Arc::ptr_eq(&a_before, &a_after));
+        // B's stale mirror is gone: whatever comes back now (possibly
+        // nothing — empty tables may not qualify) is a fresh, empty one.
+        if let Some(b_after) = db.columnar("B") {
+            assert!(!Arc::ptr_eq(&b_before, &b_after));
+            assert_eq!(b_after.len(), 0);
+        }
+    }
+
+    #[test]
     fn insert_maintains_mirror_incrementally() {
         let mut db = Database::new();
         db.execute_ddl("TABLE C (X : INT, Y : INT);").unwrap();

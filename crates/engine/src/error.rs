@@ -29,6 +29,9 @@ pub enum EngineError {
     },
     /// A qualification evaluated to a non-boolean.
     NonBooleanPredicate(String),
+    /// A `?` statement parameter had no bound value at evaluation time
+    /// (bind array too short, or a parameterized plan run without one).
+    UnboundParam(u16),
     /// LERA-level failure (schema inference, field resolution).
     Lera(LeraError),
     /// ADT-level failure (function evaluation).
@@ -54,6 +57,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::NonBooleanPredicate(p) => {
                 write!(f, "qualification evaluated to a non-boolean: {p}")
+            }
+            EngineError::UnboundParam(i) => {
+                write!(f, "statement parameter ?{i} has no bound value")
             }
             EngineError::Lera(e) => write!(f, "{e}"),
             EngineError::Adt(e) => write!(f, "{e}"),

@@ -145,7 +145,21 @@ pub fn eval_with(
     db: &Database,
     opts: EvalOptions,
 ) -> EngineResult<(Relation, EvalStats)> {
+    eval_with_params(expr, db, opts, &[])
+}
+
+/// Evaluate a plan containing `?` statement parameters against a bind
+/// array: `Scalar::Param(i)` resolves to `params[i]`. The plan itself is
+/// bind-independent — prepared statements evaluate the same cached plan
+/// with a different array each execution.
+pub fn eval_with_params(
+    expr: &Expr,
+    db: &Database,
+    opts: EvalOptions,
+    params: &[Value],
+) -> EngineResult<(Relation, EvalStats)> {
     let mut ctx = Ctx::new(db, opts);
+    ctx.params = params;
     let rel = eval_expr(expr, &mut ctx)?;
     Ok((rel, ctx.stats))
 }
@@ -173,6 +187,9 @@ pub struct Ctx<'a> {
     /// rebind via [`Ctx::bind_local`], so a stale mirror can never be
     /// consulted.
     pub local_mirrors: HashMap<String, Option<Arc<ColumnarRelation>>>,
+    /// Bind array for `?` statement parameters (empty for ad-hoc
+    /// queries).
+    pub params: &'a [Value],
 }
 
 impl Ctx<'_> {
@@ -184,6 +201,7 @@ impl Ctx<'_> {
             locals: HashMap::new(),
             stats: EvalStats::default(),
             local_mirrors: HashMap::new(),
+            params: &[],
         }
     }
 
@@ -353,7 +371,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
         Expr::Filter { input, pred } => {
             let rel = eval_input(input, ctx)?;
             let bound = bind_fields(pred, std::slice::from_ref(&*rel.schema), ctx)?;
-            let env = EvalEnv::of(ctx.db);
+            let env = EvalEnv::with_params(ctx.db, ctx.params);
             let prog = CompiledPred::compile(&bound, &env);
             // Columnar path: a scan — of a stored table, a fixpoint
             // local, or a derived input worth a transient mirror —
@@ -363,7 +381,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             // output rows are the *same* allocations the row path would
             // keep.
             if let Some(cols) = input_mirror(input, ctx, &rel, &prog) {
-                if let Some(cpred) = prog.columnar(&cols) {
+                if let Some(cpred) = prog.columnar(&cols, ctx.params) {
                     let sel = select_partitioned(&cpred, cols.len(), ctx.opts.parallelism)?;
                     let mut out = Relation::empty(rel.schema.clone());
                     out.rows.reserve(sel.len());
@@ -393,7 +411,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
         Expr::Project { input, exprs } => {
             let rel = eval_input(input, ctx)?;
             let schema = infer_schema(expr, &ctx.schema_ctx())?;
-            let env = EvalEnv::of(ctx.db);
+            let env = EvalEnv::with_params(ctx.db, ctx.params);
             let progs = exprs
                 .iter()
                 .map(|e| {
@@ -529,7 +547,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
                 .collect::<EngineResult<Vec<_>>>()?;
             let schemas: Vec<Schema> = rels.iter().map(|r| (*r.schema).clone()).collect();
             let bound_pred = bind_fields(pred, &schemas, ctx)?;
-            let env = EvalEnv::of(ctx.db);
+            let env = EvalEnv::with_params(ctx.db, ctx.params);
             let cpred = CompiledPred::compile(&bound_pred, &env);
             let cproj = proj
                 .iter()
@@ -551,7 +569,7 @@ pub fn eval_expr(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Relation> {
             // nested-loop and hash alike.
             if rels.len() == 1 {
                 if let Some(cols) = input_mirror(&inputs[0], ctx, &rels[0], &cpred) {
-                    if let Some(colpred) = cpred.columnar(&cols) {
+                    if let Some(colpred) = cpred.columnar(&cols, ctx.params) {
                         let sel = select_partitioned(&colpred, cols.len(), ctx.opts.parallelism)?;
                         ctx.stats.combinations_tried += rels[0].len() as u64;
                         let rows = &rels[0].rows;
@@ -833,12 +851,12 @@ fn fused_scan_nest(expr: &Expr, ctx: &mut Ctx<'_>) -> EngineResult<Option<Relati
     if rel.is_empty() || (is_search && bound.is_false()) {
         return Ok(Some(Relation::empty(out_schema)));
     }
-    let env = EvalEnv::of(ctx.db);
+    let env = EvalEnv::with_params(ctx.db, ctx.params);
     let cpred = CompiledPred::compile(&bound, &env);
     let Some(cols) = input_mirror(base, ctx, &rel, &cpred) else {
         return Ok(None);
     };
-    let Some(colpred) = cpred.columnar(&cols) else {
+    let Some(colpred) = cpred.columnar(&cols, ctx.params) else {
         return Ok(None);
     };
     // Map `Nest` attributes (1-based into the intermediate schema) to
@@ -1126,7 +1144,7 @@ fn bind_fields_inner(
             Box::new(bind_fields_inner(b, inputs, sc)?),
         ),
         Scalar::Not(a) => Scalar::Not(Box::new(bind_fields_inner(a, inputs, sc)?)),
-        Scalar::Attr { .. } | Scalar::Const(_) => s.clone(),
+        Scalar::Attr { .. } | Scalar::Const(_) | Scalar::Param(_) => s.clone(),
     })
 }
 
@@ -1153,6 +1171,11 @@ pub fn eval_scalar(s: &Scalar, tuples: &[&[Value]], ctx: &Ctx<'_>) -> EngineResu
             })
         }
         Scalar::Const(v) => Ok(v.clone()),
+        Scalar::Param(i) => ctx
+            .params
+            .get(*i as usize)
+            .cloned()
+            .ok_or(EngineError::UnboundParam(*i)),
         Scalar::Field { name, .. } => Err(EngineError::Lera(LeraError::UnknownAttribute {
             name: name.clone(),
             receiver: "unbound field access at runtime".into(),

@@ -43,7 +43,9 @@ pub use columnar::ColumnarRelation;
 pub use compile::{CompiledScalar, EvalEnv};
 pub use database::Database;
 pub use error::{EngineError, EngineResult};
-pub use eval::{eval, eval_const_scalar, eval_with, EvalOptions, EvalStats, JoinMode};
+pub use eval::{
+    eval, eval_const_scalar, eval_with, eval_with_params, EvalOptions, EvalStats, JoinMode,
+};
 pub use fixpoint::{FixMode, FixOptions};
 pub use parallel::{effective_workers, parallel_stats, shutdown_pool, ParallelStats, MORSEL_ROWS};
 pub use reference::eval_reference;

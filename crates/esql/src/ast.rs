@@ -245,6 +245,9 @@ pub enum Expr {
     Bool(bool),
     /// `NULL`.
     Null,
+    /// `?` — a positional statement parameter, numbered left to right
+    /// from 0 in source order, bound to a value at execute time.
+    Param(u16),
     /// Function or attribute application `Name(args)` — attributes applied
     /// as functions perform projection (Section 2.1).
     Call {

@@ -15,7 +15,11 @@ use crate::token::{lex, Spanned, Tok};
 /// Parse a sequence of `;`-separated statements.
 pub fn parse_statements(src: &str) -> EsqlResult<Vec<Stmt>> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params: 0,
+    };
     let mut stmts = Vec::new();
     while !matches!(p.peek(), Tok::Eof) {
         stmts.push(p.parse_stmt()?);
@@ -54,6 +58,9 @@ pub fn parse_query(src: &str) -> EsqlResult<Query> {
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Number of `?` placeholders seen so far; assigns each its 0-based
+    /// positional index in source order.
+    params: u16,
 }
 
 impl Parser {
@@ -595,6 +602,15 @@ impl Parser {
                 self.bump();
                 Ok(Expr::Str(s))
             }
+            Tok::Question => {
+                if self.params == u16::MAX {
+                    return self.err("too many '?' parameters");
+                }
+                self.bump();
+                let idx = self.params;
+                self.params += 1;
+                Ok(Expr::Param(idx))
+            }
             Tok::LParen => {
                 self.bump();
                 let e = self.parse_expr()?;
@@ -871,6 +887,23 @@ mod tests {
     #[test]
     fn multiple_statements_require_parse_statements() {
         assert!(parse_statement("SELECT a FROM t; SELECT b FROM t;").is_err());
+    }
+
+    #[test]
+    fn question_marks_number_left_to_right() {
+        let q = parse_query("SELECT a FROM T WHERE a > ? AND b = ? ;").unwrap();
+        let Query::Select(core) = q else { panic!() };
+        let Expr::Binary { left, right, .. } = core.where_clause.unwrap() else {
+            panic!("expected AND")
+        };
+        let Expr::Binary { right: p0, .. } = *left else {
+            panic!("expected a > ?")
+        };
+        let Expr::Binary { right: p1, .. } = *right else {
+            panic!("expected b = ?")
+        };
+        assert_eq!(*p0, Expr::Param(0));
+        assert_eq!(*p1, Expr::Param(1));
     }
 }
 

@@ -46,6 +46,8 @@ pub enum Tok {
     Star,
     /// `/`
     Slash,
+    /// `?` — a positional statement parameter.
+    Question,
     /// End of input.
     Eof,
 }
@@ -116,6 +118,7 @@ pub fn lex(src: &str) -> EsqlResult<Vec<Spanned>> {
             '-' => push!(Tok::Minus, 1),
             '*' => push!(Tok::Star, 1),
             '/' => push!(Tok::Slash, 1),
+            '?' => push!(Tok::Question, 1),
             '!' if chars.get(i + 1) == Some(&'=') => push!(Tok::Ne, 2),
             '<' => match chars.get(i + 1) {
                 Some('=') => push!(Tok::Le, 2),
@@ -273,5 +276,11 @@ mod tests {
     #[test]
     fn error_on_bad_char() {
         assert!(matches!(lex("@"), Err(EsqlError::Syntax { .. })));
+    }
+
+    #[test]
+    fn question_mark_is_a_parameter_token() {
+        let toks = lex("WHERE K = ?").unwrap();
+        assert_eq!(toks[3].tok, Tok::Question);
     }
 }

@@ -131,6 +131,43 @@ impl Expr {
             .sum::<usize>()
     }
 
+    /// Scalar expressions attached directly to this operator (its
+    /// children's scalars are not included).
+    pub fn own_scalars(&self) -> Vec<&Scalar> {
+        match self {
+            Expr::Filter { pred, .. } | Expr::Join { pred, .. } => vec![pred],
+            Expr::Project { exprs, .. } => exprs.iter().collect(),
+            Expr::Search { pred, proj, .. } => std::iter::once(pred).chain(proj.iter()).collect(),
+            Expr::Base(_)
+            | Expr::Union(_)
+            | Expr::Difference(..)
+            | Expr::Intersect(..)
+            | Expr::Fix { .. }
+            | Expr::Nest { .. }
+            | Expr::Unnest { .. }
+            | Expr::Dedup(_) => vec![],
+        }
+    }
+
+    /// Highest `?` statement-parameter index appearing anywhere in the
+    /// plan, if any — `Some(n)` means the plan needs a bind array of at
+    /// least `n + 1` values.
+    pub fn max_param(&self) -> Option<u16> {
+        let mut max: Option<u16> = None;
+        fn walk(e: &Expr, max: &mut Option<u16>) {
+            for s in e.own_scalars() {
+                if let Some(i) = s.max_param() {
+                    *max = Some(max.map_or(i, |m| m.max(i)));
+                }
+            }
+            for c in e.children() {
+                walk(c, max);
+            }
+        }
+        walk(self, &mut max);
+        max
+    }
+
     /// Names of all base relations referenced (with duplicates).
     pub fn base_relations(&self) -> Vec<&str> {
         let mut out = Vec::new();

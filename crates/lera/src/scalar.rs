@@ -97,6 +97,11 @@ pub enum Scalar {
         /// Arguments.
         args: Vec<Scalar>,
     },
+    /// Positional statement parameter (`?` in ESQL), 0-based. Bound to a
+    /// concrete [`Value`] at execute time from the statement's bind
+    /// array; rewrite rules whose conditions would inspect the value see
+    /// a non-constant leaf and defer to bind time.
+    Param(u16),
     /// Comparison.
     Cmp {
         /// Operator.
@@ -150,6 +155,11 @@ impl Scalar {
     /// Conjunction helper.
     pub fn and(left: Scalar, right: Scalar) -> Scalar {
         Scalar::And(Box::new(left), Box::new(right))
+    }
+
+    /// Positional-parameter helper (0-based).
+    pub fn param(idx: u16) -> Scalar {
+        Scalar::Param(idx)
     }
 
     /// Field-access helper.
@@ -230,15 +240,26 @@ impl Scalar {
                 b.visit(f);
             }
             Scalar::Not(a) => a.visit(f),
-            Scalar::Attr { .. } | Scalar::Const(_) => {}
+            Scalar::Attr { .. } | Scalar::Const(_) | Scalar::Param(_) => {}
         }
+    }
+
+    /// Highest parameter index appearing in the expression, if any.
+    pub fn max_param(&self) -> Option<u16> {
+        let mut max = None;
+        self.visit(&mut |s| {
+            if let Scalar::Param(i) = s {
+                max = Some(max.map_or(*i, |m: u16| m.max(*i)));
+            }
+        });
+        max
     }
 
     /// Structurally transform attribute references.
     pub fn map_attrs(&self, f: &impl Fn(usize, usize) -> Scalar) -> Scalar {
         match self {
             Scalar::Attr { rel, attr } => f(*rel, *attr),
-            Scalar::Const(_) => self.clone(),
+            Scalar::Const(_) | Scalar::Param(_) => self.clone(),
             Scalar::Field { input, name } => Scalar::Field {
                 input: Box::new(input.map_attrs(f)),
                 name: name.clone(),
@@ -264,6 +285,7 @@ impl fmt::Display for Scalar {
         match self {
             Scalar::Attr { rel, attr } => write!(f, "{rel}.{attr}"),
             Scalar::Const(v) => write!(f, "{v}"),
+            Scalar::Param(i) => write!(f, "?{i}"),
             Scalar::Field { input, name } => write!(f, "PROJECT({input}, {name})"),
             Scalar::Call { func, args } => {
                 write!(f, "{func}(")?;

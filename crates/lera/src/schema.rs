@@ -278,6 +278,8 @@ pub fn infer_scalar_type(e: &Scalar, inputs: &[Schema], ctx: &SchemaCtx<'_>) -> 
             Ok(schema.field(*attr)?.ty.clone())
         }
         Scalar::Const(v) => Ok(type_of_value(v)),
+        // A parameter's type is unknown until bind time.
+        Scalar::Param(_) => Ok(Type::Any),
         Scalar::Field { input, name } => {
             let input_ty = infer_scalar_type(input, inputs, ctx)?;
             if input_ty == Type::Any {

@@ -89,6 +89,7 @@ pub fn scalar_to_term(s: &Scalar) -> Term {
     match s {
         Scalar::Attr { rel, attr } => Term::attr(*rel as i64, *attr as i64),
         Scalar::Const(v) => Term::Const(v.clone()),
+        Scalar::Param(i) => Term::app("PARAM", vec![Term::int(*i as i64)]),
         Scalar::Field { input, name } => Term::app(
             "PROJECT",
             vec![scalar_to_term(input), Term::atom(name.to_ascii_uppercase())],
@@ -269,6 +270,14 @@ pub fn scalar_from_term(t: &Term) -> LeraResult<Scalar> {
                 Box::new(scalar_from_term(b)?),
             )),
             ("NOT", [a]) => Ok(Scalar::Not(Box::new(scalar_from_term(a)?))),
+            // Positional statement parameter — must be matched before the
+            // generic-call fallback, or it would round-trip as a call.
+            ("PARAM", [idx]) => match idx.as_const() {
+                Some(eds_adt::Value::Int(i)) if (0..=i64::from(u16::MAX)).contains(i) => {
+                    Ok(Scalar::Param(*i as u16))
+                }
+                _ => Err(bad(format!("PARAM expects a small integer index: {t}"))),
+            },
             ("PROJECT", [input, name]) => {
                 let name = match name.as_app() {
                     Some((n, [])) => n.to_owned(),
@@ -419,6 +428,14 @@ mod tests {
         assert!(is_operator_term(&expr_to_term(&fig3_like())));
         assert!(!is_operator_term(&Term::attr(1, 1)));
         assert!(!is_operator_term(&Term::atom("TRUE")));
+    }
+
+    #[test]
+    fn param_roundtrips_through_terms() {
+        let s = Scalar::eq(Scalar::attr(1, 1), Scalar::param(3));
+        let t = scalar_to_term(&s);
+        assert_eq!(t.to_string(), "(1.1 = PARAM(3))");
+        assert_eq!(scalar_from_term(&t).unwrap(), s);
     }
 
     #[test]

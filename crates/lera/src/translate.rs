@@ -527,6 +527,7 @@ fn resolve_expr(e: &Ast, scope: &Scope, ctx: &SchemaCtx<'_>) -> LeraResult<Scala
         Ast::Str(s) => Ok(Scalar::lit(s.as_str())),
         Ast::Bool(b) => Ok(Scalar::lit(*b)),
         Ast::Null => Ok(Scalar::Const(eds_adt::Value::Null)),
+        Ast::Param(i) => Ok(Scalar::Param(*i)),
         Ast::Not(inner) => Ok(Scalar::Not(Box::new(resolve_expr(inner, scope, ctx)?))),
         Ast::All(inner) => Ok(Scalar::call("ALL", vec![resolve_expr(inner, scope, ctx)?])),
         Ast::Exist(inner) => Ok(Scalar::call(

@@ -300,6 +300,12 @@ fn eval_resolved(term: &Term, env: &dyn TermEnv) -> RwResult<Value> {
             ("TRUE", []) => Ok(Value::Bool(true)),
             ("FALSE", []) => Ok(Value::Bool(false)),
             ("NULL", []) => Ok(Value::Null),
+            // A statement parameter has no value until bind time. Reported
+            // as an unbound variable so conditions that inspect it are
+            // *unsatisfied* (the rule defers to bind time) rather than hard
+            // errors — the parameter-independence gate of the prepared-
+            // statement pipeline.
+            ("PARAM", [_]) => Err(RewriteError::UnboundVariable("?".into())),
             ("AND", [a, b]) => {
                 let va = eval_resolved(a, env)?;
                 let vb = eval_resolved(b, env)?;
@@ -739,6 +745,29 @@ mod tests {
         assert!(eval_constraint(&c, &mut binds, &methods, &e).unwrap());
         let c2 = Term::app(">=", vec![Term::var("x"), Term::var("y")]);
         assert!(!eval_constraint(&c2, &mut binds, &methods, &e).unwrap());
+    }
+
+    #[test]
+    fn param_leaf_defers_value_conditions() {
+        let e = env();
+        let methods = MethodRegistry::with_builtins();
+        let mut binds = Bindings::new();
+        let param = Term::app("PARAM", vec![Term::int(0)]);
+        // ISA(x, constant) is false: a parameter is not a constant.
+        binds.bind("x", param.clone());
+        let isa = Term::app("ISA", vec![Term::var("x"), Term::atom("constant")]);
+        assert!(!eval_constraint(&isa, &mut binds, &methods, &e).unwrap());
+        // A value comparison against a parameter is unsatisfied, not an
+        // error — the rule defers to bind time.
+        let cmp = Term::app("<", vec![Term::var("x"), Term::int(10)]);
+        assert!(!eval_constraint(&cmp, &mut binds, &methods, &e).unwrap());
+        // EVALUATE refuses to fold an expression containing a parameter.
+        let args = vec![
+            Term::app("+", vec![param, Term::int(1)]),
+            Term::var("folded"),
+        ];
+        assert!(!methods.call("EVALUATE", &args, &mut binds, &e).unwrap());
+        assert!(binds.get("folded").is_none());
     }
 
     #[test]
