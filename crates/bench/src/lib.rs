@@ -250,6 +250,83 @@ pub fn simple_table(rows: i64) -> Dbms {
     dbms
 }
 
+/// A join-order-sensitive 3-way join: `R ⋈ S` (through a view `RS`)
+/// joined with a small `T`. The canonical plan nests the view's search
+/// inside the outer one; syntactic saturation *flattens* it into one
+/// 3-way search, which the executor evaluates as a full cross product —
+/// `|R|·|S|·|T|` combinations instead of `|R|·|S| + |R⋈S|·|T|`. The
+/// statistics-backed estimator sees the difference, so `OptLevel::Full`
+/// keeps the nested shape; the opt-level experiment's first workload.
+pub fn join3_dbms(rows: i64, keys: i64, small: i64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl(
+        "TABLE R (K : INT, A : INT);
+         TABLE S (K : INT, J : INT);
+         TABLE T (J : INT, B : INT);
+         CREATE VIEW RS (K, J) AS SELECT R.K, S.J FROM R, S WHERE R.K = S.K ;",
+    )
+    .unwrap();
+    for i in 0..rows {
+        dbms.insert("R", vec![(i % keys).into(), i.into()]).unwrap();
+        dbms.insert("S", vec![(i % keys).into(), (i % small).into()])
+            .unwrap();
+    }
+    for j in 0..small {
+        dbms.insert("T", vec![j.into(), (j * 3).into()]).unwrap();
+    }
+    dbms
+}
+
+/// A pushdown-vs-no-pushdown case: a small union joined with a *highly
+/// selective* filtered view over a big table. Saturation merges the
+/// view's filter up into the join qualification, so the executor
+/// enumerates `|union|·|big|` combinations; keeping the filtered search
+/// nested evaluates the filter first and joins against its few
+/// survivors. The opt-level experiment's second workload.
+pub fn filter_pushdown_dbms(union_rows: i64, big_rows: i64) -> Dbms {
+    let mut dbms = Dbms::new().expect("default rules load");
+    dbms.execute_ddl(
+        "TABLE U0 (K : INT);
+         TABLE U1 (K : INT);
+         TABLE BIGF (K : INT, V : INT);
+         CREATE VIEW ALLU (K) AS ( SELECT K FROM U0 UNION SELECT K FROM U1 ) ;
+         CREATE VIEW FSEL (K) AS SELECT K FROM BIGF WHERE V = 7 ;",
+    )
+    .unwrap();
+    for i in 0..union_rows {
+        dbms.insert("U0", vec![i.into()]).unwrap();
+        dbms.insert("U1", vec![(i + union_rows).into()]).unwrap();
+    }
+    for i in 0..big_rows {
+        dbms.insert(
+            "BIGF",
+            vec![(i % (4 * union_rows)).into(), (i % 500).into()],
+        )
+        .unwrap();
+    }
+    dbms
+}
+
+/// The opt-level workload suite: `(id, dbms, sql)` triples where the
+/// statistics-backed `Full` level picks a measurably cheaper plan than
+/// `Simple`'s pure saturation. Shared by the `exec` bench (kind
+/// `opt_level` in `BENCH_exec.json`), the differential suites and the
+/// CI gate.
+pub fn opt_level_workloads() -> Vec<(&'static str, Dbms, String)> {
+    vec![
+        (
+            "ol_join3",
+            join3_dbms(400, 80, 40),
+            "SELECT B FROM RS, T WHERE RS.J = T.J ;".to_owned(),
+        ),
+        (
+            "ol_pushdown",
+            filter_pushdown_dbms(50, 20_000),
+            "SELECT ALLU.K FROM ALLU, FSEL WHERE ALLU.K = FSEL.K ;".to_owned(),
+        ),
+    ]
+}
+
 /// The executor-bench workload suite: `(id, dbms, sql)` triples shared
 /// by the `exec` bench and its committed `before` baseline so the two
 /// sides of `BENCH_exec.json` always measure identical data and queries.

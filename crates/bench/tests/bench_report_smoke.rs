@@ -139,9 +139,13 @@ fn bench_exec_report_is_sane() {
 
 /// The morsel scheduler's worker policy (fall back to one worker rather
 /// than over-partition) must make "more workers made the scan slower"
-/// impossible: every committed `scan*` entry needs
-/// `speedup_p4 >= speedup_p1`. Each entry is one line in the report, so
-/// the per-line numeric scan pairs the right columns together.
+/// impossible: every committed `scan*` entry needs `speedup_p4 >=
+/// speedup_p1` up to a 10% tolerance — p1 and p4 are always measured
+/// independently, so on a clamped host where they run the same code the
+/// two medians differ by ordinary run-to-run jitter (same tolerance as
+/// `bench_report_exec --check-scan-scaling`). Each entry is one line in
+/// the report, so the per-line numeric scan pairs the right columns
+/// together.
 #[test]
 fn scan_workloads_never_scale_backwards() {
     let path = repo_root().join("BENCH_exec.json");
@@ -158,8 +162,8 @@ fn scan_workloads_never_scale_backwards() {
             panic!("scan entry missing speedup columns: {line}");
         };
         assert!(
-            p4 >= p1,
-            "scan entry scales backwards (speedup_p4 {p4} < speedup_p1 {p1}): {line}"
+            p4 >= p1 * 0.9,
+            "scan entry scales backwards (speedup_p4 {p4} < 90% of speedup_p1 {p1}): {line}"
         );
         checked += 1;
     }

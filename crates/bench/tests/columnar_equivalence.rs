@@ -33,6 +33,7 @@ fn all_configs() -> Vec<EvalOptions> {
                         // Exercise derived/local mirrors on every
                         // intermediate, however small.
                         derived_mirror_min: 0,
+                        opt_level: Default::default(),
                     });
                 }
             }

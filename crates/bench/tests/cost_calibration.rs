@@ -1,0 +1,73 @@
+//! Calibration: the statistics-backed estimator's cardinality
+//! predictions must land within a modest q-error of the *measured* row
+//! counts on the bench schemas. A KMV sketch over a few hundred rows is
+//! not a histogram, so the bound is 4x either way — tight enough to
+//! catch a broken selectivity formula (uniform constants are off by
+//! orders of magnitude on these queries), loose enough to absorb sketch
+//! noise.
+
+use eds_bench::{join3_dbms, simple_table};
+use eds_core::Dbms;
+
+/// Assert the estimator's output cardinality for `sql`'s canonical plan
+/// is within a factor `bound` of the actual row count.
+fn assert_calibrated(dbms: &Dbms, sql: &str, bound: f64) {
+    let prepared = dbms.prepare(sql).unwrap();
+    let actual = dbms.query(sql).unwrap().rows.len() as f64;
+    let est = dbms.cost_model().estimate(&prepared.expr).card;
+    assert!(
+        actual > 0.0,
+        "{sql}: empty result makes q-error meaningless"
+    );
+    let q = (est / actual).max(actual / est);
+    assert!(
+        q.is_finite() && q <= bound,
+        "{sql}: estimated {est:.1} rows vs actual {actual:.0} (q-error {q:.2} > {bound})"
+    );
+}
+
+/// Point predicate on a unique column: selectivity (1-nf)/distinct
+/// should predict ~1 row out of 1000.
+#[test]
+fn eq_const_on_unique_column() {
+    let dbms = simple_table(1000);
+    assert_calibrated(&dbms, "SELECT Y FROM T WHERE X = 42 ;", 2.0);
+}
+
+/// Point predicate on a skewed-ish column: Y = i*3 % 101 puts ~10 rows
+/// on each of 101 values.
+#[test]
+fn eq_const_on_repeating_column() {
+    let dbms = simple_table(1000);
+    assert_calibrated(&dbms, "SELECT X FROM T WHERE Y = 7 ;", 4.0);
+}
+
+/// Equi-join: |R|·|S| / max(d(R.K), d(S.K)) = 400·400/80 = 2000.
+#[test]
+fn equi_join_cardinality() {
+    let dbms = join3_dbms(400, 80, 40);
+    assert_calibrated(&dbms, "SELECT R.A FROM R, S WHERE R.K = S.K ;", 4.0);
+}
+
+/// Range conjuncts interpolate against the min-max sketch:
+/// [100, 199] covers ~10% of X's [0, 999] domain.
+#[test]
+fn range_interval_interpolation() {
+    let dbms = simple_table(1000);
+    assert_calibrated(&dbms, "SELECT Y FROM T WHERE X >= 100 AND X <= 199 ;", 4.0);
+}
+
+/// IN-list selectivity is k/distinct — 3 values out of 1000 distinct
+/// keys is 3 rows (satellite: list selectivities from the sketches).
+#[test]
+fn in_list_selectivity() {
+    let dbms = simple_table(1000);
+    assert_calibrated(&dbms, "SELECT Y FROM T WHERE X IN (1, 2, 3) ;", 4.0);
+}
+
+/// One-sided range: X >= 900 keeps the top ~10% of the domain.
+#[test]
+fn half_open_range() {
+    let dbms = simple_table(1000);
+    assert_calibrated(&dbms, "SELECT Y FROM T WHERE X >= 900 ;", 4.0);
+}

@@ -14,7 +14,8 @@
 //! .constraint <rule ;>  declare an integrity constraint
 //! .limit <block> <n|INF>   change a block's application limit
 //! .lint                 statically analyze the knowledge base
-//! .stats                plan-cache and parallel-executor counters
+//! .level [none|simple|full]  show or set the optimization level
+//! .stats                plan-cache, exploration and executor counters
 //! .prepare <name> <query ;>   prepare a `?`-parameterized statement
 //! .exec <name> [value ...]    execute it with bind values
 //! .tables               list tables and views
@@ -175,7 +176,8 @@ fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd:
              .constraint <rule ;>    declare an integrity constraint\n\
              .limit <block> <n|INF>  change a block's limit\n\
              .lint                   statically analyze the knowledge base\n\
-             .stats                  plan-cache and parallel-executor counters\n\
+             .level [none|simple|full]  show or set the optimization level\n\
+             .stats                  plan-cache, exploration and executor counters\n\
              .prepare <name> <query ;>   prepare a ?-parameterized statement\n\
              .exec <name> [value ...]    execute it with bind values"
         ),
@@ -219,6 +221,12 @@ fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd:
                 pc.shape_hits,
                 pc.shape_misses,
                 dbms.rewriter.shape_cache_len()
+            );
+            let ex = dbms.rewriter.explore_stats();
+            println!(
+                "explore:    {} candidate(s) scored, {} check(s) spent, \
+                 {} budget stop(s), {} win(s)",
+                ex.candidates, ex.checks, ex.budget_stops, ex.wins
             );
             let ps = dbms.parallel_stats();
             println!(
@@ -268,6 +276,19 @@ fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd:
                 errors,
                 diagnostics.len() - errors
             );
+        }
+        ".level" => {
+            if rest.is_empty() {
+                println!("opt level: {}", dbms.opt_level());
+            } else {
+                match eds_core::OptLevel::parse(rest) {
+                    Some(level) => {
+                        dbms.set_opt_level(level);
+                        println!("opt level: {level}");
+                    }
+                    None => eprintln!("usage: .level [none|simple|full]"),
+                }
+            }
         }
         ".limit" => {
             let mut parts = rest.split_whitespace();

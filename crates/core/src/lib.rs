@@ -30,14 +30,15 @@ pub mod pipeline;
 pub mod semantic;
 
 use eds_engine::{eval_with, Database, EvalOptions, EvalStats, Relation, Row};
-pub use eds_engine::{parallel_stats, ParallelStats};
+pub use eds_engine::{parallel_stats, OptLevel, ParallelStats};
 use eds_esql::{parse_query, Stmt};
 use eds_lera::{translate_query, CostModel, Estimate, Expr, Schema, SchemaCtx};
 
 pub use env::CoreEnv;
 pub use error::{CoreError, CoreResult};
 pub use pipeline::{
-    LintPolicy, PlanCacheStats, QueryRewriter, RewriteOutcome, BUILTIN_RULE_SOURCES,
+    stats_cost_model, ExploreStats, LintPolicy, PlanCacheStats, QueryRewriter, RewriteOutcome,
+    TermRewrite, BUILTIN_RULE_SOURCES,
 };
 pub use semantic::{figure10_constraints, ConstraintStore, IntegrityConstraint};
 
@@ -91,6 +92,10 @@ pub struct PreparedStmt {
     /// The canonical (pre-rewrite) parameterized plan, kept for epoch
     /// refreshes.
     canonical: Expr,
+    /// Optimization level the statement was prepared at — part of the
+    /// shape-tier cache key, and reused on epoch refreshes so a level
+    /// change on the DBMS never silently re-plans an existing statement.
+    level: OptLevel,
     /// Rewritten + lowered plan and the invalidation epoch it was
     /// produced under.
     plan: std::sync::Mutex<StmtPlan>,
@@ -116,6 +121,11 @@ impl PreparedStmt {
     /// Number of `?` parameters a bind array must supply.
     pub fn param_count(&self) -> usize {
         self.param_count
+    }
+
+    /// The optimization level the statement was prepared at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.level
     }
 
     /// Execute with a bind array: `params[i]` is the value of `?i`
@@ -161,9 +171,12 @@ impl PreparedStmt {
         // Stale: the knowledge base, catalog or constraints changed.
         // Re-rewrite outside the lock (the shape tier may already hold
         // the fresh plan if a sibling statement refreshed first).
-        let (expr, _, _) =
-            dbms.rewriter
-                .rewrite_shape(&self.canonical, &dbms.db, &dbms.constraints)?;
+        let (expr, _, _) = dbms.rewriter.rewrite_shape_leveled(
+            &self.canonical,
+            &dbms.db,
+            &dbms.constraints,
+            self.level,
+        )?;
         let mut plan = self.plan.lock().expect("prepared plan poisoned");
         plan.expr = std::sync::Arc::clone(&expr);
         plan.epoch = epoch;
@@ -328,33 +341,48 @@ impl Dbms {
     /// different bind arrays without re-parsing or re-rewriting.
     pub fn prepare_stmt(&self, sql: &str) -> CoreResult<PreparedStmt> {
         let epoch = self.rewriter.invalidation_epoch();
+        let level = self.eval_options.opt_level;
         let prepared = self.prepare(sql)?;
         let param_count = prepared.expr.max_param().map_or(0, |m| m as usize + 1);
-        let (expr, _, _) =
-            self.rewriter
-                .rewrite_shape(&prepared.expr, &self.db, &self.constraints)?;
+        let (expr, _, _) = self.rewriter.rewrite_shape_leveled(
+            &prepared.expr,
+            &self.db,
+            &self.constraints,
+            level,
+        )?;
         Ok(PreparedStmt {
             sql: prepared.sql,
             schema: prepared.schema,
             param_count,
             canonical: prepared.expr,
+            level,
             plan: std::sync::Mutex::new(StmtPlan { expr, epoch }),
         })
     }
 
     /// Run the rewriter over a prepared plan (through the plan cache:
     /// repeated rewrites of the same canonical plan return the cached
-    /// output).
+    /// output) at the DBMS's current optimization level
+    /// ([`EvalOptions::opt_level`], the `EDS_OPT_LEVEL` knob).
     pub fn rewrite(&self, prepared: &Prepared) -> CoreResult<RewriteOutcome> {
-        self.rewriter
-            .rewrite(&prepared.expr, &self.db, &self.constraints)
+        self.rewriter.rewrite_leveled(
+            &prepared.expr,
+            &self.db,
+            &self.constraints,
+            self.eval_options.opt_level,
+        )
     }
 
     /// Run the rewriter over a prepared plan, bypassing the plan cache —
-    /// for benchmarking the rewriter itself.
+    /// for benchmarking the rewriter itself. Honors the current
+    /// optimization level.
     pub fn rewrite_uncached(&self, prepared: &Prepared) -> CoreResult<RewriteOutcome> {
-        self.rewriter
-            .rewrite_uncached(&prepared.expr, &self.db, &self.constraints)
+        self.rewriter.rewrite_uncached_leveled(
+            &prepared.expr,
+            &self.db,
+            &self.constraints,
+            self.eval_options.opt_level,
+        )
     }
 
     /// Evaluate a plan.
@@ -388,16 +416,23 @@ impl Dbms {
         self.run_expr(&prepared.expr)
     }
 
-    /// A cost model whose base-relation cardinalities reflect the
-    /// currently stored data.
+    /// The DBMS's current optimization level.
+    pub fn opt_level(&self) -> OptLevel {
+        self.eval_options.opt_level
+    }
+
+    /// Change the optimization level for subsequent queries and
+    /// prepares. Already-prepared statements keep the level they were
+    /// prepared at.
+    pub fn set_opt_level(&mut self, level: OptLevel) {
+        self.eval_options.opt_level = level;
+    }
+
+    /// A cost model whose base-relation statistics reflect the currently
+    /// stored data: exact cardinalities plus the engine's per-attribute
+    /// distinct-count/min-max sketches.
     pub fn cost_model(&self) -> CostModel {
-        let mut model = CostModel::new();
-        for name in self.db.catalog.table_names() {
-            if let Some(card) = self.db.cardinality(name) {
-                model.set_card(name, card as f64);
-            }
-        }
-        model
+        stats_cost_model(&self.db)
     }
 
     /// Estimate a query's plan cost before and after rewriting (the
@@ -412,14 +447,19 @@ impl Dbms {
         ))
     }
 
-    /// Human-readable before/after explanation of a query's rewrite,
-    /// including the rule-application trace.
+    /// Human-readable before/after explanation of a query's rewrite at
+    /// the DBMS's current optimization level, including the
+    /// rule-application trace and — under [`OptLevel::Full`] — the
+    /// candidate-exploration summary.
     pub fn explain(&self, sql: &str) -> CoreResult<String> {
+        let level = self.eval_options.opt_level;
         let prepared = self.prepare(sql)?;
         let mut tracing = self.rewriter.clone();
         tracing.collect_trace = true;
-        let rewritten = tracing.rewrite(&prepared.expr, &self.db, &self.constraints)?;
+        let rewritten =
+            tracing.rewrite_leveled(&prepared.expr, &self.db, &self.constraints, level)?;
         let mut out = String::new();
+        out.push_str(&format!("-- opt level: {level} --\n"));
         out.push_str("-- canonical plan --\n");
         out.push_str(&eds_lera::pretty(&prepared.expr));
         out.push_str("-- rewritten plan --\n");
@@ -428,6 +468,18 @@ impl Dbms {
             "-- {} rule applications, {} condition checks --\n",
             rewritten.stats.applications, rewritten.stats.condition_checks
         ));
+        if let Some(ex) = rewritten.exploration {
+            match ex.runner_up_cost {
+                Some(runner_up) => out.push_str(&format!(
+                    "-- considered {} candidates, chose plan with est. cost {:.0} (runner-up {:.0}) --\n",
+                    ex.considered, ex.chosen_cost, runner_up
+                )),
+                None => out.push_str(&format!(
+                    "-- considered {} candidates, chose plan with est. cost {:.0} --\n",
+                    ex.considered, ex.chosen_cost
+                )),
+            }
+        }
         for event in rewritten.trace.events() {
             out.push_str(&format!("{event}\n"));
         }

@@ -11,12 +11,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use eds_engine::Database;
-use eds_lera::{expr_from_term, expr_to_term, Expr};
+use eds_engine::{Database, OptLevel};
+use eds_lera::{expr_from_term, expr_to_term, ColumnStats, CostModel, Expr, RelationStats};
 use eds_rewrite::{
-    analyze, analyze::duplicate_rule, parse_source, run_strategy, Diagnostic, Limit,
-    MethodRegistry, RewriteStats, RuleSet, SchemaProvider, Sequence, SourceItem, Strategy, Term,
-    Trace,
+    analyze, analyze::duplicate_rule, parse_source, run_strategy, run_strategy_explore, Diagnostic,
+    Exploration, ExploreOptions, Limit, MethodRegistry, RewriteStats, RuleSet, SchemaProvider,
+    Sequence, SourceItem, Strategy, Term, Trace,
 };
 
 use crate::env::CoreEnv;
@@ -64,6 +64,21 @@ pub const BUILTIN_RULE_SOURCES: [(&str, &str); 7] = [
     ("strategy", include_str!("../rules/strategy.rules")),
 ];
 
+/// Candidate-exploration defaults for [`OptLevel::Full`]: keep up to
+/// this many candidate plans per rewrite ...
+pub const EXPLORE_K: usize = 8;
+/// ... spend at most this many condition checks normalizing them ...
+pub const EXPLORE_MAX_CHECKS: u64 = 20_000;
+/// ... and stop early once the best cost seen is below
+/// `EXPLORE_CHECK_COST × expected remaining checks` (exploration would
+/// cost more than it could still win).
+pub const EXPLORE_CHECK_COST: f64 = 32.0;
+
+/// The choice-point blocks of the built-in strategy: where rule order is
+/// genuinely a *choice* (operator merging, permutation, and semantic
+/// CHOOSE-style transformations), not mere normalization.
+pub const EXPLORE_BLOCKS: [&str; 3] = ["merging", "permutation", "semantic"];
+
 /// Outcome of rewriting one query.
 #[derive(Debug, Clone)]
 pub struct RewriteOutcome {
@@ -77,6 +92,23 @@ pub struct RewriteOutcome {
     pub trace: Trace,
     /// Whether some block hit its limit.
     pub budget_exhausted: bool,
+    /// Candidate-exploration summary ([`OptLevel::Full`] only).
+    pub exploration: Option<Exploration>,
+}
+
+/// Result of one term-level rewrite (the leveled API's return shape).
+#[derive(Debug, Clone)]
+pub struct TermRewrite {
+    /// The rewritten term.
+    pub term: Term,
+    /// Rule-application counters.
+    pub stats: RewriteStats,
+    /// Per-application trace (when requested).
+    pub trace: Trace,
+    /// Whether some block hit its limit.
+    pub budget_exhausted: bool,
+    /// Candidate-exploration summary ([`OptLevel::Full`] only).
+    pub exploration: Option<Exploration>,
 }
 
 /// One cached rewrite result. Traces are never cached: tracing rewrites
@@ -86,6 +118,7 @@ struct CachedPlan {
     term: Term,
     stats: RewriteStats,
     budget_exhausted: bool,
+    exploration: Option<Exploration>,
 }
 
 /// One cached prepared-statement shape: the rewritten **and lowered**
@@ -166,6 +199,89 @@ impl PlanCacheCounters {
     }
 }
 
+/// Cumulative candidate-exploration counters across every
+/// [`OptLevel::Full`] rewrite this rewriter ran (cache hits replay a
+/// stored result and do not re-count). The per-rewrite values live in
+/// [`RewriteStats`]; this is the process-lifetime aggregate `.stats`
+/// reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Candidate plans scored (including each rewrite's mainline).
+    pub candidates: u64,
+    /// Condition checks spent normalizing candidates (not counted in
+    /// the mainline `condition_checks`).
+    pub checks: u64,
+    /// Rewrites that stopped exploring because the budget ran out or
+    /// the expected win fell below the exploration cost.
+    pub budget_stops: u64,
+    /// Rewrites where a candidate beat the mainline plan.
+    pub wins: u64,
+}
+
+/// Interior-mutable counter cell backing [`ExploreStats`].
+#[derive(Default)]
+struct ExploreCounters {
+    candidates: AtomicU64,
+    checks: AtomicU64,
+    budget_stops: AtomicU64,
+    wins: AtomicU64,
+}
+
+impl ExploreCounters {
+    fn absorb(&self, stats: &RewriteStats) {
+        self.candidates
+            .fetch_add(stats.explore_candidates, Ordering::Relaxed);
+        self.checks
+            .fetch_add(stats.explore_checks, Ordering::Relaxed);
+        self.budget_stops
+            .fetch_add(stats.explore_budget_stops, Ordering::Relaxed);
+        self.wins.fetch_add(stats.explore_wins, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ExploreStats {
+        ExploreStats {
+            candidates: self.candidates.load(Ordering::Relaxed),
+            checks: self.checks.load(Ordering::Relaxed),
+            budget_stops: self.budget_stops.load(Ordering::Relaxed),
+            wins: self.wins.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A [`CostModel`] whose base-relation statistics reflect the currently
+/// stored data: exact cardinalities plus the engine's per-attribute
+/// distinct-count/min-max sketches, converted into the estimator's
+/// [`RelationStats`]. Views and unknown names are left to the model's
+/// defaults.
+pub fn stats_cost_model(db: &Database) -> CostModel {
+    let mut model = CostModel::new();
+    for name in db.catalog.table_names() {
+        if let Some(ts) = db.table_stats(name) {
+            let columns = ts
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ColumnStats {
+                    distinct: c.distinct(),
+                    min: c.min,
+                    max: c.max,
+                    null_frac: ts.null_frac(i),
+                })
+                .collect();
+            model.set_stats(
+                name,
+                RelationStats {
+                    card: ts.card as f64,
+                    columns,
+                },
+            );
+        } else if let Some(card) = db.cardinality(name) {
+            model.set_card(name, card as f64);
+        }
+    }
+    model
+}
+
 /// The extensible query rewriter.
 pub struct QueryRewriter {
     rules: RuleSet,
@@ -173,23 +289,27 @@ pub struct QueryRewriter {
     methods: MethodRegistry,
     /// Collect a rule-application trace on every rewrite.
     pub collect_trace: bool,
-    /// Rewrite-output cache, keyed on the canonical input term (terms
-    /// carry their hash from interning, so lookups cost one table probe,
-    /// not a plan traversal). Interior-mutable so `rewrite(&self)` can
+    /// Rewrite-output cache, keyed on the optimization level and the
+    /// canonical input term (terms carry their hash from interning, so
+    /// lookups cost one table probe, not a plan traversal). The level is
+    /// part of the key because levels produce different plans for the
+    /// same canonical term. Interior-mutable so `rewrite(&self)` can
     /// fill it; invalidated by every knowledge-base mutation and, via
     /// [`QueryRewriter::invalidate_plan_cache`], by catalog/constraint
     /// changes in the embedding DBMS.
-    plan_cache: Mutex<HashMap<Term, CachedPlan>>,
-    /// Second cache tier for prepared statements, keyed on the
-    /// *parameterized* canonical term (the statement fingerprint: `?`
+    plan_cache: Mutex<HashMap<(OptLevel, Term), CachedPlan>>,
+    /// Second cache tier for prepared statements, keyed on the level and
+    /// the *parameterized* canonical term (the statement fingerprint: `?`
     /// placeholders appear as `PARAM(i)` leaves, so statements differing
     /// only in bind values share one entry). Stores the rewritten and
     /// lowered plan; invalidated together with the term tier.
-    shape_cache: Mutex<HashMap<Term, ShapedPlan>>,
+    shape_cache: Mutex<HashMap<(OptLevel, Term), ShapedPlan>>,
     /// Capacity of each cache tier (0 disables caching entirely).
     plan_cache_cap: usize,
     /// Hit/miss/eviction/invalidation counters.
     counters: PlanCacheCounters,
+    /// Cumulative candidate-exploration counters.
+    explore_counters: ExploreCounters,
 }
 
 impl fmt::Debug for QueryRewriter {
@@ -222,6 +342,7 @@ impl Clone for QueryRewriter {
             shape_cache: Mutex::new(HashMap::new()),
             plan_cache_cap: self.plan_cache_cap,
             counters: PlanCacheCounters::default(),
+            explore_counters: ExploreCounters::default(),
         }
     }
 }
@@ -240,6 +361,7 @@ impl QueryRewriter {
             shape_cache: Mutex::new(HashMap::new()),
             plan_cache_cap: plan_cache_cap_from_env(),
             counters: PlanCacheCounters::default(),
+            explore_counters: ExploreCounters::default(),
         }
     }
 
@@ -252,6 +374,7 @@ impl QueryRewriter {
         for (_, src) in BUILTIN_RULE_SOURCES {
             rw.add_source_checked(src, LintPolicy::Off, None)?;
         }
+        rw.strategy.set_explore_blocks(EXPLORE_BLOCKS);
         Ok(rw)
     }
 
@@ -499,36 +622,55 @@ impl QueryRewriter {
         self.counters.snapshot()
     }
 
-    /// Rewrite a term directly, consulting the plan cache. Tracing
-    /// rewrites bypass the cache (a cache hit has no applications to
-    /// trace, which would make `explain` output misleading).
+    /// Cumulative candidate-exploration counters.
+    pub fn explore_stats(&self) -> ExploreStats {
+        self.explore_counters.snapshot()
+    }
+
+    /// Rewrite a term directly, consulting the plan cache, at
+    /// [`OptLevel::Simple`]. See [`QueryRewriter::rewrite_term_leveled`].
     pub fn rewrite_term(
         &self,
         term: Term,
         db: &Database,
         constraints: &ConstraintStore,
     ) -> CoreResult<(Term, RewriteStats, Trace, bool)> {
+        self.rewrite_term_leveled(term, db, constraints, OptLevel::Simple)
+            .map(|r| (r.term, r.stats, r.trace, r.budget_exhausted))
+    }
+
+    /// Rewrite a term directly at an optimization level, consulting the
+    /// plan cache (keyed on `(level, term)`). Tracing rewrites bypass
+    /// the cache (a cache hit has no applications to trace, which would
+    /// make `explain` output misleading).
+    pub fn rewrite_term_leveled(
+        &self,
+        term: Term,
+        db: &Database,
+        constraints: &ConstraintStore,
+        level: OptLevel,
+    ) -> CoreResult<TermRewrite> {
         if self.collect_trace || self.plan_cache_cap == 0 {
-            return self.rewrite_term_uncached(term, db, constraints);
+            return self.rewrite_term_uncached_leveled(term, db, constraints, level);
         }
+        let key = (level, term);
         if let Some(hit) = self
             .plan_cache
             .lock()
             .expect("plan cache poisoned")
-            .get(&term)
+            .get(&key)
         {
             self.counters.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((
-                hit.term.clone(),
-                hit.stats,
-                Trace::default(),
-                hit.budget_exhausted,
-            ));
+            return Ok(TermRewrite {
+                term: hit.term.clone(),
+                stats: hit.stats,
+                trace: Trace::default(),
+                budget_exhausted: hit.budget_exhausted,
+                exploration: hit.exploration,
+            });
         }
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
-        let key = term.clone();
-        let (out_term, stats, trace, budget_exhausted) =
-            self.rewrite_term_uncached(term, db, constraints)?;
+        let out = self.rewrite_term_uncached_leveled(key.1.clone(), db, constraints, level)?;
         let mut cache = self.plan_cache.lock().expect("plan cache poisoned");
         if cache.len() >= self.plan_cache_cap {
             self.counters
@@ -539,59 +681,138 @@ impl QueryRewriter {
         cache.insert(
             key,
             CachedPlan {
-                term: out_term.clone(),
-                stats,
-                budget_exhausted,
+                term: out.term.clone(),
+                stats: out.stats,
+                budget_exhausted: out.budget_exhausted,
+                exploration: out.exploration,
             },
         );
-        Ok((out_term, stats, trace, budget_exhausted))
+        Ok(out)
     }
 
     /// Rewrite a term without touching the plan cache (neither lookup
-    /// nor fill) — for benchmarking the rewriter itself.
+    /// nor fill), at [`OptLevel::Simple`] — for benchmarking the
+    /// rewriter itself.
     pub fn rewrite_term_uncached(
         &self,
         term: Term,
         db: &Database,
         constraints: &ConstraintStore,
     ) -> CoreResult<(Term, RewriteStats, Trace, bool)> {
-        let env = CoreEnv { db, constraints };
-        let outcome = run_strategy(
-            &self.rules,
-            &self.strategy,
-            &self.methods,
-            &env,
-            term,
-            self.collect_trace,
-        )?;
-        Ok((
-            outcome.term,
-            outcome.stats,
-            outcome.trace,
-            outcome.budget_exhausted,
-        ))
+        self.rewrite_term_uncached_leveled(term, db, constraints, OptLevel::Simple)
+            .map(|r| (r.term, r.stats, r.trace, r.budget_exhausted))
     }
 
-    /// Rewrite a parameterized canonical plan through the **shape
-    /// tier**: the key is the canonical term itself (`?` placeholders
-    /// are `PARAM(i)` leaves, so every statement with the same shape
-    /// shares one entry regardless of eventual bind values), and the
-    /// entry stores the rewritten *and lowered* plan behind an `Arc` —
-    /// a hit skips rule matching and the term→algebra conversion both.
-    /// Misses fall through to the term tier, warming it for ad-hoc
-    /// rewrites of the same canonical term.
+    /// Rewrite a term without touching the plan cache, at an
+    /// optimization level:
+    ///
+    /// * [`OptLevel::None`] — a *trivial statement* (a point scan over
+    ///   one stored relation, [`Expr::is_trivial_scan`]) skips rewriting
+    ///   entirely and runs as translated; anything structural falls back
+    ///   to `Simple` (skipping rewrites that restructure joins or
+    ///   recursion would be a correctness-neutral but large performance
+    ///   trap).
+    /// * [`OptLevel::Simple`] — bounded syntactic saturation, today's
+    ///   behavior.
+    /// * [`OptLevel::Full`] — `Simple` plus candidate exploration at the
+    ///   declared choice-point blocks, scored with a statistics-backed
+    ///   cost model built from the engine's sketches.
+    pub fn rewrite_term_uncached_leveled(
+        &self,
+        term: Term,
+        db: &Database,
+        constraints: &ConstraintStore,
+        level: OptLevel,
+    ) -> CoreResult<TermRewrite> {
+        if level == OptLevel::None {
+            let trivial = expr_from_term(&term).is_ok_and(|e| e.is_trivial_scan());
+            if trivial {
+                return Ok(TermRewrite {
+                    term,
+                    stats: RewriteStats::default(),
+                    trace: Trace::default(),
+                    budget_exhausted: false,
+                    exploration: None,
+                });
+            }
+        }
+        let env = CoreEnv { db, constraints };
+        let outcome = if level == OptLevel::Full {
+            let model = stats_cost_model(db);
+            let score = |t: &Term| expr_from_term(t).ok().map(|e| model.estimate(&e).cost);
+            let opts = ExploreOptions {
+                k: EXPLORE_K,
+                max_checks: EXPLORE_MAX_CHECKS,
+                check_cost: EXPLORE_CHECK_COST,
+                score: &score,
+            };
+            let outcome = run_strategy_explore(
+                &self.rules,
+                &self.strategy,
+                &self.methods,
+                &env,
+                term,
+                self.collect_trace,
+                &opts,
+            )?;
+            self.explore_counters.absorb(&outcome.stats);
+            outcome
+        } else {
+            run_strategy(
+                &self.rules,
+                &self.strategy,
+                &self.methods,
+                &env,
+                term,
+                self.collect_trace,
+            )?
+        };
+        Ok(TermRewrite {
+            term: outcome.term,
+            stats: outcome.stats,
+            trace: outcome.trace,
+            budget_exhausted: outcome.budget_exhausted,
+            exploration: outcome.exploration,
+        })
+    }
+
+    /// [`QueryRewriter::rewrite_shape_leveled`] at [`OptLevel::Simple`].
     pub fn rewrite_shape(
         &self,
         expr: &Expr,
         db: &Database,
         constraints: &ConstraintStore,
     ) -> CoreResult<(std::sync::Arc<Expr>, RewriteStats, bool)> {
+        self.rewrite_shape_leveled(expr, db, constraints, OptLevel::Simple)
+    }
+
+    /// Rewrite a parameterized canonical plan through the **shape
+    /// tier**: the key is the optimization level plus the canonical term
+    /// itself (`?` placeholders are `PARAM(i)` leaves, so every
+    /// statement with the same shape *prepared at the same level* shares
+    /// one entry regardless of eventual bind values), and the entry
+    /// stores the rewritten *and lowered* plan behind an `Arc` — a hit
+    /// skips rule matching and the term→algebra conversion both. Misses
+    /// fall through to the term tier, warming it for ad-hoc rewrites of
+    /// the same canonical term.
+    pub fn rewrite_shape_leveled(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        constraints: &ConstraintStore,
+        level: OptLevel,
+    ) -> CoreResult<(std::sync::Arc<Expr>, RewriteStats, bool)> {
         use std::sync::Arc;
-        let key = expr_to_term(expr);
+        let term = expr_to_term(expr);
         if self.plan_cache_cap == 0 {
-            let (term, stats, _, budget) = self.rewrite_term_uncached(key, db, constraints)?;
-            return Ok((Arc::new(expr_from_term(&term)?), stats, budget));
+            let out = self.rewrite_term_uncached_leveled(term, db, constraints, level)?;
+            return Ok((
+                Arc::new(expr_from_term(&out.term)?),
+                out.stats,
+                out.budget_exhausted,
+            ));
         }
+        let key = (level, term);
         if let Some(hit) = self
             .shape_cache
             .lock()
@@ -602,8 +823,8 @@ impl QueryRewriter {
             return Ok((Arc::clone(&hit.expr), hit.stats, hit.budget_exhausted));
         }
         self.counters.shape_misses.fetch_add(1, Ordering::Relaxed);
-        let (term, stats, _, budget_exhausted) = self.rewrite_term(key.clone(), db, constraints)?;
-        let lowered = Arc::new(expr_from_term(&term)?);
+        let out = self.rewrite_term_leveled(key.1.clone(), db, constraints, level)?;
+        let lowered = Arc::new(expr_from_term(&out.term)?);
         let mut cache = self.shape_cache.lock().expect("shape cache poisoned");
         if cache.len() >= self.plan_cache_cap {
             self.counters
@@ -615,50 +836,76 @@ impl QueryRewriter {
             key,
             ShapedPlan {
                 expr: Arc::clone(&lowered),
-                stats,
-                budget_exhausted,
+                stats: out.stats,
+                budget_exhausted: out.budget_exhausted,
             },
         );
-        Ok((lowered, stats, budget_exhausted))
+        Ok((lowered, out.stats, out.budget_exhausted))
     }
 
-    /// Rewrite a LERA plan (through the plan cache).
+    /// Rewrite a LERA plan (through the plan cache) at
+    /// [`OptLevel::Simple`].
     pub fn rewrite(
         &self,
         expr: &Expr,
         db: &Database,
         constraints: &ConstraintStore,
     ) -> CoreResult<RewriteOutcome> {
+        self.rewrite_leveled(expr, db, constraints, OptLevel::Simple)
+    }
+
+    /// Rewrite a LERA plan (through the plan cache) at an optimization
+    /// level.
+    pub fn rewrite_leveled(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        constraints: &ConstraintStore,
+        level: OptLevel,
+    ) -> CoreResult<RewriteOutcome> {
         let term = expr_to_term(expr);
-        let (term, stats, trace, budget_exhausted) = self.rewrite_term(term, db, constraints)?;
-        let expr = expr_from_term(&term)?;
+        let out = self.rewrite_term_leveled(term, db, constraints, level)?;
+        let expr = expr_from_term(&out.term)?;
         Ok(RewriteOutcome {
             expr,
-            term,
-            stats,
-            trace,
-            budget_exhausted,
+            term: out.term,
+            stats: out.stats,
+            trace: out.trace,
+            budget_exhausted: out.budget_exhausted,
+            exploration: out.exploration,
         })
     }
 
-    /// Rewrite a LERA plan, bypassing the plan cache — for benchmarking
-    /// the rewriter itself.
+    /// Rewrite a LERA plan, bypassing the plan cache, at
+    /// [`OptLevel::Simple`] — for benchmarking the rewriter itself.
     pub fn rewrite_uncached(
         &self,
         expr: &Expr,
         db: &Database,
         constraints: &ConstraintStore,
     ) -> CoreResult<RewriteOutcome> {
+        self.rewrite_uncached_leveled(expr, db, constraints, OptLevel::Simple)
+    }
+
+    /// Rewrite a LERA plan, bypassing the plan cache, at an optimization
+    /// level.
+    pub fn rewrite_uncached_leveled(
+        &self,
+        expr: &Expr,
+        db: &Database,
+        constraints: &ConstraintStore,
+        level: OptLevel,
+    ) -> CoreResult<RewriteOutcome> {
         let term = expr_to_term(expr);
-        let (term, stats, trace, budget_exhausted) =
-            self.rewrite_term_uncached(term, db, constraints)?;
-        let expr = expr_from_term(&term)?;
+        let out = self.rewrite_term_uncached_leveled(term, db, constraints, level)?;
+        let expr = expr_from_term(&out.term)?;
         Ok(RewriteOutcome {
             expr,
-            term,
-            stats,
-            trace,
-            budget_exhausted,
+            term: out.term,
+            stats: out.stats,
+            trace: out.trace,
+            budget_exhausted: out.budget_exhausted,
+            exploration: out.exploration,
         })
     }
 }

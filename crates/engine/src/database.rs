@@ -10,6 +10,7 @@ use eds_lera::{Schema, SchemaCtx};
 use crate::columnar::ColumnarRelation;
 use crate::error::{EngineError, EngineResult};
 use crate::relation::{Relation, Row};
+use crate::stats::TableStats;
 
 /// An in-memory database instance.
 #[derive(Debug)]
@@ -30,6 +31,11 @@ pub struct Database {
     /// unrelated tables survive. `None` records "not column-friendly"
     /// so an all-spill table is not re-scanned on every query.
     columnar: Mutex<HashMap<String, Option<Arc<ColumnarRelation>>>>,
+    /// Per-table statistics sketches for the cost-guided rewriter (see
+    /// [`crate::stats`]), cached with the same lifecycle as the columnar
+    /// mirrors: built lazily by [`Database::table_stats`], maintained
+    /// incrementally on [`Database::insert`], dropped on bulk mutation.
+    stats: Mutex<HashMap<String, Arc<TableStats>>>,
 }
 
 impl Default for Database {
@@ -47,15 +53,21 @@ impl Database {
             functions: FunctionRegistry::with_builtins(),
             relations: HashMap::new(),
             columnar: Mutex::new(HashMap::new()),
+            stats: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Drop the cached columnar mirror of `key` (already uppercased),
-    /// called from every path that can change the stored rows.
+    /// Drop the cached columnar mirror and statistics of `key` (already
+    /// uppercased), called from every path that can change the stored
+    /// rows.
     fn invalidate_columnar(&mut self, key: &str) {
         self.columnar
             .get_mut()
             .expect("columnar cache poisoned")
+            .remove(key);
+        self.stats
+            .get_mut()
+            .expect("stats cache poisoned")
             .remove(key);
     }
 
@@ -75,6 +87,20 @@ impl Database {
             .and_then(|rel| ColumnarRelation::build(rel).map(Arc::new));
         cache.insert(key, built.clone());
         built
+    }
+
+    /// Statistics sketches for a stored base table, built on first use
+    /// and cached until the table is mutated. `None` when no such table
+    /// exists (views and recursion variables have no stored rows).
+    pub fn table_stats(&self, name: &str) -> Option<Arc<TableStats>> {
+        let key = name.to_ascii_uppercase();
+        let mut cache = self.stats.lock().expect("stats cache poisoned");
+        if let Some(entry) = cache.get(&key) {
+            return Some(entry.clone());
+        }
+        let built = Arc::new(TableStats::build(self.relations.get(&key)?));
+        cache.insert(key, built.clone());
+        Some(built)
     }
 
     /// Parse and install DDL from `src`; storage is allocated for tables,
@@ -183,6 +209,14 @@ impl Database {
             };
             if !maintained {
                 cache.remove(&key);
+            }
+        }
+        let stats = self.stats.get_mut().expect("stats cache poisoned");
+        if let Some(entry) = stats.get_mut(&key) {
+            if entry.card == prev_len as u64 {
+                Arc::make_mut(entry).observe_row(&appended);
+            } else {
+                stats.remove(&key);
             }
         }
         Ok(())
@@ -362,6 +396,32 @@ mod tests {
         // be built.
         let mirror = db.columnar("E").expect("rebuilt after negative entry");
         assert_eq!(mirror.row(0), vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn table_stats_maintained_on_insert_dropped_on_truncate() {
+        let mut db = Database::new();
+        db.execute_ddl("TABLE S (K : INT, V : INT);").unwrap();
+        for i in 0..10 {
+            db.insert("S", vec![Value::Int(i), Value::Int(i % 3)])
+                .unwrap();
+        }
+        let first = db.table_stats("S").expect("stored table");
+        assert_eq!(first.card, 10);
+        assert_eq!(first.columns[0].distinct(), 10.0);
+        assert_eq!(first.columns[1].distinct(), 3.0);
+        // Insert maintains the cached sketch in place (no rebuild).
+        db.insert("S", vec![Value::Int(99), Value::Int(7)]).unwrap();
+        let second = db.table_stats("S").expect("still cached");
+        assert_eq!(second.card, 11);
+        assert_eq!(second.columns[0].max, Some(99.0));
+        assert_eq!(second.columns[1].distinct(), 4.0);
+        // Truncate drops the entry; the rebuild sees an empty table.
+        db.truncate("S").unwrap();
+        let third = db.table_stats("S").expect("rebuilt");
+        assert_eq!(third.card, 0);
+        // Views have no stored rows, hence no stats.
+        assert!(db.table_stats("NOPE").is_none());
     }
 
     #[test]

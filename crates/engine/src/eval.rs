@@ -51,6 +51,57 @@ pub enum JoinMode {
     Hash,
 }
 
+/// How hard the rewriter works before a statement reaches the executor.
+///
+/// The engine itself does not consult this — it evaluates whatever plan
+/// it is handed — but the option rides in [`EvalOptions`] because that
+/// is the session's option bag: the `Dbms` facade in `eds-core` reads it
+/// to decide between skipping rewrite (`None`, trivial statements only),
+/// the paper's syntactic saturation (`Simple`), and cost-guided
+/// candidate exploration (`Full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// Skip rewriting for trivial statements (single stored-table scans
+    /// with no derived relations); everything else falls back to
+    /// `Simple` — correctness must not depend on the level.
+    None,
+    /// Syntactic saturation: run every rule block to its fixpoint and
+    /// keep whatever falls out (the paper's behavior, today's default).
+    #[default]
+    Simple,
+    /// `Simple` plus cost-guided exploration: keep candidate rewrites at
+    /// choice-point blocks, score them with the statistics-backed cost
+    /// model, emit the cheapest.
+    Full,
+}
+
+impl OptLevel {
+    /// Parse `none`/`simple`/`full` (case-insensitive).
+    pub fn parse(s: &str) -> Option<OptLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" | "0" => Some(OptLevel::None),
+            "simple" | "1" => Some(OptLevel::Simple),
+            "full" | "2" => Some(OptLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// Level name as accepted by [`OptLevel::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::None => "none",
+            OptLevel::Simple => "simple",
+            OptLevel::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Evaluation options.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
@@ -83,6 +134,9 @@ pub struct EvalOptions {
     /// restricts columnar evaluation to stored base tables. Only
     /// consulted when [`EvalOptions::columnar`] is on.
     pub derived_mirror_min: usize,
+    /// Rewriter effort for statements evaluated through this option bag
+    /// (see [`OptLevel`]); read by the `Dbms` facade, not the executor.
+    pub opt_level: OptLevel,
 }
 
 /// Process-wide default for [`EvalOptions::columnar`], read once from
@@ -100,22 +154,30 @@ impl Default for EvalOptions {
             parallelism: 1,
             columnar: env_columnar_default(),
             derived_mirror_min: 4096,
+            opt_level: OptLevel::default(),
         }
     }
 }
 
 impl EvalOptions {
     /// Defaults, with `parallelism` taken from the `EDS_PARALLELISM`
-    /// environment variable when it parses to a positive integer (and
-    /// `columnar` from `EDS_COLUMNAR`, as in `Default`).
+    /// environment variable when it parses to a positive integer,
+    /// `opt_level` from `EDS_OPT_LEVEL` (`none`/`simple`/`full`; unset
+    /// or unparsable means `Simple`), and `columnar` from
+    /// `EDS_COLUMNAR`, as in `Default`.
     pub fn from_env() -> Self {
         let parallelism = std::env::var("EDS_PARALLELISM")
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&p| p >= 1)
             .unwrap_or(1);
+        let opt_level = std::env::var("EDS_OPT_LEVEL")
+            .ok()
+            .and_then(|v| OptLevel::parse(&v))
+            .unwrap_or_default();
         EvalOptions {
             parallelism,
+            opt_level,
             ..Default::default()
         }
     }

@@ -38,6 +38,7 @@ pub mod fixpoint;
 pub mod parallel;
 pub mod reference;
 pub mod relation;
+pub mod stats;
 
 pub use columnar::ColumnarRelation;
 pub use compile::{CompiledScalar, EvalEnv};
@@ -45,8 +46,10 @@ pub use database::Database;
 pub use error::{EngineError, EngineResult};
 pub use eval::{
     eval, eval_const_scalar, eval_with, eval_with_params, EvalOptions, EvalStats, JoinMode,
+    OptLevel,
 };
 pub use fixpoint::{FixMode, FixOptions};
 pub use parallel::{effective_workers, parallel_stats, shutdown_pool, ParallelStats, MORSEL_ROWS};
 pub use reference::eval_reference;
 pub use relation::{Relation, Row, SharedRow};
+pub use stats::{ColumnStats, TableStats};

@@ -191,6 +191,24 @@ impl Expr {
             .any(|n| n.eq_ignore_ascii_case(name))
     }
 
+    /// Is this a *trivial statement* — a point scan over one stored
+    /// relation with no derived inputs? Such plans are what
+    /// `OptLevel::None` may hand to the executor unrewritten: a chain of
+    /// row-preserving operators (`filter`/`project`/`dedup`/single-input
+    /// `search`) over exactly one `Base` leaf. Any set operator, join,
+    /// `fix`, or nesting means rewriting can restructure the plan, so
+    /// the statement is not trivial.
+    pub fn is_trivial_scan(&self) -> bool {
+        match self {
+            Expr::Base(_) => true,
+            Expr::Filter { input, .. } | Expr::Project { input, .. } | Expr::Dedup(input) => {
+                input.is_trivial_scan()
+            }
+            Expr::Search { inputs, .. } => inputs.len() == 1 && inputs[0].is_trivial_scan(),
+            _ => false,
+        }
+    }
+
     /// Operator name for diagnostics.
     pub fn op_name(&self) -> &'static str {
         match self {
@@ -223,6 +241,26 @@ mod tests {
         );
         assert_eq!(e.node_count(), 3);
         assert_eq!(e.base_relations(), vec!["APPEARS_IN", "FILM"]);
+    }
+
+    #[test]
+    fn trivial_scans_are_single_base_chains() {
+        let scan = Expr::search(
+            vec![Expr::base("T")],
+            Scalar::eq(Scalar::attr(1, 1), Scalar::lit(5)),
+            vec![Scalar::attr(1, 2)],
+        );
+        assert!(scan.is_trivial_scan());
+        assert!(Expr::Dedup(Box::new(scan.clone())).is_trivial_scan());
+        let join = Expr::search(
+            vec![Expr::base("T"), Expr::base("U")],
+            Scalar::true_(),
+            vec![Scalar::attr(1, 1)],
+        );
+        assert!(!join.is_trivial_scan());
+        assert!(!Expr::Union(vec![Expr::base("T")]).is_trivial_scan());
+        let nested_join = Expr::search(vec![join], Scalar::true_(), vec![Scalar::attr(1, 1)]);
+        assert!(!nested_join.is_trivial_scan());
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub struct RewriteStats {
     pub applications: u64,
     /// Number of candidate matches rejected by constraints or methods.
     pub rejected: u64,
+    /// Candidate rewrites scored by cost-guided exploration (including
+    /// the mainline saturation result). Zero outside `Full` runs.
+    pub explore_candidates: u64,
+    /// Condition checks spent normalizing exploration candidates — extra
+    /// work beyond the mainline, *not* included in `condition_checks`,
+    /// so the mainline counter stays comparable across levels.
+    pub explore_checks: u64,
+    /// Times exploration stopped early because the estimated win could
+    /// not repay the exploration cost (the generalized cost budget).
+    pub explore_budget_stops: u64,
+    /// Explorations where a candidate beat the mainline plan.
+    pub explore_wins: u64,
 }
 
 impl RewriteStats {
@@ -42,6 +54,10 @@ impl RewriteStats {
         self.condition_checks += other.condition_checks;
         self.applications += other.applications;
         self.rejected += other.rejected;
+        self.explore_candidates += other.explore_candidates;
+        self.explore_checks += other.explore_checks;
+        self.explore_budget_stops += other.explore_budget_stops;
+        self.explore_wins += other.explore_wins;
     }
 }
 

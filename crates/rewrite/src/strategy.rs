@@ -19,7 +19,7 @@
 //!   applications actually changed (the rewritten subtree plus its
 //!   ancestor spine), not the whole term.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::engine::{apply_rule_once, apply_rule_once_dirty, RewriteStats};
 use crate::error::{RewriteError, RwResult};
@@ -189,6 +189,12 @@ pub struct Strategy {
     by_name: HashMap<String, usize>,
     /// The sequence meta-rule; defaults to all blocks, one pass.
     pub sequence: Option<Sequence>,
+    /// Names of *choice-point* blocks: blocks whose rules are heuristic
+    /// (permutation, merging, semantic transformations) rather than pure
+    /// normalization, so intermediate states they pass through are worth
+    /// keeping as exploration candidates. Only consulted by
+    /// [`run_strategy_explore`]; plain [`run_strategy`] ignores it.
+    explore: HashSet<String>,
 }
 
 impl Strategy {
@@ -233,6 +239,22 @@ impl Strategy {
     /// Blocks in definition order.
     pub fn blocks(&self) -> impl Iterator<Item = &Block> {
         self.blocks.iter()
+    }
+
+    /// Declare which blocks are choice points for cost-guided
+    /// exploration (replaces any previous set). Unknown names are
+    /// harmless — they simply never match a block.
+    pub fn set_explore_blocks<I, S>(&mut self, names: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.explore = names.into_iter().map(Into::into).collect();
+    }
+
+    /// Is `name` a declared choice-point block?
+    pub fn is_explore_block(&self, name: &str) -> bool {
+        self.explore.contains(name)
     }
 
     /// The effective block execution order.
@@ -359,12 +381,59 @@ pub struct RunOutcome {
     pub term: Term,
     /// Aggregate counters.
     pub stats: RewriteStats,
-    /// Per-application trace (empty unless tracing was requested).
+    /// Per-application trace (empty unless tracing was requested). Under
+    /// exploration the trace describes the *mainline* saturation run;
+    /// when a candidate wins, [`RunOutcome::exploration`] records the
+    /// divergence.
     pub trace: Trace,
     /// True when some block stopped because its limit ran out rather than
     /// by saturation.
     pub budget_exhausted: bool,
+    /// Cost-guided exploration report ([`run_strategy_explore`] only).
+    pub exploration: Option<Exploration>,
 }
+
+/// What cost-guided exploration did for one statement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exploration {
+    /// Plans scored, including the mainline saturation result.
+    pub considered: u64,
+    /// Estimated cost of the emitted plan.
+    pub chosen_cost: f64,
+    /// Estimated cost of the best plan *not* emitted, when more than one
+    /// was scored.
+    pub runner_up_cost: Option<f64>,
+    /// True when the emitted plan is not the mainline result.
+    pub improved: bool,
+}
+
+/// Knobs and scoring callback for [`run_strategy_explore`].
+///
+/// The score maps a candidate term to an estimated execution cost
+/// (`None` when the term cannot be lowered or estimated — such
+/// candidates are discarded). The budget generalizes the paper's
+/// fixed block limits: exploration stops as soon as the best plan found
+/// so far is already cheaper than the estimated price of normalizing
+/// one more candidate (`check_cost` × the running per-candidate check
+/// average), or when `max_checks`/`k` run out.
+pub struct ExploreOptions<'a> {
+    /// Maximum candidates to normalize and score (beyond the mainline).
+    pub k: usize,
+    /// Hard cap on condition checks spent normalizing candidates.
+    pub max_checks: u64,
+    /// Estimated-cost units one condition check is worth; the exchange
+    /// rate between rewrite-time work and execution-time work.
+    pub check_cost: f64,
+    /// Plan scoring callback.
+    pub score: &'a dyn Fn(&Term) -> Option<f64>,
+}
+
+/// Per block run, at most this many trajectory snapshots are retained as
+/// exploration candidates: the pre-block state plus the most recent
+/// states (late snapshots have absorbed the most normalization, so they
+/// are the likeliest to differ from the mainline only at the harmful
+/// step).
+const SNAPSHOT_CAP: usize = 16;
 
 /// Run one block to saturation or budget exhaustion. Each *condition
 /// check* (attempt to match one rule against the query) costs one unit of
@@ -376,8 +445,25 @@ pub fn apply_block(
     block: &Block,
     methods: &MethodRegistry,
     env: &dyn TermEnv,
+    term: Term,
+    collect_trace: bool,
+) -> RwResult<RunOutcome> {
+    apply_block_capture(rules, block, methods, env, term, collect_trace, None)
+}
+
+/// [`apply_block`], optionally snapshotting the term before each
+/// successful application into `capture` (bounded by [`SNAPSHOT_CAP`]:
+/// the pre-block state plus the most recent states). The saturation
+/// loop itself is unchanged — the snapshots are the block's visited
+/// trajectory, which cost-guided exploration mines for candidates.
+fn apply_block_capture(
+    rules: &RuleSet,
+    block: &Block,
+    methods: &MethodRegistry,
+    env: &dyn TermEnv,
     mut term: Term,
     collect_trace: bool,
+    mut capture: Option<&mut Vec<Term>>,
 ) -> RwResult<RunOutcome> {
     let mut budget = block.limit.budget();
     let mut stats = RewriteStats::default();
@@ -416,6 +502,14 @@ pub fn apply_block(
             };
             match outcome {
                 Some((new_term, app)) => {
+                    if let Some(snaps) = capture.as_deref_mut() {
+                        if snaps.len() >= SNAPSHOT_CAP {
+                            // Keep the pre-block state, evict the oldest
+                            // intermediate.
+                            snaps.remove(1);
+                        }
+                        snaps.push(term.clone());
+                    }
                     if collect_trace {
                         trace.push(TraceEvent {
                             block: block.name.clone(),
@@ -451,6 +545,7 @@ pub fn apply_block(
         stats,
         trace,
         budget_exhausted: exhausted,
+        exploration: None,
     })
 }
 
@@ -488,7 +583,187 @@ pub fn run_strategy(
         stats,
         trace,
         budget_exhausted: exhausted,
+        exploration: None,
     })
+}
+
+/// [`run_strategy`] plus cost-guided candidate exploration.
+///
+/// The mainline saturation run proceeds exactly as under
+/// [`run_strategy`], but at each declared choice-point block (see
+/// [`Strategy::set_explore_blocks`]) the trajectory of intermediate
+/// terms is snapshotted. Afterwards, each snapshot — a state the
+/// saturation passed *through* and would normally discard — is
+/// normalized by the remaining non-choice-point blocks of the sequence
+/// and scored; the cheapest plan overall is emitted.
+///
+/// Skipping the choice-point blocks during candidate normalization is
+/// what preserves the candidate's distinguishing shape (re-running the
+/// merging block would just re-flatten an intentionally kept nested
+/// join); it is sound because every rule in the knowledge base is
+/// semantics-preserving, so *any* prefix of applications yields an
+/// equivalent plan.
+///
+/// Exploration work is bounded by the cost budget in `explore` (see
+/// [`ExploreOptions`]); the extra condition checks are accounted in
+/// `RewriteStats::explore_checks`, leaving `condition_checks` identical
+/// to what `Simple` would report for the same statement.
+pub fn run_strategy_explore(
+    rules: &RuleSet,
+    strategy: &Strategy,
+    methods: &MethodRegistry,
+    env: &dyn TermEnv,
+    mut term: Term,
+    collect_trace: bool,
+    explore: &ExploreOptions,
+) -> RwResult<RunOutcome> {
+    let (order, passes) = strategy.order();
+    let mut stats = RewriteStats::default();
+    let mut trace = Trace::default();
+    let mut exhausted = false;
+    // (pass, block index, term) for every snapshot taken at a
+    // choice-point block; the position locates the remaining blocks the
+    // candidate still has to be normalized by.
+    let mut snapshots: Vec<(u64, usize, Term)> = Vec::new();
+
+    for pass in 0..passes {
+        let before = term.clone();
+        for (bi, block) in order.iter().enumerate() {
+            let mut taken: Vec<Term> = Vec::new();
+            let capture = strategy.is_explore_block(&block.name).then_some(&mut taken);
+            let outcome =
+                apply_block_capture(rules, block, methods, env, term, collect_trace, capture)?;
+            term = outcome.term;
+            stats.absorb(outcome.stats);
+            trace.extend(outcome.trace);
+            exhausted |= outcome.budget_exhausted;
+            snapshots.extend(taken.into_iter().map(|t| (pass, bi, t)));
+        }
+        if term == before {
+            break;
+        }
+    }
+
+    // Score the mainline; an unscorable mainline disables exploration
+    // for this statement (nothing to compare against).
+    let Some(mainline_cost) = (explore.score)(&term) else {
+        return Ok(RunOutcome {
+            term,
+            stats,
+            trace,
+            budget_exhausted: exhausted,
+            exploration: None,
+        });
+    };
+    stats.explore_candidates += 1;
+    let mut best_term = term.clone();
+    let mut best_cost = mainline_cost;
+    let mut runner_up: Option<f64> = None;
+    // Trajectory states already normalized (snapshots repeat when a
+    // block is revisited across passes) and plans already scored (many
+    // snapshots normalize to the same plan — including the mainline's).
+    let mut seen_snaps: HashSet<Term> = HashSet::new();
+    let mut seen_plans: HashSet<Term> = HashSet::new();
+    seen_plans.insert(term.clone());
+    let mut scored = 0usize;
+    // The expected price of the next candidate's normalization, seeded
+    // with the mainline's own check count and refined as candidates are
+    // processed.
+    let mut expected_checks = stats.condition_checks.max(1);
+
+    // Most recent snapshots first: they have absorbed the most
+    // normalization, so they differ from the mainline by the fewest
+    // (and latest) choice-point applications.
+    for (pass, bi, snap) in snapshots.into_iter().rev() {
+        if scored >= explore.k {
+            break;
+        }
+        if stats.explore_checks >= explore.max_checks
+            || best_cost <= explore.check_cost * expected_checks as f64
+        {
+            // The best plan found is already cheaper to run than one
+            // more candidate is to produce: exploring further cannot
+            // pay for itself.
+            stats.explore_budget_stops += 1;
+            break;
+        }
+        if !seen_snaps.insert(snap.clone()) {
+            continue;
+        }
+        let (normalized, checks) = normalize_candidate(
+            rules, strategy, &order, passes, methods, env, pass, bi, snap,
+        )?;
+        stats.explore_checks += checks;
+        expected_checks = checks.max(1);
+        if !seen_plans.insert(normalized.clone()) {
+            continue;
+        }
+        scored += 1;
+        stats.explore_candidates += 1;
+        let Some(cost) = (explore.score)(&normalized) else {
+            continue;
+        };
+        if cost < best_cost {
+            runner_up = Some(best_cost);
+            best_cost = cost;
+            best_term = normalized;
+        } else if runner_up.is_none_or(|r| cost < r) {
+            runner_up = Some(cost);
+        }
+    }
+
+    let improved = best_term != term;
+    if improved {
+        stats.explore_wins += 1;
+    }
+    Ok(RunOutcome {
+        term: best_term,
+        stats,
+        trace,
+        budget_exhausted: exhausted,
+        exploration: Some(Exploration {
+            considered: stats.explore_candidates,
+            chosen_cost: best_cost,
+            runner_up_cost: runner_up,
+            improved,
+        }),
+    })
+}
+
+/// Normalize an exploration candidate by the remainder of the sequence:
+/// the blocks after its capture position in that pass, then the
+/// remaining passes — skipping choice-point blocks, whose re-application
+/// would erase what makes the candidate different. Returns the
+/// normalized term and the condition checks spent.
+#[allow(clippy::too_many_arguments)]
+fn normalize_candidate(
+    rules: &RuleSet,
+    strategy: &Strategy,
+    order: &[&Block],
+    passes: u64,
+    methods: &MethodRegistry,
+    env: &dyn TermEnv,
+    start_pass: u64,
+    start_bi: usize,
+    mut term: Term,
+) -> RwResult<(Term, u64)> {
+    let mut checks = 0u64;
+    for pass in start_pass..passes {
+        let first = if pass == start_pass { start_bi + 1 } else { 0 };
+        let before = term.clone();
+        for block in order.iter().skip(first) {
+            if strategy.is_explore_block(&block.name) {
+                continue;
+            }
+            let outcome = apply_block(rules, block, methods, env, term, false)?;
+            term = outcome.term;
+            checks += outcome.stats.condition_checks;
+        }
+        if pass > start_pass && term == before {
+            break;
+        }
+    }
+    Ok((term, checks))
 }
 
 #[cfg(test)]
@@ -615,6 +890,211 @@ mod tests {
         });
         let out = run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
         assert_eq!(out.term, Term::atom("C"));
+    }
+
+    /// Choice block rewrites A → B → C (two steps); a separate cleanup
+    /// block rewrites any `D(x)` wrapper away. Scoring A=3, B=1, C=2
+    /// must make exploration emit B — a state the mainline only passed
+    /// through.
+    fn explore_fixture() -> (RuleSet, Strategy) {
+        let mut rules = RuleSet::new();
+        rules.add(Rule::simple("ab", Term::atom("A"), Term::atom("B")));
+        rules.add(Rule::simple("bc", Term::atom("B"), Term::atom("C")));
+        rules.add(Rule::simple(
+            "unwrap_d",
+            Term::app("D", vec![Term::var("x")]),
+            Term::var("x"),
+        ));
+        let mut strategy = Strategy::new();
+        strategy.add_block(Block {
+            name: "choice".into(),
+            rules: vec!["ab".into(), "bc".into()],
+            limit: Limit::Infinite,
+        });
+        strategy.add_block(Block {
+            name: "cleanup".into(),
+            rules: vec!["unwrap_d".into()],
+            limit: Limit::Infinite,
+        });
+        strategy.set_sequence(Sequence {
+            blocks: vec!["choice".into(), "cleanup".into()],
+            passes: 2,
+        });
+        strategy.set_explore_blocks(["choice"]);
+        (rules, strategy)
+    }
+
+    fn score_abc(t: &Term) -> Option<f64> {
+        match t {
+            t if *t == Term::atom("A") => Some(3.0),
+            t if *t == Term::atom("B") => Some(1.0),
+            t if *t == Term::atom("C") => Some(2.0),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn exploration_recovers_discarded_intermediate() {
+        let (rules, strategy) = explore_fixture();
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let opts = ExploreOptions {
+            k: 8,
+            max_checks: 10_000,
+            check_cost: 0.0,
+            score: &score_abc,
+        };
+        let out = run_strategy_explore(
+            &rules,
+            &strategy,
+            &methods,
+            &env,
+            Term::atom("A"),
+            false,
+            &opts,
+        )
+        .unwrap();
+        // Mainline saturates to C; the snapshot trajectory holds A and
+        // B, and B scores cheapest.
+        assert_eq!(out.term, Term::atom("B"));
+        let exp = out.exploration.expect("explored");
+        assert!(exp.improved);
+        assert_eq!(exp.chosen_cost, 1.0);
+        assert_eq!(exp.runner_up_cost, Some(2.0));
+        assert!(exp.considered >= 2);
+        assert_eq!(out.stats.explore_wins, 1);
+        assert!(out.stats.explore_checks > 0);
+        // The mainline's own counters match what run_strategy reports.
+        let plain =
+            run_strategy(&rules, &strategy, &methods, &env, Term::atom("A"), false).unwrap();
+        assert_eq!(plain.term, Term::atom("C"));
+        assert_eq!(out.stats.condition_checks, plain.stats.condition_checks);
+        assert_eq!(out.stats.applications, plain.stats.applications);
+    }
+
+    #[test]
+    fn exploration_budget_stops_when_win_cannot_pay() {
+        let (rules, strategy) = explore_fixture();
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        // Every plan is dirt cheap relative to the price of a check:
+        // the budget must refuse to normalize even one candidate.
+        let opts = ExploreOptions {
+            k: 8,
+            max_checks: 10_000,
+            check_cost: 1e9,
+            score: &score_abc,
+        };
+        let out = run_strategy_explore(
+            &rules,
+            &strategy,
+            &methods,
+            &env,
+            Term::atom("A"),
+            false,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.term, Term::atom("C"), "mainline kept");
+        assert_eq!(out.stats.explore_budget_stops, 1);
+        assert_eq!(out.stats.explore_checks, 0);
+        let exp = out.exploration.expect("report still present");
+        assert!(!exp.improved);
+        assert_eq!(exp.considered, 1);
+    }
+
+    #[test]
+    fn unscorable_mainline_disables_exploration() {
+        let (rules, strategy) = explore_fixture();
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        let opts = ExploreOptions {
+            k: 8,
+            max_checks: 10_000,
+            check_cost: 0.0,
+            score: &|_| None,
+        };
+        let out = run_strategy_explore(
+            &rules,
+            &strategy,
+            &methods,
+            &env,
+            Term::atom("A"),
+            false,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.term, Term::atom("C"));
+        assert!(out.exploration.is_none());
+        assert_eq!(out.stats.explore_candidates, 0);
+    }
+
+    #[test]
+    fn candidates_are_normalized_by_remaining_blocks() {
+        // The candidate kept from the choice block still goes through
+        // the cleanup block: wrap the intermediate in D(...) via the
+        // choice rules and check the winner is unwrapped.
+        let mut rules = RuleSet::new();
+        rules.add(Rule::simple(
+            "ab",
+            Term::atom("A"),
+            Term::app("D", vec![Term::atom("B")]),
+        ));
+        rules.add(Rule::simple(
+            "bc",
+            Term::app("D", vec![Term::atom("B")]),
+            Term::atom("C"),
+        ));
+        rules.add(Rule::simple(
+            "unwrap_d",
+            Term::app("D", vec![Term::var("x")]),
+            Term::var("x"),
+        ));
+        let mut strategy = Strategy::new();
+        strategy.add_block(Block {
+            name: "choice".into(),
+            rules: vec!["ab".into(), "bc".into()],
+            limit: Limit::Infinite,
+        });
+        strategy.add_block(Block {
+            name: "cleanup".into(),
+            rules: vec!["unwrap_d".into()],
+            limit: Limit::Infinite,
+        });
+        strategy.set_sequence(Sequence {
+            blocks: vec!["choice".into(), "cleanup".into()],
+            passes: 1,
+        });
+        strategy.set_explore_blocks(["choice"]);
+        let env = BasicEnv::new();
+        let methods = MethodRegistry::with_builtins();
+        // D(B) is a mid-choice state; normalized through cleanup it
+        // becomes B, which the score prefers over the mainline C.
+        let opts = ExploreOptions {
+            k: 8,
+            max_checks: 10_000,
+            check_cost: 0.0,
+            score: &|t: &Term| {
+                if *t == Term::atom("B") {
+                    Some(1.0)
+                } else if t.is_app("D") {
+                    Some(50.0)
+                } else {
+                    Some(10.0)
+                }
+            },
+        };
+        let out = run_strategy_explore(
+            &rules,
+            &strategy,
+            &methods,
+            &env,
+            Term::atom("A"),
+            false,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(out.term, Term::atom("B"), "candidate was normalized");
     }
 
     #[test]
