@@ -1,0 +1,77 @@
+//! Fixed-seed semantic-verification smoke for CI's main matrix.
+//!
+//! Runs the built-in knowledge base through the bounded equivalence
+//! prover and the differential fuzzer once per committed seed
+//! (`verify/seeds.txt` at the workspace root; the default seed when the
+//! file is absent), printing the per-pass summary and wall clock. Any
+//! EDS030 refutation exits 1 — a semantically unsound builtin rule must
+//! never ship. The timing line keeps the verify tier honest: a
+//! pathological slowdown shows up here before it stalls the main CI
+//! matrix.
+//!
+//! Usage: `cargo run -p eds-bench --bin verify_smoke` from anywhere in
+//! the workspace. Reproduce a failing pass locally with
+//! `eds-lint --verify --seed <seed>`.
+
+use std::time::Instant;
+
+use eds_core::verify::DEFAULT_SEED;
+use eds_core::{Dbms, VerifyOptions};
+
+fn seeds() -> Vec<u64> {
+    let mut dir = std::env::current_dir().expect("cwd");
+    let path = loop {
+        if dir.join("Cargo.lock").exists() {
+            break dir.join("verify/seeds.txt");
+        }
+        assert!(dir.pop(), "no workspace root above the current directory");
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return vec![DEFAULT_SEED];
+    };
+    let parsed: Vec<u64> = text
+        .lines()
+        .filter_map(|l| {
+            let l = l.split('#').next().unwrap_or("").trim();
+            if l.is_empty() {
+                return None;
+            }
+            Some(
+                match l.strip_prefix("0x").or_else(|| l.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16)
+                        .unwrap_or_else(|e| panic!("bad seed {l:?} in {}: {e}", path.display())),
+                    None => l
+                        .parse()
+                        .unwrap_or_else(|e| panic!("bad seed {l:?} in {}: {e}", path.display())),
+                },
+            )
+        })
+        .collect();
+    assert!(!parsed.is_empty(), "{} lists no seeds", path.display());
+    parsed
+}
+
+fn main() {
+    let dbms = Dbms::new().expect("built-in rules must load");
+    let mut refuted = false;
+    for (i, seed) in seeds().into_iter().enumerate() {
+        let opts = VerifyOptions {
+            seed,
+            // The prover is seed-independent; one pass covers it.
+            prove: i == 0,
+            ..VerifyOptions::default()
+        };
+        let t = Instant::now();
+        let report = dbms.verify_with(&opts);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        println!("seed {seed:#x}: {} ({ms:.0} ms)", report.summary());
+        for d in report.diagnostics.iter().filter(|d| d.is_error()) {
+            eprintln!("{d}");
+            refuted = true;
+        }
+    }
+    if refuted {
+        eprintln!("verify_smoke: builtin KB refuted; replay with eds-lint --verify --seed <seed>");
+        std::process::exit(1);
+    }
+}

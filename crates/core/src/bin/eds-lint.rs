@@ -1,7 +1,8 @@
 //! `eds-lint` — static analysis of rewrite-rule knowledge bases.
 //!
 //! ```text
-//! eds-lint [--deny] [--fix [--check]] [--format human|json|sarif] [FILE.rules ...]
+//! eds-lint [--deny] [--fix [--check]] [--verify [--seed N] [--seeds-file F]]
+//!          [--format human|json|sarif] [FILE.rules ...]
 //! ```
 //!
 //! With no files, lints the built-in knowledge base (every rule plus
@@ -16,29 +17,49 @@
 //! verifies that fixing converges and is idempotent (the contract CI
 //! enforces over the example rules).
 //!
+//! `--verify` adds the semantic soundness tier on top of the static
+//! passes: every rule in scope (the built-in KB, or the given files'
+//! rules) goes through the bounded equivalence prover and the
+//! differential fuzzer. Refutations surface as EDS030 errors whose
+//! message carries the shrunk counterexample and the seed that replays
+//! it; `--seed N` pins the fuzz stream and `--seeds-file F` replays one
+//! full pass per seed listed in `F` (decimal or `0x` hex, `#` comments).
+//!
 //! `--format json` / `--format sarif` emit the diagnostics as a machine
 //! document on stdout (SARIF 2.1.0 for code-scanning upload); the
-//! human summary moves to stderr so the document stays parseable.
+//! human summary moves to stderr so the document stays parseable. Both
+//! formats carry the suggested fixes — SARIF as `fix` objects with
+//! `artifactChanges` whose replacement regions are resolved against the
+//! linted source text.
 //!
 //! Exit status, independent of `--deny`'s *reporting* role:
 //! * `0` — no error-severity findings (and, under `--deny`, no findings
 //!   at all);
-//! * `1` — at least one error-severity finding, or any finding under
-//!   `--deny`;
+//! * `1` — at least one error-severity finding (including EDS030
+//!   semantic refutations), or any finding under `--deny`;
 //! * `2` — usage, I/O, or parse failure (including `--fix`
 //!   non-convergence).
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use eds_core::{LintPolicy, QueryRewriter};
-use eds_rewrite::{apply_fixes, Diagnostic, Severity};
+use eds_core::verify::DEFAULT_SEED;
+use eds_core::{verify_rules, LintPolicy, QueryRewriter, VerifyOptions};
+use eds_rewrite::{
+    apply_fixes, parse_source, parse_source_spanned, Diagnostic, Severity, SourceItem,
+};
 
 const USAGE: &str = "\
-usage: eds-lint [--deny] [--fix [--check]] [--format human|json|sarif] [FILE.rules ...]
+usage: eds-lint [--deny] [--fix [--check]] [--verify [--seed N] [--seeds-file F]]
+                [--format human|json|sarif] [FILE.rules ...]
   no files:        lint the built-in knowledge base
   --deny:          exit 1 on ANY finding (default: only error severity)
   --fix:           apply suggested fixes to the files until none remain
   --check:         with --fix, verify convergence/idempotence, write nothing
+  --verify:        run the semantic tier (equivalence prover + differential
+                   fuzzer) over the rules in scope
+  --seed N:        base fuzz seed for --verify (decimal or 0x hex)
+  --seeds-file F:  replay one --verify pass per seed listed in F
   --format FORMAT: human (default), json, or sarif (2.1.0) on stdout
 exit codes: 0 = clean, 1 = findings (see --deny), 2 = usage or I/O error";
 
@@ -54,10 +75,21 @@ enum Format {
 /// fixable set, so real sources converge in two or three).
 const MAX_FIX_ROUNDS: usize = 8;
 
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 fn main() -> ExitCode {
     let mut deny = false;
     let mut fix = false;
     let mut check = false;
+    let mut verify = false;
+    let mut seed = DEFAULT_SEED;
+    let mut seeds_file: Option<String> = None;
     let mut format = Format::Human;
     let mut files = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -66,6 +98,21 @@ fn main() -> ExitCode {
             "--deny" => deny = true,
             "--fix" => fix = true,
             "--check" => check = true,
+            "--verify" => verify = true,
+            "--seed" => match args.next().as_deref().and_then(parse_seed) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("eds-lint: --seed expects an unsigned integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seeds-file" => match args.next() {
+                Some(path) => seeds_file = Some(path),
+                None => {
+                    eprintln!("eds-lint: --seeds-file expects a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--format" => match args.next().as_deref() {
                 Some("human") => format = Format::Human,
                 Some("json") => format = Format::Json,
@@ -94,6 +141,40 @@ fn main() -> ExitCode {
         eprintln!("eds-lint: --fix needs rule files (the built-in KB is read-only)");
         return ExitCode::from(2);
     }
+    if (seeds_file.is_some() || seed != DEFAULT_SEED) && !verify {
+        eprintln!("eds-lint: --seed/--seeds-file only make sense with --verify\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let seeds: Vec<u64> = match &seeds_file {
+        None => vec![seed],
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let mut out = Vec::new();
+                for line in text.lines() {
+                    let line = line.split('#').next().unwrap_or("").trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    match parse_seed(line) {
+                        Some(s) => out.push(s),
+                        None => {
+                            eprintln!("eds-lint: {path}: bad seed line {line:?}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                if out.is_empty() {
+                    eprintln!("eds-lint: {path}: no seeds");
+                    return ExitCode::from(2);
+                }
+                out
+            }
+            Err(e) => {
+                eprintln!("eds-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
 
     let mut rw = match QueryRewriter::with_default_rules() {
         Ok(rw) => rw,
@@ -105,8 +186,21 @@ fn main() -> ExitCode {
 
     // (file, diagnostic) pairs; file is None for the built-in KB.
     let mut findings: Vec<(Option<String>, Diagnostic)> = Vec::new();
+    // Linted source text per file, for span-resolving SARIF fixes.
+    let mut sources: BTreeMap<String, String> = BTreeMap::new();
     if files.is_empty() {
         findings.extend(rw.lint(None).into_iter().map(|d| (None, d)));
+        if verify {
+            for (i, s) in seeds.iter().enumerate() {
+                let opts = VerifyOptions {
+                    seed: *s,
+                    prove: i == 0, // the prover is deterministic; once is enough
+                    ..VerifyOptions::default()
+                };
+                let report = rw.verify_with(&opts);
+                findings.extend(report.diagnostics.into_iter().map(|d| (None, d)));
+            }
+        }
     } else {
         for path in &files {
             let src = match std::fs::read_to_string(path) {
@@ -143,6 +237,38 @@ fn main() -> ExitCode {
                 eprintln!("eds-lint: {path}: {e}");
                 return ExitCode::from(2);
             }
+            if verify {
+                // Verify exactly this file's rules (the built-ins are
+                // covered by the no-file invocation CI runs separately).
+                let rules: Vec<_> = match parse_source(&final_src) {
+                    Ok(items) => items
+                        .into_iter()
+                        .filter_map(|item| match item {
+                            SourceItem::Rule(r) => Some(r),
+                            _ => None,
+                        })
+                        .collect(),
+                    Err(e) => {
+                        eprintln!("eds-lint: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                for (i, s) in seeds.iter().enumerate() {
+                    let opts = VerifyOptions {
+                        seed: *s,
+                        prove: i == 0,
+                        ..VerifyOptions::default()
+                    };
+                    let report = verify_rules(rules.iter(), rw.methods(), &opts);
+                    findings.extend(
+                        report
+                            .diagnostics
+                            .into_iter()
+                            .map(|d| (Some(path.clone()), d)),
+                    );
+                }
+            }
+            sources.insert(path.clone(), final_src);
         }
     }
 
@@ -159,7 +285,7 @@ fn main() -> ExitCode {
             }
         }
         Format::Json => println!("{}", render_json(&findings)),
-        Format::Sarif => println!("{}", render_sarif(&findings)),
+        Format::Sarif => println!("{}", render_sarif(&findings, &sources)),
     }
 
     let errors = findings.iter().filter(|(_, d)| d.is_error()).count();
@@ -167,7 +293,11 @@ fn main() -> ExitCode {
         .iter()
         .filter(|(_, d)| d.severity == Severity::Warning)
         .count();
-    eprintln!("eds-lint: {errors} error(s), {warnings} warning(s)");
+    let notes = findings
+        .iter()
+        .filter(|(_, d)| d.severity == Severity::Info)
+        .count();
+    eprintln!("eds-lint: {errors} error(s), {warnings} warning(s), {notes} note(s)");
 
     if errors > 0 || (deny && !findings.is_empty()) {
         ExitCode::FAILURE
@@ -225,6 +355,16 @@ fn severity_str(d: &Diagnostic) -> &'static str {
     match d.severity {
         Severity::Error => "error",
         Severity::Warning => "warning",
+        Severity::Info => "info",
+    }
+}
+
+/// SARIF `level` values; `note` is the SARIF spelling of info severity.
+fn sarif_level(d: &Diagnostic) -> &'static str {
+    match d.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
     }
 }
 
@@ -259,14 +399,45 @@ fn render_json(findings: &[(Option<String>, Diagnostic)]) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// Render a diagnostic's suggestions as SARIF `fix` objects. Replacement
+/// regions come from re-parsing the linted source with spans and matching
+/// each fix's target item; fixes whose target is not in this file (or
+/// findings with no file at all) are omitted — SARIF requires a concrete
+/// artifact to change.
+fn sarif_fixes(file: &str, src: &str, d: &Diagnostic) -> Vec<String> {
+    let Ok(items) = parse_source_spanned(src) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for f in &d.suggestions {
+        let Some(spanned) = items.iter().find(|si| f.target.matches(&si.item)) else {
+            continue;
+        };
+        let (start, len) = (spanned.span.start, spanned.span.end - spanned.span.start);
+        out.push(format!(
+            "{{\"description\":{{\"text\":\"{}\"}},\
+             \"artifactChanges\":[{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"replacements\":[{{\"deletedRegion\":{{\"charOffset\":{start},\
+             \"charLength\":{len}}},\"insertedContent\":{{\"text\":\"{}\"}}}}]}}]}}",
+            esc(&f.description),
+            esc(file),
+            esc(&f.replacement)
+        ));
+    }
+    out
+}
+
 /// SARIF 2.1.0, the static-analysis interchange format GitHub code
 /// scanning ingests. Hand-rolled: the schema subset used here is flat.
-fn render_sarif(findings: &[(Option<String>, Diagnostic)]) -> String {
+fn render_sarif(
+    findings: &[(Option<String>, Diagnostic)],
+    sources: &BTreeMap<String, String>,
+) -> String {
     let mut results = Vec::with_capacity(findings.len());
     for (file, d) in findings {
         let mut r = String::from("{");
         r.push_str(&format!("\"ruleId\":\"{}\"", esc(d.code)));
-        r.push_str(&format!(",\"level\":\"{}\"", severity_str(d)));
+        r.push_str(&format!(",\"level\":\"{}\"", sarif_level(d)));
         r.push_str(&format!(
             ",\"message\":{{\"text\":\"{}\"}}",
             esc(&d.message)
@@ -277,6 +448,12 @@ fn render_sarif(findings: &[(Option<String>, Diagnostic)]) -> String {
                  {{\"uri\":\"{}\"}}}}}}]",
                 esc(f)
             ));
+            if let Some(src) = sources.get(f) {
+                let fixes = sarif_fixes(f, src, d);
+                if !fixes.is_empty() {
+                    r.push_str(&format!(",\"fixes\":[{}]", fixes.join(",")));
+                }
+            }
         }
         r.push('}');
         results.push(r);

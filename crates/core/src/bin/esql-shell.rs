@@ -14,6 +14,7 @@
 //! .constraint <rule ;>  declare an integrity constraint
 //! .limit <block> <n|INF>   change a block's application limit
 //! .lint                 statically analyze the knowledge base
+//! .verify [seed]        semantically verify it (prover + differential fuzzer)
 //! .level [none|simple|full]  show or set the optimization level
 //! .stats                plan-cache, exploration and executor counters
 //! .prepare <name> <query ;>   prepare a `?`-parameterized statement
@@ -176,6 +177,7 @@ fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd:
              .constraint <rule ;>    declare an integrity constraint\n\
              .limit <block> <n|INF>  change a block's limit\n\
              .lint                   statically analyze the knowledge base\n\
+             .verify [seed]          semantically verify it (prover + fuzzer)\n\
              .level [none|simple|full]  show or set the optimization level\n\
              .stats                  plan-cache, exploration and executor counters\n\
              .prepare <name> <query ;>   prepare a ?-parameterized statement\n\
@@ -276,6 +278,27 @@ fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd:
                 errors,
                 diagnostics.len() - errors
             );
+        }
+        ".verify" => {
+            let opts = if rest.is_empty() {
+                eds_core::VerifyOptions::default()
+            } else {
+                match rest.parse::<u64>() {
+                    Ok(seed) => eds_core::VerifyOptions {
+                        seed,
+                        ..eds_core::VerifyOptions::default()
+                    },
+                    Err(_) => {
+                        eprintln!("usage: .verify [seed]");
+                        return true;
+                    }
+                }
+            };
+            let report = dbms.verify_with(&opts);
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            println!("{}", report.summary());
         }
         ".level" => {
             if rest.is_empty() {

@@ -28,6 +28,7 @@ pub mod magic;
 pub mod methods;
 pub mod pipeline;
 pub mod semantic;
+pub mod verify;
 
 use eds_engine::{eval_with, Database, EvalOptions, EvalStats, Relation, Row};
 pub use eds_engine::{parallel_stats, OptLevel, ParallelStats};
@@ -41,6 +42,7 @@ pub use pipeline::{
     TermRewrite, BUILTIN_RULE_SOURCES,
 };
 pub use semantic::{figure10_constraints, ConstraintStore, IntegrityConstraint};
+pub use verify::{verify_rules, Coverage, VerifyOptions, VerifyReport};
 
 // Re-export the layer crates so downstream users need a single dependency.
 pub use eds_adt as adt;
@@ -310,6 +312,19 @@ impl Dbms {
     pub fn lint(&self) -> Vec<eds_rewrite::Diagnostic> {
         let schema = CatalogSchemaProvider(&self.db.catalog);
         self.rewriter.lint(Some(&schema))
+    }
+
+    /// Semantically verify the rewriter's knowledge base: bounded
+    /// equivalence proofs where possible, seeded differential fuzzing
+    /// through the reference executor everywhere else. See
+    /// [`verify::verify_rules`].
+    pub fn verify(&self) -> VerifyReport {
+        self.rewriter.verify()
+    }
+
+    /// [`Dbms::verify`] with explicit options.
+    pub fn verify_with(&self, opts: &VerifyOptions) -> VerifyReport {
+        self.rewriter.verify_with(opts)
     }
 
     /// Declare integrity constraints written in the rule language

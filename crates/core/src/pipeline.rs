@@ -444,6 +444,19 @@ impl QueryRewriter {
         analyze(&self.rules, &self.strategy, &self.methods, schema)
     }
 
+    /// Semantically verify the knowledge base with default options: the
+    /// bounded equivalence prover plus the differential fuzzer
+    /// (`eds-verify`; see [`crate::verify`]).
+    pub fn verify(&self) -> crate::verify::VerifyReport {
+        self.verify_with(&crate::verify::VerifyOptions::default())
+    }
+
+    /// [`QueryRewriter::verify`] with explicit options (seed, case
+    /// budget, instrument selection).
+    pub fn verify_with(&self, opts: &crate::verify::VerifyOptions) -> crate::verify::VerifyReport {
+        crate::verify::verify_rules(self.rules.iter(), &self.methods, opts)
+    }
+
     /// Stage `items` on a copy of the knowledge base, run the analyzer
     /// over the staged state, and keep only diagnostics that belong to
     /// the new items (new rule names, new block names, the sequence when

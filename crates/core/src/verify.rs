@@ -1,0 +1,374 @@
+//! The `eds-verify` harness: semantic verification of a knowledge base.
+//!
+//! Combines the rewrite layer's two instruments over a concrete rule set:
+//!
+//! 1. the bounded equivalence **prover**
+//!    ([`eds_rewrite::verify::equiv`]) — exhaustive 3-valued valuation of
+//!    pure boolean/comparison rules;
+//! 2. the differential **fuzzer** ([`eds_rewrite::verify::fuzz`]) — per
+//!    rule, seeded random worlds whose subject the rule's LHS matches,
+//!    executed through the reference executor before and after a
+//!    single-rule rewrite and compared row for row (`bag_eq`: `union*`
+//!    has bag semantics, so multiset equality is the right oracle).
+//!
+//! A fuzz counterexample is shrunk to a fixpoint (drop rows, hoist
+//! boolean children, collapse comparisons, zero constants — each
+//! candidate re-validated: the rule must still apply and the results
+//! must still differ) before it is reported, and carries its seed so
+//! `eds-lint --verify --seed N` replays it exactly.
+
+use eds_engine::{eval_reference, Database, EvalOptions, Relation};
+use eds_lera::expr_from_term;
+use eds_rewrite::verify::{equiv, fuzz};
+use eds_rewrite::{
+    apply_rule_once, BasicEnv, Diagnostic, FuzzCase, GenOutcome, MethodRegistry, RewriteStats,
+    Rule, Term,
+};
+
+use crate::env::CoreEnv;
+use crate::semantic::ConstraintStore;
+
+/// Default base seed (mixed per rule via [`fuzz::rule_seed`]).
+pub const DEFAULT_SEED: u64 = 0xED5;
+
+/// Knobs for [`verify_rules`].
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Base seed; every rule derives its own stream from it.
+    pub seed: u64,
+    /// Differential cases attempted per rule.
+    pub cases_per_rule: usize,
+    /// Run the differential fuzzer.
+    pub fuzz: bool,
+    /// Run the bounded equivalence prover.
+    pub prove: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            seed: DEFAULT_SEED,
+            cases_per_rule: 32,
+            fuzz: true,
+            prove: true,
+        }
+    }
+}
+
+/// Per-rule coverage achieved by a verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coverage {
+    /// The prover showed LHS ≡ RHS over the bounded domain.
+    Proved,
+    /// Not provable, but the fuzzer executed differential cases (count
+    /// of cases in which the rule actually fired).
+    Fuzzed(usize),
+    /// Neither instrument reached the rule.
+    None,
+}
+
+/// Result of verifying a rule set.
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// All findings (EDS030 refutations, EDS032 conditionals, EDS031
+    /// coverage notes), in rule order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// `(rule, coverage)` for every rule examined.
+    pub coverage: Vec<(String, Coverage)>,
+    /// Shrunk, replayable fuzz counterexamples (also summarized in the
+    /// corresponding EDS030 diagnostics).
+    pub counterexamples: Vec<(String, FuzzCase)>,
+}
+
+impl VerifyReport {
+    /// Any error-severity finding (a refuted rule)?
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(Diagnostic::is_error)
+    }
+
+    /// Rules the prover certified.
+    pub fn proved(&self) -> impl Iterator<Item = &str> {
+        self.coverage
+            .iter()
+            .filter(|(_, c)| *c == Coverage::Proved)
+            .map(|(r, _)| r.as_str())
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let proved = self.proved().count();
+        let fuzzed = self
+            .coverage
+            .iter()
+            .filter(|(_, c)| matches!(c, Coverage::Fuzzed(n) if *n > 0))
+            .count();
+        let uncovered = self
+            .coverage
+            .iter()
+            .filter(|(_, c)| matches!(c, Coverage::None | Coverage::Fuzzed(0)))
+            .count();
+        let refuted = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "EDS030")
+            .count();
+        format!(
+            "{} rules: {proved} proved, {fuzzed} fuzz-covered, {uncovered} uncovered, {refuted} refuted",
+            self.coverage.len()
+        )
+    }
+}
+
+/// How one executed fuzz case went.
+enum CaseOutcome {
+    /// Rewritten and original agree.
+    Pass,
+    /// They differ (or the rewrite broke executability) — `detail` says how.
+    Fail(String),
+    /// The rule did not fire on this subject.
+    NotApplicable,
+    /// The case could not be executed (e.g. the generated world is
+    /// malformed for the engine); it counts for nobody.
+    Skip,
+}
+
+fn build_db(case: &FuzzCase) -> Option<Database> {
+    let mut db = Database::new();
+    for (spec, rows) in case.tables.iter().zip(&case.rows) {
+        let cols = (1..=spec.arity)
+            .map(|i| format!("C{i} : INT"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        db.execute_ddl(&format!("TABLE {} ({cols});", spec.name))
+            .ok()?;
+        for row in rows {
+            db.insert(&spec.name, row.iter().map(|&v| v.into()).collect())
+                .ok()?;
+        }
+    }
+    Some(db)
+}
+
+fn eval_term(term: &Term, db: &Database) -> Result<Relation, String> {
+    let expr = expr_from_term(term).map_err(|e| format!("not executable: {e}"))?;
+    eval_reference(&expr, db, EvalOptions::default()).map_err(|e| format!("evaluation failed: {e}"))
+}
+
+/// Run one case: build the world, execute the subject, rewrite with only
+/// `rule`, execute the result, compare multisets.
+fn run_case(case: &FuzzCase, rule: &Rule, methods: &MethodRegistry) -> CaseOutcome {
+    let Some(db) = build_db(case) else {
+        return CaseOutcome::Skip;
+    };
+    let constraints = ConstraintStore::new();
+    let env = CoreEnv {
+        db: &db,
+        constraints: &constraints,
+    };
+    let Ok(before) = eval_term(&case.subject, &db) else {
+        // The generated world itself is not executable; nothing to compare.
+        return CaseOutcome::Skip;
+    };
+    let mut stats = RewriteStats::default();
+    let rewritten = match apply_rule_once(rule, &case.subject, methods, &env, &mut stats) {
+        Ok(Some((term, _))) => term,
+        Ok(None) => return CaseOutcome::NotApplicable,
+        // A method error at match time means the rule declined, not that
+        // it rewrote wrongly.
+        Err(_) => return CaseOutcome::Skip,
+    };
+    match eval_term(&rewritten, &db) {
+        Ok(after) if after.bag_eq(&before) => CaseOutcome::Pass,
+        Ok(after) => CaseOutcome::Fail(format!(
+            "{} rows before vs {} after; rewritten to {rewritten}",
+            before.rows.len(),
+            after.rows.len()
+        )),
+        Err(e) => CaseOutcome::Fail(format!("rewrite broke executability ({e}): {rewritten}")),
+    }
+}
+
+/// Shrink a failing case to a fixpoint, re-validating every candidate.
+fn shrink(mut case: FuzzCase, rule: &Rule, methods: &MethodRegistry) -> FuzzCase {
+    // The candidate set is finite and every accepted step removes a row,
+    // shrinks the subject, or zeroes a constant, so this terminates; the
+    // step cap is a belt-and-braces bound.
+    for _ in 0..200 {
+        let mut improved = None;
+        for cand in fuzz::shrink_candidates(&case) {
+            if matches!(run_case(&cand, rule, methods), CaseOutcome::Fail(_)) {
+                improved = Some(cand);
+                break;
+            }
+        }
+        match improved {
+            Some(c) if c.subject != case.subject || c.rows != case.rows => case = c,
+            _ => break,
+        }
+    }
+    case
+}
+
+/// Verify every rule in `rules`: prove what the bounded prover can,
+/// differentially fuzz everything whose LHS shape the generator
+/// understands, and report findings under EDS030–EDS032.
+pub fn verify_rules<'a>(
+    rules: impl IntoIterator<Item = &'a Rule>,
+    methods: &MethodRegistry,
+    opts: &VerifyOptions,
+) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    let prover_env = BasicEnv::new();
+    for rule in rules {
+        let mut proved = false;
+        let mut prover_diag: Option<Diagnostic> = None;
+        let mut unsupported_note: Option<Diagnostic> = None;
+        if opts.prove {
+            match equiv::check_rule(rule, methods, &prover_env) {
+                equiv::Outcome::Proved { .. } => proved = true,
+                equiv::Outcome::Refuted(d) | equiv::Outcome::Conditional(d) => {
+                    prover_diag = Some(d);
+                }
+                equiv::Outcome::Unsupported(d) => unsupported_note = Some(d),
+            }
+        }
+
+        let mut applied = 0usize;
+        let mut fuzz_failure: Option<(FuzzCase, String)> = None;
+        let mut gen_unsupported: Option<String> = None;
+        if opts.fuzz {
+            let base = fuzz::rule_seed(opts.seed, &rule.name);
+            for i in 0..opts.cases_per_rule {
+                let seed = base.wrapping_add(i as u64);
+                let case = match fuzz::generate_case(rule, seed) {
+                    GenOutcome::Case(case) => *case,
+                    GenOutcome::Unsupported(reason) => {
+                        gen_unsupported = Some(reason);
+                        break;
+                    }
+                };
+                match run_case(&case, rule, methods) {
+                    CaseOutcome::Fail(detail) => {
+                        let minimal = shrink(case, rule, methods);
+                        let detail = match run_case(&minimal, rule, methods) {
+                            CaseOutcome::Fail(d) => d,
+                            _ => detail,
+                        };
+                        fuzz_failure = Some((minimal, detail));
+                        break;
+                    }
+                    CaseOutcome::Pass => applied += 1,
+                    CaseOutcome::NotApplicable | CaseOutcome::Skip => {}
+                }
+            }
+        }
+
+        // Compose the verdict for this rule.
+        if let Some((minimal, detail)) = fuzz_failure {
+            report.diagnostics.push(eds_rewrite::verify::refuted(
+                &rule.name,
+                &format!(
+                    "differential fuzzing (seed {}): {detail}; minimal case: {minimal}",
+                    minimal.seed
+                ),
+            ));
+            report.counterexamples.push((rule.name.clone(), minimal));
+            report
+                .coverage
+                .push((rule.name.clone(), Coverage::Fuzzed(applied)));
+            // A prover refutation of the same rule is still worth
+            // reporting alongside.
+            if let Some(d) = prover_diag {
+                report.diagnostics.push(d);
+            }
+            continue;
+        }
+        if proved {
+            report.coverage.push((rule.name.clone(), Coverage::Proved));
+            continue;
+        }
+        if let Some(d) = prover_diag {
+            report.diagnostics.push(d);
+            report
+                .coverage
+                .push((rule.name.clone(), Coverage::Fuzzed(applied)));
+            continue;
+        }
+        // Not provable: fuzz-only coverage, with an honest note about
+        // how much the fuzzer actually exercised.
+        let coverage = if opts.fuzz {
+            Coverage::Fuzzed(applied)
+        } else {
+            Coverage::None
+        };
+        report.coverage.push((rule.name.clone(), coverage));
+        if let Some(mut note) = unsupported_note {
+            if let Some(reason) = gen_unsupported {
+                note.message.push_str(&format!(
+                    " — and the fuzz generator declined it too ({reason})"
+                ));
+            } else if opts.fuzz {
+                note.message.push_str(&format!(
+                    " — fuzzed: the rule fired in {applied}/{} generated cases",
+                    opts.cases_per_rule
+                ));
+            }
+            report.diagnostics.push(note);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eds_rewrite::{parse_source, SourceItem};
+
+    fn test_registry() -> MethodRegistry {
+        let mut methods = MethodRegistry::with_builtins();
+        crate::methods::register_core_methods(&mut methods);
+        methods
+    }
+
+    fn rule(src: &str) -> Rule {
+        match parse_source(src).unwrap().remove(0) {
+            SourceItem::Rule(r) => r,
+            other => panic!("expected a rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sound_merge_rule_passes_fuzzing() {
+        let r = rule("Merge : FILTER(FILTER(r, p), q) / --> FILTER(r, AND(p, q)) / ;");
+        let methods = test_registry();
+        let report = verify_rules([&r], &methods, &VerifyOptions::default());
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        let (_, Coverage::Fuzzed(n)) = &report.coverage[0] else {
+            panic!("expected fuzz coverage, got {:?}", report.coverage);
+        };
+        assert!(*n > 0, "fuzzer never exercised the rule");
+    }
+
+    #[test]
+    fn swapped_filter_drop_is_caught_and_shrunk() {
+        // Unsound: drops the outer filter entirely.
+        let r = rule("Drop : FILTER(FILTER(r, p), q) / --> FILTER(r, p) / ;");
+        let methods = test_registry();
+        let report = verify_rules(
+            [&r],
+            &methods,
+            &VerifyOptions {
+                prove: false,
+                ..VerifyOptions::default()
+            },
+        );
+        assert!(report.has_errors());
+        let (_, minimal) = &report.counterexamples[0];
+        // Shrinking keeps the failing property while only removing rows /
+        // simplifying the subject.
+        assert!(matches!(
+            run_case(minimal, &r, &methods),
+            CaseOutcome::Fail(_)
+        ));
+    }
+}

@@ -29,8 +29,14 @@
 //! | `EDS018` | warning | overlapping rules in an unbounded block diverge with no rejoin (order-dependent results) |
 //! | `EDS019` | error | contradictory constraint set: the rule can never fire |
 //! | `EDS021` | warning | constraint is tautological or implied by the earlier constraints |
+//! | `EDS030` | error | semantic verification refuted the rule: LHS ≢ RHS, counterexample attached |
+//! | `EDS031` | info | rule shape outside the provable fragment; differential fuzzing is the only coverage |
+//! | `EDS032` | warning | equivalence holds only under a side condition the rule cannot express |
 //!
-//! (`EDS020` — rule not a member of any block — sits between the two.)
+//! (`EDS020` — rule not a member of any block — sits between the two.
+//! `EDS030`–`EDS032` are produced by the semantic verification tier in
+//! [`crate::verify`], not by [`analyze`]; they share the diagnostic
+//! plumbing so `eds-lint --verify` renders them uniformly.)
 //!
 //! Severity policy: *errors* are defects that make a rule dead or make it
 //! fail at application time; *warnings* flag termination hazards and
@@ -38,7 +44,7 @@
 //! push-down rules among them) trip by design.
 //!
 //! Diagnostics come out of [`analyze`] deterministically ordered (by
-//! code, then rule, block, part, path, message) and deduplicated, and may
+//! code, then rule, part, path, message, block) and deduplicated, and may
 //! carry machine-applicable [`Fix`] suggestions applied by
 //! [`apply_fixes`](crate::fixes::apply_fixes) (`eds-lint --fix`).
 
@@ -60,6 +66,8 @@ use crate::term::Term;
 /// only; warnings are always advisory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
+    /// Informational note; nothing to act on.
+    Info,
     /// Heuristic or termination-related finding; the rule may be fine.
     Warning,
     /// The rule is dead or will fail at application time.
@@ -69,6 +77,7 @@ pub enum Severity {
 impl fmt::Display for Severity {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Severity::Info => f.write_str("info"),
             Severity::Warning => f.write_str("warning"),
             Severity::Error => f.write_str("error"),
         }
@@ -207,7 +216,8 @@ fn lera_arity(head: &str) -> Option<usize> {
 /// Analyze a whole knowledge base: every rule plus the strategy layer,
 /// plus the whole-sequence abstract interpretation (functor flow,
 /// critical pairs). Diagnostics come out deterministically ordered (by
-/// code, then rule, block, part, path, message) and deduplicated.
+/// code, then rule, part, path, message, block) and deduplicated on
+/// everything but the block attribution.
 pub fn analyze(
     rules: &RuleSet,
     strategy: &Strategy,
@@ -226,12 +236,26 @@ pub fn analyze(
 
 /// Deterministic output: a stable total order plus deduplication of
 /// findings reached through more than one path.
+///
+/// Separate passes (per-rule analysis, strategy checks, functor flow,
+/// critical pairs) can report the same finding once per block a rule
+/// belongs to — same code, rule, span (part plus term path) and message,
+/// differing only in the `block` attribution. One report is enough, so
+/// the dedup key deliberately excludes `block` (and the fix list); the
+/// sort places `block` last so such duplicates are adjacent, and the
+/// first block in sort order carries the finding.
 fn finalize(mut out: Vec<Diagnostic>) -> Vec<Diagnostic> {
     out.sort_by(|a, b| {
-        (a.code, &a.rule, &a.block, &a.part, &a.path, &a.message)
-            .cmp(&(b.code, &b.rule, &b.block, &b.part, &b.path, &b.message))
+        (a.code, &a.rule, &a.part, &a.path, &a.message, &a.block)
+            .cmp(&(b.code, &b.rule, &b.part, &b.path, &b.message, &b.block))
     });
-    out.dedup();
+    out.dedup_by(|a, b| {
+        a.code == b.code
+            && a.rule == b.rule
+            && a.part == b.part
+            && a.path == b.path
+            && a.message == b.message
+    });
     out
 }
 
@@ -740,10 +764,10 @@ fn check_schema_refs(rule: &Rule, schema: &dyn SchemaProvider, out: &mut Vec<Dia
 // -------------------------------------------------- constraint algebra
 
 /// Comparison functors the entailment engine reasons about.
-const CMP_OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
+pub(crate) const CMP_OPS: [&str; 6] = ["=", "<>", "<", "<=", ">", ">="];
 
 /// Flatten top-level `AND`s into conjuncts.
-pub(crate) fn conjuncts(t: &Term) -> Vec<&Term> {
+pub fn conjuncts(t: &Term) -> Vec<&Term> {
     match t.as_app() {
         Some(("AND", [a, b])) => {
             let mut v = conjuncts(a);
@@ -765,11 +789,23 @@ fn as_cmp(t: &Term) -> Option<(&'static str, &Term, &Term)> {
         .map(|&op| (op, &args[0], &args[1]))
 }
 
-fn as_int(t: &Term) -> Option<i64> {
+/// Widen a ground numeric constant — `Int` or `Real` — to an exact `f64`.
+/// Integers outside the 2^53 exactly-representable window widen lossily,
+/// so they are rejected rather than reasoned about incorrectly; the same
+/// goes for non-finite reals. All comparisons on the widened values go
+/// through `total_cmp`, which agrees with the ordinary ordering on the
+/// finite values admitted here.
+fn as_num(t: &Term) -> Option<f64> {
+    const EXACT: i64 = 1 << 53;
     match t.as_const()? {
-        Value::Int(n) => Some(*n),
+        Value::Int(n) if (-EXACT..=EXACT).contains(n) => Some(*n as f64),
+        Value::Real(r) if r.0.is_finite() => Some(r.0),
         _ => None,
     }
+}
+
+fn num_eq(a: f64, b: f64) -> bool {
+    a.total_cmp(&b) == std::cmp::Ordering::Equal
 }
 
 fn flip(op: &str) -> &'static str {
@@ -783,10 +819,10 @@ fn flip(op: &str) -> &'static str {
     }
 }
 
-/// Orient a comparison so a ground-integer operand sits on the right.
+/// Orient a comparison so a ground-numeric operand sits on the right.
 fn oriented(t: &Term) -> Option<(&'static str, &Term, &Term)> {
     let (op, l, r) = as_cmp(t)?;
-    if as_int(l).is_some() && as_int(r).is_none() {
+    if as_num(l).is_some() && as_num(r).is_none() {
         Some((flip(op), r, l))
     } else {
         Some((op, l, r))
@@ -794,15 +830,18 @@ fn oriented(t: &Term) -> Option<(&'static str, &Term, &Term)> {
 }
 
 /// Evaluate a comparison between ground constants, where decidable.
+/// Numeric constants compare after Int↔Real widening, so `3 = 3.0` is
+/// decided `true` exactly as the runtime comparison decides it.
 fn eval_ground(op: &str, l: &Term, r: &Term) -> Option<bool> {
-    if let (Some(a), Some(b)) = (as_int(l), as_int(r)) {
+    if let (Some(a), Some(b)) = (as_num(l), as_num(r)) {
+        let ord = a.total_cmp(&b);
         return Some(match op {
-            "=" => a == b,
-            "<>" => a != b,
-            "<" => a < b,
-            "<=" => a <= b,
-            ">" => a > b,
-            _ => a >= b,
+            "=" => ord.is_eq(),
+            "<>" => ord.is_ne(),
+            "<" => ord.is_lt(),
+            "<=" => ord.is_le(),
+            ">" => ord.is_gt(),
+            _ => ord.is_ge(),
         });
     }
     let (lc, rc) = (l.as_const()?, r.as_const()?);
@@ -814,7 +853,7 @@ fn eval_ground(op: &str, l: &Term, r: &Term) -> Option<bool> {
 }
 
 /// Is the condition true under every binding?
-pub(crate) fn tautology(c: &Term) -> bool {
+pub fn tautology(c: &Term) -> bool {
     if matches!(c.as_const(), Some(Value::Bool(true))) {
         return true;
     }
@@ -841,15 +880,22 @@ fn self_contradictory(c: &Term) -> bool {
     l == r && matches!(op, "<" | ">" | "<>")
 }
 
-/// Inclusive integer interval denoted by `x op k` (`None` = unbounded).
-/// Only called for ordering ops and `=`, never `<>`.
-fn interval(op: &str, k: i64) -> (Option<i64>, Option<i64>) {
+/// One-sided bound on a numeric variable: the constant plus whether the
+/// bound is exclusive (strict).
+type Bound = (f64, bool);
+
+/// The interval denoted by `x op k` over the widened numeric domain
+/// (`None` = unbounded on that side). Bounds stay symbolic — no ±1
+/// adjustment — because the variable may be `Real`-valued: `x > 3 AND
+/// x < 4` is satisfiable at `x = 3.5`, so integer-gap reasoning would be
+/// unsound here. Only called for ordering ops and `=`, never `<>`.
+fn interval(op: &str, k: f64) -> (Option<Bound>, Option<Bound>) {
     match op {
-        "=" => (Some(k), Some(k)),
-        "<" => (None, Some(k.saturating_sub(1))),
-        "<=" => (None, Some(k)),
-        ">" => (Some(k.saturating_add(1)), None),
-        _ => (Some(k), None), // ">="
+        "=" => (Some((k, false)), Some((k, false))),
+        "<" => (None, Some((k, true))),
+        "<=" => (None, Some((k, false))),
+        ">" => (Some((k, true)), None),
+        _ => (Some((k, false)), None), // ">="
     }
 }
 
@@ -877,7 +923,7 @@ fn pair_contradicts(a: &Term, b: &Term) -> bool {
         return true;
     }
     if l1 == l2 {
-        if let (Some(k1), Some(k2)) = (as_int(r1), as_int(r2)) {
+        if let (Some(k1), Some(k2)) = (as_num(r1), as_num(r2)) {
             return bounds_empty(op1, k1, op2, k2);
         }
         if let (Some(c1), Some(c2)) = (r1.as_const(), r2.as_const()) {
@@ -888,18 +934,31 @@ fn pair_contradicts(a: &Term, b: &Term) -> bool {
     false
 }
 
-/// Is the set of integers satisfying both `x op1 k1` and `x op2 k2`
+/// Is the set of numbers satisfying both `x op1 k1` and `x op2 k2`
 /// empty?
-fn bounds_empty(op1: &str, k1: i64, op2: &str, k2: i64) -> bool {
+fn bounds_empty(op1: &str, k1: f64, op2: &str, k2: f64) -> bool {
     match (op1, op2) {
-        ("<>", "=") | ("=", "<>") => k1 == k2,
+        ("<>", "=") | ("=", "<>") => num_eq(k1, k2),
         ("<>", _) | (_, "<>") => false,
         _ => {
             let (lo1, hi1) = interval(op1, k1);
             let (lo2, hi2) = interval(op2, k2);
-            let lo = [lo1, lo2].into_iter().flatten().max();
-            let hi = [hi1, hi2].into_iter().flatten().min();
-            matches!((lo, hi), (Some(l), Some(h)) if l > h)
+            // Tighter bound wins; on a value tie a strict bound is
+            // tighter than an inclusive one.
+            let lo = [lo1, lo2]
+                .into_iter()
+                .flatten()
+                .max_by(|(a, sa), (b, sb)| a.total_cmp(b).then(sa.cmp(sb)));
+            let hi = [hi1, hi2]
+                .into_iter()
+                .flatten()
+                .min_by(|(a, sa), (b, sb)| a.total_cmp(b).then(sb.cmp(sa)));
+            match (lo, hi) {
+                (Some((l, ls)), Some((h, hs))) => {
+                    l.total_cmp(&h).is_gt() || (num_eq(l, h) && (ls || hs))
+                }
+                _ => false,
+            }
         }
     }
 }
@@ -907,7 +966,7 @@ fn bounds_empty(op1: &str, k1: i64, op2: &str, k2: i64) -> bool {
 /// Is the whole conjunct set unsatisfiable (by the decidable fragment:
 /// literals, ground comparisons, irreflexivity, pairwise interval and
 /// operator conflicts)?
-pub(crate) fn contradicts(conjunct_set: &[&Term]) -> bool {
+pub fn contradicts(conjunct_set: &[&Term]) -> bool {
     if conjunct_set.iter().any(|c| self_contradictory(c)) {
         return true;
     }
@@ -921,51 +980,55 @@ pub(crate) fn contradicts(conjunct_set: &[&Term]) -> bool {
     false
 }
 
-/// Does `x opp kp` imply `x opc kc` over the integers?
-fn cmp_implies(opp: &str, kp: i64, opc: &str, kc: i64) -> bool {
+/// Does `x opp kp` imply `x opc kc` over the rationals?
+fn cmp_implies(opp: &str, kp: f64, opc: &str, kc: f64) -> bool {
     if opp == "<>" {
-        return opc == "<>" && kp == kc;
+        return opc == "<>" && num_eq(kp, kc);
     }
     if opc == "=" {
-        return opp == "=" && kp == kc;
+        return opp == "=" && num_eq(kp, kc);
     }
     if opc == "<>" {
         // The premise interval must exclude kc.
         let (lo, hi) = interval(opp, kp);
-        return lo.is_some_and(|l| kc < l) || hi.is_some_and(|h| kc > h);
+        return lo.is_some_and(|(l, s)| kc < l || (num_eq(kc, l) && s))
+            || hi.is_some_and(|(h, s)| kc > h || (num_eq(kc, h) && s));
     }
-    // The conclusion interval must contain the premise interval.
+    // The conclusion interval must contain the premise interval. On a
+    // bound-value tie the conclusion side must be no stricter than the
+    // premise side.
     let (plo, phi) = interval(opp, kp);
     let (clo, chi) = interval(opc, kc);
     let lo_ok = match (clo, plo) {
         (None, _) => true,
-        (Some(c), Some(p)) => p >= c,
         (Some(_), None) => false,
+        (Some((c, cs)), Some((p, ps))) => p > c || (num_eq(p, c) && (!cs || ps)),
     };
     let hi_ok = match (chi, phi) {
         (None, _) => true,
-        (Some(c), Some(p)) => p <= c,
         (Some(_), None) => false,
+        (Some((c, cs)), Some((p, ps))) => p < c || (num_eq(p, c) && (!cs || ps)),
     };
     lo_ok && hi_ok
 }
 
 /// Do the premises provably entail the conclusion? Sound but incomplete:
 /// syntactic equality, tautologies, and single-premise comparison
-/// weakening over ground integer bounds.
-pub(crate) fn entails(premises: &[&Term], conclusion: &Term) -> bool {
+/// weakening over ground numeric bounds (Int and Real widened to a
+/// shared rational view).
+pub fn entails(premises: &[&Term], conclusion: &Term) -> bool {
     if tautology(conclusion) || premises.contains(&conclusion) {
         return true;
     }
     let Some((opc, lc, rc)) = oriented(conclusion) else {
         return false;
     };
-    let Some(kc) = as_int(rc) else {
+    let Some(kc) = as_num(rc) else {
         return false;
     };
     premises.iter().any(|p| {
         oriented(p).is_some_and(|(opp, lp, rp)| {
-            lp == lc && as_int(rp).is_some_and(|kp| cmp_implies(opp, kp, opc, kc))
+            lp == lc && as_num(rp).is_some_and(|kp| cmp_implies(opp, kp, opc, kc))
         })
     })
 }

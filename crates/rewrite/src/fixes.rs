@@ -28,7 +28,10 @@ pub enum FixTarget {
 }
 
 impl FixTarget {
-    fn matches(&self, item: &SourceItem) -> bool {
+    /// Does this target name the given source item? Drivers use this to
+    /// resolve a fix back to the item's byte span (via
+    /// [`parse_source_spanned`]) when rendering machine formats.
+    pub fn matches(&self, item: &SourceItem) -> bool {
         match (self, item) {
             (FixTarget::Rule(n), SourceItem::Rule(r)) => r.name == *n,
             (FixTarget::Block(n), SourceItem::Block(b)) => b.name == *n,

@@ -59,6 +59,7 @@ pub mod strategy;
 pub mod symbol;
 pub mod term;
 pub mod trace;
+pub mod verify;
 
 pub use analyze::{analyze, analyze_rule, analyze_strategy, Diagnostic, SchemaProvider, Severity};
 pub use dsl::{parse_source, parse_source_spanned, parse_term, SourceItem, Span, SpannedItem};
@@ -78,3 +79,7 @@ pub use strategy::{
 pub use symbol::{Symbol, ToSymbol};
 pub use term::{Args, Bindings, Term};
 pub use trace::{Trace, TraceEvent};
+pub use verify::{
+    equiv::{check_rule, Outcome as EquivOutcome},
+    fuzz::{generate_case, rule_seed, shrink_candidates, FuzzCase, GenOutcome, TableSpec},
+};

@@ -1,0 +1,721 @@
+//! Deterministic differential-fuzz case generation.
+//!
+//! For a rule, [`generate_case`] manufactures a small random world that
+//! the rule's LHS pattern is guaranteed to match structurally: fresh base
+//! tables with random small arities, a handful of rows drawn from a tiny
+//! integer pool, and a subject term obtained by *instantiating* the LHS —
+//! every pattern variable is replaced by a concrete relation, predicate,
+//! or scalar of the right kind. The harness (in `eds-core`) then rewrites
+//! the subject with only that rule enabled and compares reference-executor
+//! results row for row; [`shrink_candidates`] proposes strictly smaller
+//! variants of a failing case for the harness to re-check.
+//!
+//! Everything here is pure and seeded — the same `(rule, seed)` pair
+//! always yields the same case, which is what makes CI counterexamples
+//! replayable locally. This module deliberately knows nothing about the
+//! engine: it emits table specs, rows and terms; executing them is the
+//! harness's job.
+
+use std::collections::BTreeMap;
+
+use eds_adt::Value;
+
+use crate::analyze::CMP_OPS;
+use crate::rule::Rule;
+use crate::term::Term;
+
+/// Minimal splitmix64 — the crate has no RNG dependency, and statistical
+/// quality far beyond "spreads the seed" is not needed here.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `0..n` (`n` must be nonzero; the modulo bias
+    /// is irrelevant at these tiny ranges).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Mix a rule name into a base seed so every rule fuzzes a distinct but
+/// reproducible stream (FNV-1a over the name).
+pub fn rule_seed(base: u64, rule_name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in rule_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    base ^ h
+}
+
+/// A generated base table.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    /// Table name (`T1`, `T2`, ...), unique within the case.
+    pub name: String,
+    /// Number of INT columns.
+    pub arity: usize,
+}
+
+/// One replayable differential test case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The seed that produced it (after [`rule_seed`] mixing).
+    pub seed: u64,
+    /// Base tables the subject references.
+    pub tables: Vec<TableSpec>,
+    /// `rows[i]` holds the rows of `tables[i]`.
+    pub rows: Vec<Vec<Vec<i64>>>,
+    /// A relation-valued operator term the rule's LHS matches.
+    pub subject: Term,
+}
+
+impl std::fmt::Display for FuzzCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (t, rows) in self.tables.iter().zip(&self.rows) {
+            write!(f, "{}/{} = {rows:?}; ", t.name, t.arity)?;
+        }
+        write!(f, "subject = {}", self.subject)
+    }
+}
+
+/// What [`generate_case`] produced.
+#[derive(Debug, Clone)]
+pub enum GenOutcome {
+    /// A runnable case.
+    Case(Box<FuzzCase>),
+    /// The LHS shape is outside the generator's vocabulary (reason given);
+    /// the rule has no differential coverage.
+    Unsupported(String),
+}
+
+/// Values inserted into generated rows and used for scalar literals. The
+/// pool is deliberately tiny so that joins and equalities actually hit.
+const INT_POOL: [i64; 5] = [-1, 0, 1, 2, 3];
+const MAX_ROWS: u64 = 5; // 0..=4 rows per table
+
+/// Argument kinds of the LERA operator functors, mirroring the
+/// `term_bridge` signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArgKind {
+    Rel,
+    Pred,
+    ScalarList,
+    RelList,
+    RelColl,
+}
+
+fn rel_sig(head: &str) -> Option<&'static [ArgKind]> {
+    use ArgKind::{Pred, Rel, RelColl, RelList, ScalarList};
+    Some(match head {
+        "FILTER" => &[Rel, Pred],
+        "PROJECTION" => &[Rel, ScalarList],
+        "JOIN" => &[Rel, Rel, Pred],
+        "UNION" => &[RelColl],
+        "DIFFERENCE" | "INTERSECT" => &[Rel, Rel],
+        "SEARCH" => &[RelList, Pred, ScalarList],
+        "DEDUP" => &[Rel],
+        _ => return None,
+    })
+}
+
+fn is_pred_head(head: &str, arity: usize) -> bool {
+    matches!(
+        (head, arity),
+        ("AND" | "OR", 2) | ("NOT", 1) | ("TRUE" | "FALSE", 0)
+    ) || (arity == 2 && CMP_OPS.contains(&head))
+}
+
+struct Gen {
+    rng: Rng,
+    tables: Vec<TableSpec>,
+    /// Pattern variable → the concrete term it was instantiated to (and
+    /// for relation variables, the arity).
+    binds: BTreeMap<String, (Term, Option<usize>)>,
+    seq_binds: BTreeMap<String, Vec<Term>>,
+}
+
+impl Gen {
+    fn fresh_table(&mut self, required: Option<usize>) -> (Term, usize) {
+        let arity = required.unwrap_or_else(|| 1 + self.rng.below(3) as usize);
+        let name = format!("T{}", self.tables.len() + 1);
+        let term = Term::atom(name.clone());
+        self.tables.push(TableSpec { name, arity });
+        (term, arity)
+    }
+
+    fn inst_rel(&mut self, t: &Term, required: Option<usize>) -> Result<(Term, usize), String> {
+        match t {
+            Term::Var(v) => {
+                if let Some((term, arity)) = self.binds.get(v.as_str()).cloned() {
+                    let arity = arity
+                        .ok_or_else(|| "relation variable reused as non-relation".to_owned())?;
+                    if required.is_some_and(|r| r != arity) {
+                        return Err(format!("conflicting arity requirements on '{v}'"));
+                    }
+                    return Ok((term, arity));
+                }
+                let (term, arity) = self.fresh_table(required);
+                self.binds
+                    .insert(v.as_str().to_owned(), (term.clone(), Some(arity)));
+                Ok((term, arity))
+            }
+            Term::App(head, args) => {
+                let (head, args) = (head.as_str(), args.as_slice());
+                let Some(sig) = rel_sig(head) else {
+                    return Err(format!(
+                        "operator {head}/{} in relation position",
+                        args.len()
+                    ));
+                };
+                if sig.len() != args.len() {
+                    return Err(format!(
+                        "{head} arity {} (expected {})",
+                        args.len(),
+                        sig.len()
+                    ));
+                }
+                match head {
+                    "FILTER" => {
+                        let (rel, arity) = self.inst_rel(&args[0], required)?;
+                        let pred = self.inst_pred(&args[1], &[arity])?;
+                        Ok((Term::app("FILTER", vec![rel, pred]), arity))
+                    }
+                    "PROJECTION" => {
+                        let (rel, arity) = self.inst_rel(&args[0], None)?;
+                        let proj = self.inst_scalar_list(&args[1], &[arity], required)?;
+                        let out = proj.len();
+                        Ok((Term::app("PROJECTION", vec![rel, Term::list(proj)]), out))
+                    }
+                    "JOIN" => {
+                        let (need_l, need_r) = match required {
+                            Some(r) if r < 2 => {
+                                return Err("JOIN cannot produce arity < 2".to_owned())
+                            }
+                            Some(r) => {
+                                let l = 1 + self.rng.below(r as u64 - 1) as usize;
+                                (Some(l), Some(r - l))
+                            }
+                            None => (None, None),
+                        };
+                        let (l, al) = self.inst_rel(&args[0], need_l)?;
+                        let (r, ar) = self.inst_rel(&args[1], need_r)?;
+                        let pred = self.inst_pred(&args[2], &[al, ar])?;
+                        Ok((Term::app("JOIN", vec![l, r, pred]), al + ar))
+                    }
+                    "UNION" => {
+                        let arity = required.unwrap_or_else(|| 1 + self.rng.below(3) as usize);
+                        let (kind, members) = self.inst_rel_members(&args[0], arity)?;
+                        Ok((Term::app("UNION", vec![Term::app(kind, members)]), arity))
+                    }
+                    "DIFFERENCE" | "INTERSECT" => {
+                        let arity = required.unwrap_or_else(|| 1 + self.rng.below(3) as usize);
+                        let (l, _) = self.inst_rel(&args[0], Some(arity))?;
+                        let (r, _) = self.inst_rel(&args[1], Some(arity))?;
+                        Ok((Term::app(head, vec![l, r]), arity))
+                    }
+                    "SEARCH" => {
+                        let (inputs, arities) = self.inst_search_inputs(&args[0])?;
+                        let pred = self.inst_pred(&args[1], &arities)?;
+                        let proj = self.inst_scalar_list(&args[2], &arities, required)?;
+                        let out = proj.len();
+                        Ok((
+                            Term::app("SEARCH", vec![inputs, pred, Term::list(proj)]),
+                            out,
+                        ))
+                    }
+                    // DEDUP
+                    _ => {
+                        let (rel, arity) = self.inst_rel(&args[0], required)?;
+                        Ok((Term::app("DEDUP", vec![rel]), arity))
+                    }
+                }
+            }
+            Term::SeqVar(v) => Err(format!("collection variable '{v}*' in relation position")),
+            Term::Const(_) => Err("literal in relation position".to_owned()),
+        }
+    }
+
+    /// Instantiate the member collection of a `UNION` pattern: a
+    /// `SET`/`BAG`/`LIST` whose items are relations of `arity`, with
+    /// collection variables expanding to 0–2 fresh members.
+    fn inst_rel_members(
+        &mut self,
+        t: &Term,
+        arity: usize,
+    ) -> Result<(&'static str, Vec<Term>), String> {
+        let Term::App(head, items) = t else {
+            return Err("UNION pattern without a collection constructor".to_owned());
+        };
+        let kind = match head.as_str() {
+            "SET" => "SET",
+            "BAG" => "BAG",
+            "LIST" => "LIST",
+            other => return Err(format!("UNION over {other}")),
+        };
+        let mut members = Vec::new();
+        for item in items.as_slice() {
+            if let Term::SeqVar(v) = item {
+                let extra = self.expand_seq_rels(v.as_str(), arity)?;
+                members.extend(extra);
+            } else {
+                members.push(self.inst_rel(item, Some(arity))?.0);
+            }
+        }
+        if members.is_empty() {
+            members.push(self.fresh_table(Some(arity)).0);
+        }
+        Ok((kind, members))
+    }
+
+    fn expand_seq_rels(&mut self, name: &str, arity: usize) -> Result<Vec<Term>, String> {
+        if let Some(terms) = self.seq_binds.get(name) {
+            return Ok(terms.clone());
+        }
+        let n = self.rng.below(3);
+        let terms: Vec<Term> = (0..n).map(|_| self.fresh_table(Some(arity)).0).collect();
+        self.seq_binds.insert(name.to_owned(), terms.clone());
+        Ok(terms)
+    }
+
+    fn inst_search_inputs(&mut self, t: &Term) -> Result<(Term, Vec<usize>), String> {
+        match t {
+            Term::Var(v) => {
+                if let Some((term, _)) = self.binds.get(v.as_str()).cloned() {
+                    let arities = search_input_arities(&term, &self.tables)?;
+                    return Ok((term, arities));
+                }
+                let n = 1 + self.rng.below(2);
+                let mut items = Vec::new();
+                let mut arities = Vec::new();
+                for _ in 0..n {
+                    let (item, a) = self.fresh_table(None);
+                    items.push(item);
+                    arities.push(a);
+                }
+                let term = Term::list(items);
+                self.binds
+                    .insert(v.as_str().to_owned(), (term.clone(), None));
+                Ok((term, arities))
+            }
+            Term::App(head, items) if head.as_str() == "LIST" => {
+                let mut out = Vec::new();
+                let mut arities = Vec::new();
+                for item in items.as_slice() {
+                    if let Term::SeqVar(v) = item {
+                        // Search inputs need not share arity; fresh
+                        // ones get their own random widths.
+                        let arity = 1 + self.rng.below(3) as usize;
+                        for extra in self.expand_seq_rels(v.as_str(), arity)? {
+                            arities.push(search_input_arities(&extra, &self.tables)?[0]);
+                            out.push(extra);
+                        }
+                    } else {
+                        let (rel, a) = self.inst_rel(item, None)?;
+                        out.push(rel);
+                        arities.push(a);
+                    }
+                }
+                if out.is_empty() {
+                    let (rel, a) = self.fresh_table(None);
+                    out.push(rel);
+                    arities.push(a);
+                }
+                Ok((Term::list(out), arities))
+            }
+            _ => Err("SEARCH inputs neither a variable nor a LIST".to_owned()),
+        }
+    }
+
+    fn inst_pred(&mut self, t: &Term, env: &[usize]) -> Result<Term, String> {
+        match t {
+            Term::Var(v) => {
+                if let Some((term, _)) = self.binds.get(v.as_str()) {
+                    return Ok(term.clone());
+                }
+                let pred = self.gen_pred(env, 2);
+                self.binds
+                    .insert(v.as_str().to_owned(), (pred.clone(), None));
+                Ok(pred)
+            }
+            Term::App(head, args) => {
+                let (head, args) = (head.as_str(), args.as_slice());
+                match (head, args.len()) {
+                    ("AND" | "OR", 2) => Ok(Term::app(
+                        head,
+                        vec![
+                            self.inst_pred(&args[0], env)?,
+                            self.inst_pred(&args[1], env)?,
+                        ],
+                    )),
+                    ("NOT", 1) => Ok(Term::app("NOT", vec![self.inst_pred(&args[0], env)?])),
+                    ("TRUE" | "FALSE", 0) => Ok(t.clone()),
+                    (op, 2) if CMP_OPS.contains(&op) => Ok(Term::app(
+                        op,
+                        vec![
+                            self.inst_scalar(&args[0], env)?,
+                            self.inst_scalar(&args[1], env)?,
+                        ],
+                    )),
+                    _ => Err(format!("predicate operator {head}/{}", args.len())),
+                }
+            }
+            Term::SeqVar(v) => Err(format!("collection variable '{v}*' in predicate position")),
+            Term::Const(Value::Bool(_)) => Ok(t.clone()),
+            Term::Const(_) => Err("non-boolean literal in predicate position".to_owned()),
+        }
+    }
+
+    fn inst_scalar(&mut self, t: &Term, env: &[usize]) -> Result<Term, String> {
+        match t {
+            Term::Var(v) => {
+                if let Some((term, _)) = self.binds.get(v.as_str()) {
+                    return Ok(term.clone());
+                }
+                let s = self.gen_scalar(env, 1);
+                self.binds.insert(v.as_str().to_owned(), (s.clone(), None));
+                Ok(s)
+            }
+            Term::Const(_) => Ok(t.clone()),
+            Term::App(head, args) => {
+                let (head, args) = (head.as_str(), args.as_slice());
+                if t.as_attr().is_some() {
+                    return Ok(t.clone());
+                }
+                match (head, args.len()) {
+                    ("+" | "-" | "*", 2) => Ok(Term::app(
+                        head,
+                        vec![
+                            self.inst_scalar(&args[0], env)?,
+                            self.inst_scalar(&args[1], env)?,
+                        ],
+                    )),
+                    ("-", 1) => Ok(Term::app("-", vec![self.inst_scalar(&args[0], env)?])),
+                    _ => Err(format!("scalar operator {head}/{}", args.len())),
+                }
+            }
+            Term::SeqVar(v) => Err(format!("collection variable '{v}*' in scalar position")),
+        }
+    }
+
+    fn inst_scalar_list(
+        &mut self,
+        t: &Term,
+        env: &[usize],
+        required: Option<usize>,
+    ) -> Result<Vec<Term>, String> {
+        match t {
+            Term::Var(v) => {
+                if let Some((term, _)) = self.binds.get(v.as_str()) {
+                    if let Some(("LIST", items)) = term.as_app() {
+                        if required.is_some_and(|r| r != items.len()) {
+                            return Err(format!("conflicting projection widths on '{v}'"));
+                        }
+                        return Ok(items.to_vec());
+                    }
+                    return Err(format!("'{v}' reused outside a projection list"));
+                }
+                let n = required.unwrap_or_else(|| 1 + self.rng.below(2) as usize);
+                let items: Vec<Term> = (0..n).map(|_| self.gen_scalar(env, 1)).collect();
+                self.binds
+                    .insert(v.as_str().to_owned(), (Term::list(items.clone()), None));
+                Ok(items)
+            }
+            Term::App(head, items) if head.as_str() == "LIST" => {
+                let mut out = Vec::new();
+                for item in items.as_slice() {
+                    if let Term::SeqVar(v) = item {
+                        if let Some(terms) = self.seq_binds.get(v.as_str()) {
+                            out.extend(terms.clone());
+                        } else {
+                            let n = self.rng.below(3);
+                            let terms: Vec<Term> =
+                                (0..n).map(|_| self.gen_scalar(env, 1)).collect();
+                            self.seq_binds.insert(v.as_str().to_owned(), terms.clone());
+                            out.extend(terms);
+                        }
+                    } else {
+                        out.push(self.inst_scalar(item, env)?);
+                    }
+                }
+                if out.is_empty() {
+                    out.push(self.gen_scalar(env, 1));
+                }
+                if required.is_some_and(|r| r != out.len()) {
+                    return Err("projection list width conflicts with the context".to_owned());
+                }
+                Ok(out)
+            }
+            _ => Err("projection list neither a variable nor a LIST".to_owned()),
+        }
+    }
+
+    /// A random predicate over inputs with the given arities.
+    fn gen_pred(&mut self, env: &[usize], depth: u32) -> Term {
+        let roll = self.rng.below(100);
+        if depth > 0 && roll < 40 {
+            return match roll % 4 {
+                0 => Term::app(
+                    "AND",
+                    vec![self.gen_pred(env, depth - 1), self.gen_pred(env, depth - 1)],
+                ),
+                1 => Term::app(
+                    "OR",
+                    vec![self.gen_pred(env, depth - 1), self.gen_pred(env, depth - 1)],
+                ),
+                2 => Term::app("NOT", vec![self.gen_pred(env, depth - 1)]),
+                _ => Term::app(
+                    CMP_OPS[self.rng.below(CMP_OPS.len() as u64) as usize],
+                    vec![self.gen_scalar(env, 1), self.gen_scalar(env, 1)],
+                ),
+            };
+        }
+        if roll < 85 {
+            Term::app(
+                CMP_OPS[self.rng.below(CMP_OPS.len() as u64) as usize],
+                vec![self.gen_scalar(env, 1), self.gen_scalar(env, 1)],
+            )
+        } else if roll < 93 {
+            Term::atom("TRUE")
+        } else {
+            Term::atom("FALSE")
+        }
+    }
+
+    /// A random scalar over inputs with the given arities.
+    fn gen_scalar(&mut self, env: &[usize], depth: u32) -> Term {
+        let roll = self.rng.below(100);
+        if !env.is_empty() && roll < 55 {
+            let rel = 1 + self.rng.below(env.len() as u64);
+            let attr = 1 + self.rng.below(env[rel as usize - 1] as u64);
+            return Term::attr(rel as i64, attr as i64);
+        }
+        if depth > 0 && roll >= 80 {
+            let op = ["+", "-", "*"][self.rng.below(3) as usize];
+            return Term::app(
+                op,
+                vec![
+                    self.gen_scalar(env, depth - 1),
+                    self.gen_scalar(env, depth - 1),
+                ],
+            );
+        }
+        Term::int(INT_POOL[self.rng.below(INT_POOL.len() as u64) as usize])
+    }
+}
+
+/// Arities of the already-instantiated relations inside a `LIST` binding
+/// (used when a whole-inputs variable is reused).
+fn search_input_arities(t: &Term, tables: &[TableSpec]) -> Result<Vec<usize>, String> {
+    let lookup = |name: &str| {
+        tables
+            .iter()
+            .find(|spec| spec.name == name)
+            .map(|spec| spec.arity)
+            .ok_or_else(|| format!("unknown generated table {name}"))
+    };
+    match t.as_app() {
+        Some(("LIST", items)) => items
+            .iter()
+            .map(|i| match i.as_app() {
+                Some((name, [])) => lookup(name),
+                _ => Err("non-atomic reused search input".to_owned()),
+            })
+            .collect(),
+        Some((name, [])) => Ok(vec![lookup(name)?]),
+        _ => Err("non-atomic reused search input".to_owned()),
+    }
+}
+
+/// Generate one case for `rule` from `seed`, or explain why the LHS
+/// shape is outside the generator's vocabulary.
+pub fn generate_case(rule: &Rule, seed: u64) -> GenOutcome {
+    let mut gen = Gen {
+        rng: Rng::new(seed),
+        tables: Vec::new(),
+        binds: BTreeMap::new(),
+        seq_binds: BTreeMap::new(),
+    };
+    let subject = match &rule.lhs {
+        Term::App(head, _) if rel_sig(head.as_str()).is_some() => {
+            match gen.inst_rel(&rule.lhs, None) {
+                Ok((subject, _)) => subject,
+                Err(reason) => return GenOutcome::Unsupported(reason),
+            }
+        }
+        Term::App(head, args) if is_pred_head(head.as_str(), args.len()) => {
+            // A pure qualification rule: embed the instantiated predicate
+            // in a FILTER over one fresh table so it executes.
+            let (rel, arity) = gen.fresh_table(None);
+            match gen.inst_pred(&rule.lhs, &[arity]) {
+                Ok(pred) => Term::app("FILTER", vec![rel, pred]),
+                Err(reason) => return GenOutcome::Unsupported(reason),
+            }
+        }
+        other => {
+            return GenOutcome::Unsupported(format!(
+                "LHS root {other} is neither a relational operator nor a qualification"
+            ))
+        }
+    };
+    let mut rows = Vec::with_capacity(gen.tables.len());
+    for spec in &gen.tables {
+        let n = gen.rng.below(MAX_ROWS);
+        let mut table_rows = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            table_rows.push(
+                (0..spec.arity)
+                    .map(|_| INT_POOL[gen.rng.below(INT_POOL.len() as u64) as usize])
+                    .collect(),
+            );
+        }
+        rows.push(table_rows);
+    }
+    GenOutcome::Case(Box::new(FuzzCase {
+        seed,
+        tables: gen.tables,
+        rows,
+        subject,
+    }))
+}
+
+/// Strictly smaller variants of a failing case, in preference order. The
+/// harness re-checks each candidate (rule still applies, results still
+/// differ) and keeps the first that does, looping to a fixpoint.
+pub fn shrink_candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    // Fewer rows first: data shrinks are the cheapest to re-check and
+    // give the most readable counterexamples.
+    for (ti, rows) in case.rows.iter().enumerate() {
+        for ri in 0..rows.len() {
+            let mut c = case.clone();
+            c.rows[ti].remove(ri);
+            out.push(c);
+        }
+    }
+    // Structural shrinks on the subject: hoist a boolean child over its
+    // connective, collapse a comparison to a literal, zero a constant.
+    for pos in case.subject.positions() {
+        if pos.is_empty() {
+            continue;
+        }
+        let Some(sub) = case.subject.at(&pos) else {
+            continue;
+        };
+        if let Some((head, args)) = sub.as_app() {
+            match (head, args.len()) {
+                ("AND" | "OR", 2) => {
+                    for child in args {
+                        out.push(replaced(case, &pos, child.clone()));
+                    }
+                }
+                ("NOT", 1) => out.push(replaced(case, &pos, args[0].clone())),
+                (op, 2) if CMP_OPS.contains(&op) => {
+                    out.push(replaced(case, &pos, Term::atom("TRUE")));
+                    out.push(replaced(case, &pos, Term::atom("FALSE")));
+                }
+                _ => {}
+            }
+        }
+        if let Some(Value::Int(n)) = sub.as_const() {
+            if *n != 0 {
+                out.push(replaced(case, &pos, Term::int(0)));
+            }
+        }
+    }
+    out
+}
+
+fn replaced(case: &FuzzCase, pos: &[usize], with: Term) -> FuzzCase {
+    let mut c = case.clone();
+    c.subject = case.subject.replace_at(pos, with);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_source;
+    use crate::SourceItem;
+
+    fn rule(src: &str) -> Rule {
+        match parse_source(src).unwrap().remove(0) {
+            SourceItem::Rule(r) => r,
+            other => panic!("expected a rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let r = rule("Merge : FILTER(FILTER(r, p), q) / --> FILTER(r, AND(p, q)) / ;");
+        let (GenOutcome::Case(a), GenOutcome::Case(b)) =
+            (generate_case(&r, 42), generate_case(&r, 42))
+        else {
+            panic!("expected cases");
+        };
+        assert_eq!(a.subject, b.subject);
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn filter_pattern_instantiates_to_a_matching_subject() {
+        let r = rule("Merge : FILTER(FILTER(r, p), q) / --> FILTER(r, AND(p, q)) / ;");
+        let GenOutcome::Case(case) = generate_case(&r, 7) else {
+            panic!("expected a case");
+        };
+        // The subject is FILTER(FILTER(T1, ...), ...): the pattern
+        // matches at the root by construction.
+        let (head, args) = case.subject.as_app().unwrap();
+        assert_eq!(head, "FILTER");
+        assert!(args[0].is_app("FILTER"));
+        assert_eq!(case.tables.len(), 1);
+    }
+
+    #[test]
+    fn qualification_rules_embed_in_a_filter() {
+        let r = rule("DM : NOT(AND(f, g)) / --> OR(NOT(f), NOT(g)) / ;");
+        let GenOutcome::Case(case) = generate_case(&r, 3) else {
+            panic!("expected a case");
+        };
+        let (head, args) = case.subject.as_app().unwrap();
+        assert_eq!(head, "FILTER");
+        assert!(args[1].is_app("NOT"));
+    }
+
+    #[test]
+    fn nest_rules_are_unsupported() {
+        let r = rule("N : NEST(r, LIST(1), LIST(2), SET) / --> r / ;");
+        assert!(matches!(generate_case(&r, 1), GenOutcome::Unsupported(_)));
+    }
+
+    #[test]
+    fn shrinks_never_grow() {
+        let r = rule("Merge : FILTER(FILTER(r, p), q) / --> FILTER(r, AND(p, q)) / ;");
+        let GenOutcome::Case(case) = generate_case(&r, 99) else {
+            panic!("expected a case");
+        };
+        for cand in shrink_candidates(&case) {
+            let fewer_rows = cand.rows.iter().map(Vec::len).sum::<usize>()
+                < case.rows.iter().map(Vec::len).sum::<usize>();
+            // Zeroing a constant keeps the size; every other candidate
+            // shrinks the subject or the data.
+            let no_larger_subject = cand.subject.size() <= case.subject.size();
+            assert!(fewer_rows || no_larger_subject, "{cand}");
+            assert!(cand.subject.size() <= case.subject.size(), "{cand}");
+        }
+    }
+}

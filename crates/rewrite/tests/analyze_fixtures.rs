@@ -289,6 +289,41 @@ fn eds016_catches_the_split_cycle_eds012_cannot_see() {
 }
 
 #[test]
+fn eds016_deduplicates_when_both_blocks_hold_the_whole_cycle() {
+    // Both halves of the cycle sit in BOTH unbounded blocks, so the
+    // flow check emits one finding per (rule, block) — four raw
+    // diagnostics that differ only in the block that surfaced them.
+    // finalize() collapses those to one per rule: the message already
+    // names every block on the cycle, so the per-block copies carry no
+    // extra information.
+    let src = "AtoB : A(x) / --> B(x) / ;\n\
+         BtoA : B(x) / --> A(x) / ;\n\
+         block(b1, {AtoB, BtoA}, INF) ;\n\
+         block(b2, {AtoB, BtoA}, INF) ;\n\
+         seq((b1, b2), 2) ;";
+    let got = lint(src);
+    let eds016: Vec<&Diagnostic> = got.iter().filter(|d| d.code == "EDS016").collect();
+    let mut rules: Vec<Option<&str>> = eds016.iter().map(|d| d.rule.as_deref()).collect();
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        [Some("AtoB"), Some("BtoA")],
+        "diagnostics were: {got:#?}"
+    );
+    // The invariant behind the dedup: no two findings agree on
+    // everything but the block.
+    for (i, a) in got.iter().enumerate() {
+        for b in &got[i + 1..] {
+            assert!(
+                (a.code, &a.rule, &a.part, &a.path, &a.message)
+                    != (b.code, &b.rule, &b.part, &b.path, &b.message),
+                "duplicate finding differing only in block: {a:#?} vs {b:#?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn eds016_not_reported_when_one_block_is_bounded() {
     expect(
         "AtoB : A(x) / --> B(x) / ;\n\
