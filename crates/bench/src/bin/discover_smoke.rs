@@ -1,0 +1,95 @@
+//! Fixed-seed rule-discovery smoke for CI's main matrix.
+//!
+//! Runs the discovery pipeline against the built-in knowledge base once
+//! per committed seed (`verify/seeds.txt` at the workspace root; the
+//! default seed when the file is absent), printing the survival funnel,
+//! wall clock, and candidate throughput. The run fails (exit 1) if any
+//! seed emits zero rules — the enumerate→prove→rank funnel drying up
+//! means a pipeline stage regressed — or if any emitted rule fails to
+//! re-register against the built-in KB under the deny lint policy.
+//!
+//! The candidates/sec line keeps the discovery tier honest: the
+//! enumeration and prover budgets are sized so a full run stays in the
+//! low seconds, and a pathological slowdown shows up here before it
+//! stalls the main CI matrix.
+//!
+//! Usage: `cargo run -p eds-bench --bin discover_smoke` from anywhere
+//! in the workspace. Reproduce a pass locally with
+//! `eds-discover --seed <seed>`.
+
+use std::time::Instant;
+
+use eds_core::verify::DEFAULT_SEED;
+use eds_core::{Dbms, DiscoverOptions, LintPolicy};
+
+fn seeds() -> Vec<u64> {
+    let mut dir = std::env::current_dir().expect("cwd");
+    let path = loop {
+        if dir.join("Cargo.lock").exists() {
+            break dir.join("verify/seeds.txt");
+        }
+        assert!(dir.pop(), "no workspace root above the current directory");
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return vec![DEFAULT_SEED];
+    };
+    let parsed: Vec<u64> = text
+        .lines()
+        .filter_map(|l| {
+            let l = l.split('#').next().unwrap_or("").trim();
+            if l.is_empty() {
+                return None;
+            }
+            Some(
+                match l.strip_prefix("0x").or_else(|| l.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16)
+                        .unwrap_or_else(|e| panic!("bad seed {l:?} in {}: {e}", path.display())),
+                    None => l
+                        .parse()
+                        .unwrap_or_else(|e| panic!("bad seed {l:?} in {}: {e}", path.display())),
+                },
+            )
+        })
+        .collect();
+    assert!(!parsed.is_empty(), "{} lists no seeds", path.display());
+    parsed
+}
+
+fn main() {
+    let mut failed = false;
+    for seed in seeds() {
+        let dbms = Dbms::new().expect("built-in rules must load");
+        let opts = DiscoverOptions {
+            seed,
+            ..DiscoverOptions::default()
+        };
+        let t = Instant::now();
+        let discovery = dbms.discover(&opts);
+        let secs = t.elapsed().as_secs_f64();
+        let throughput = discovery.funnel.candidates as f64 / secs.max(1e-9);
+        println!(
+            "seed {seed:#x}: {} rule(s) in {:.0} ms ({throughput:.0} candidates/sec)",
+            discovery.rules.len(),
+            secs * 1e3
+        );
+        println!("  funnel: {}", discovery.funnel);
+        if discovery.rules.is_empty() {
+            eprintln!("discover_smoke: seed {seed:#x} emitted no rules; a funnel stage regressed");
+            failed = true;
+            continue;
+        }
+        // The emitted source must register cleanly on top of the
+        // built-in KB at the strictest lint policy — what CI's
+        // eds-lint gate enforces on the artifact, checked here per
+        // seed so a drift is attributable to one run.
+        let mut fresh = Dbms::new().expect("built-in rules must load");
+        if let Err(e) = fresh.add_rule_source_checked(&discovery.render(), LintPolicy::Deny) {
+            eprintln!("discover_smoke: seed {seed:#x}: emitted rules rejected: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!("discover_smoke: replay with eds-discover --seed <seed>");
+        std::process::exit(1);
+    }
+}

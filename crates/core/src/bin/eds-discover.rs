@@ -1,0 +1,215 @@
+//! `eds-discover` — prover-gated discovery of rewrite rules.
+//!
+//! ```text
+//! eds-discover [--seed N] [--budget N] [--max-rules N] [--max-size N]
+//!              [--fragment bool|cmp|full] [--format human|json] [--out FILE]
+//! ```
+//!
+//! Enumerates candidate (LHS, RHS) rewrite pairs over a bounded term
+//! fragment, gates them through the bounded equivalence prover and the
+//! seeded differential fuzzer, keeps only strictly cost-decreasing
+//! survivors under the LERA cost model, drops candidates already
+//! derivable from the built-in knowledge base, and emits the rest as a
+//! loadable `.rules` source.
+//!
+//! The survival funnel prints to stderr; the rules document goes to
+//! stdout (or `--out FILE`). `--format json` replaces the `.rules` text
+//! with a machine document carrying the options echo, the funnel, and
+//! per-rule provenance (costs, prover valuations, guardedness).
+//!
+//! Exit status:
+//! * `0` — run completed (zero rules discovered is still a completed
+//!   run: the funnel says why);
+//! * `2` — usage or I/O failure.
+
+use std::process::ExitCode;
+
+use eds_core::{Dbms, DiscoverOptions, Discovery, Fragment};
+
+const USAGE: &str = "\
+usage: eds-discover [--seed N] [--budget N] [--max-rules N] [--max-size N]
+                    [--fragment bool|cmp|full] [--format human|json] [--out FILE]
+  --seed N:      exploration-order seed (decimal or 0x hex; soundness
+                 never depends on it — every rule is prover-gated)
+  --budget N:    max candidate pairs admitted to the gate loop
+  --max-rules N: stop after this many accepted rules
+  --max-size N:  max LHS size in term nodes
+  --fragment F:  bool (connectives), cmp (+comparisons), full (+arith)
+  --format F:    human (.rules text, default) or json on stdout
+  --out FILE:    write the document to FILE instead of stdout
+exit codes: 0 = run completed, 2 = usage or I/O error";
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let mut opts = DiscoverOptions::default();
+    let mut format = Format::Human;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().as_deref().and_then(parse_seed) {
+                Some(s) => opts.seed = s,
+                None => return usage_error("--seed expects an unsigned integer"),
+            },
+            "--budget" => match args.next().as_deref().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.budget = n,
+                None => return usage_error("--budget expects a count"),
+            },
+            "--max-rules" => match args.next().as_deref().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.max_rules = n,
+                None => return usage_error("--max-rules expects a count"),
+            },
+            "--max-size" => match args.next().as_deref().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.max_term_size = n,
+                None => return usage_error("--max-size expects a count"),
+            },
+            "--fragment" => match args.next().as_deref().and_then(Fragment::parse) {
+                Some(f) => opts.fragment = f,
+                None => return usage_error("--fragment expects bool|cmp|full"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("eds-discover: --format expects human|json, got {other:?}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => return usage_error("--out expects a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("eds-discover: unexpected argument {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let dbms = match Dbms::new() {
+        Ok(dbms) => dbms,
+        Err(e) => {
+            eprintln!("eds-discover: failed to load built-in rules: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let discovery = dbms.discover(&opts);
+    eprintln!("eds-discover: funnel: {}", discovery.funnel);
+    eprintln!(
+        "eds-discover: {} rule(s) discovered (seed {:#x}, fragment {}, budget {})",
+        discovery.rules.len(),
+        discovery.seed,
+        discovery.fragment,
+        discovery.budget
+    );
+
+    let document = match format {
+        Format::Human => discovery.render(),
+        Format::Json => render_json(&discovery),
+    };
+    match &out {
+        None => {
+            print!("{document}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => match std::fs::write(path, &document) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("eds-discover: {path}: {e}");
+                ExitCode::from(2)
+            }
+        },
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("eds-discover: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(d: &Discovery) -> String {
+    let f = &d.funnel;
+    let funnel = format!(
+        "{{\"terms_enumerated\":{},\"symmetry_pruned\":{},\"terms_truncated\":{},\
+         \"buckets\":{},\"candidates\":{},\"budget_truncated\":{},\
+         \"renaming_pruned\":{},\"proved\":{},\"guarded\":{},\"refuted\":{},\
+         \"conditional\":{},\"unsupported\":{},\"cost_rejected\":{},\
+         \"redundant\":{},\"fuzz_rejected\":{},\"emitted\":{}}}",
+        f.terms_enumerated,
+        f.symmetry_pruned,
+        f.terms_truncated,
+        f.buckets,
+        f.candidates,
+        f.budget_truncated,
+        f.renaming_pruned,
+        f.proved,
+        f.guarded,
+        f.refuted,
+        f.conditional,
+        f.unsupported,
+        f.cost_rejected,
+        f.redundant,
+        f.fuzz_rejected,
+        f.emitted
+    );
+    let rules: Vec<String> = d
+        .rules
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"rule\":\"{}\",\"key\":\"{}\",\
+                 \"valuations\":{},\"lhs_cost\":{},\"rhs_cost\":{},\"guarded\":{}}}",
+                esc(&r.rule.name),
+                esc(&r.rule.to_string()),
+                esc(&r.key),
+                r.valuations,
+                r.lhs_cost,
+                r.rhs_cost,
+                r.guarded
+            )
+        })
+        .collect();
+    format!(
+        "{{\"seed\":{},\"fragment\":\"{}\",\"budget\":{},\
+         \"funnel\":{},\"rules\":[{}]}}\n",
+        d.seed,
+        d.fragment,
+        d.budget,
+        funnel,
+        rules.join(",")
+    )
+}

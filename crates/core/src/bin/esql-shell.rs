@@ -178,6 +178,7 @@ fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd:
              .limit <block> <n|INF>  change a block's limit\n\
              .lint                   statically analyze the knowledge base\n\
              .verify [seed]          semantically verify it (prover + fuzzer)\n\
+             .discover [seed]        search for new prover-certified rules\n\
              .level [none|simple|full]  show or set the optimization level\n\
              .stats                  plan-cache, exploration and executor counters\n\
              .prepare <name> <query ;>   prepare a ?-parameterized statement\n\
@@ -299,6 +300,34 @@ fn meta_command(dbms: &mut Dbms, stmts: &mut HashMap<String, PreparedStmt>, cmd:
                 println!("{d}");
             }
             println!("{}", report.summary());
+        }
+        ".discover" => {
+            let opts = if rest.is_empty() {
+                eds_core::DiscoverOptions::default()
+            } else {
+                match rest.parse::<u64>() {
+                    Ok(seed) => eds_core::DiscoverOptions {
+                        seed,
+                        ..eds_core::DiscoverOptions::default()
+                    },
+                    Err(_) => {
+                        eprintln!("usage: .discover [seed]");
+                        return true;
+                    }
+                }
+            };
+            let discovery = dbms.discover(&opts);
+            println!("funnel: {}", discovery.funnel);
+            for d in &discovery.rules {
+                println!(
+                    "{} ;   // cost {:.1} -> {:.1}",
+                    d.rule, d.lhs_cost, d.rhs_cost
+                );
+            }
+            println!(
+                "{} rule(s) discovered (add with .rule, or run eds-discover for a file).",
+                discovery.rules.len()
+            );
         }
         ".level" => {
             if rest.is_empty() {

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod discover;
 pub mod env;
 pub mod error;
 pub mod magic;
@@ -35,6 +36,8 @@ pub use eds_engine::{parallel_stats, OptLevel, ParallelStats};
 use eds_esql::{parse_query, Stmt};
 use eds_lera::{translate_query, CostModel, Estimate, Expr, Schema, SchemaCtx};
 
+pub use discover::{HarnessOracle, LeraCostOracle};
+pub use eds_rewrite::discover::{DiscoverOptions, Discovery, Fragment, Funnel};
 pub use env::CoreEnv;
 pub use error::{CoreError, CoreResult};
 pub use pipeline::{
@@ -325,6 +328,15 @@ impl Dbms {
     /// [`Dbms::verify`] with explicit options.
     pub fn verify_with(&self, opts: &VerifyOptions) -> VerifyReport {
         self.rewriter.verify_with(opts)
+    }
+
+    /// Discover new prover-certified, cost-decreasing rewrite rules
+    /// against the current knowledge base, cost-ranked with statistics
+    /// from the stored data (see [`eds_rewrite::discover`]). The result
+    /// renders to a `.rules` source loadable with
+    /// [`Dbms::add_rule_source_checked`].
+    pub fn discover(&self, opts: &DiscoverOptions) -> Discovery {
+        self.rewriter.discover(opts, self.cost_model())
     }
 
     /// Declare integrity constraints written in the rule language

@@ -457,6 +457,21 @@ impl QueryRewriter {
         crate::verify::verify_rules(self.rules.iter(), &self.methods, opts)
     }
 
+    /// Discover new rewrite rules against this knowledge base: the
+    /// survival funnel of [`eds_rewrite::discover`] gated by the bounded
+    /// prover, the differential fuzz harness, the supplied cost model
+    /// (with a positive predicate-operator weight), and redundancy
+    /// against the rules already registered here.
+    pub fn discover(
+        &self,
+        opts: &eds_rewrite::DiscoverOptions,
+        model: CostModel,
+    ) -> eds_rewrite::Discovery {
+        let cost = crate::discover::LeraCostOracle::new(model);
+        let fuzz = crate::discover::HarnessOracle::new(&self.methods, opts.seed, 32);
+        eds_rewrite::discover_rules(&self.rules, &self.methods, opts, &cost, &fuzz)
+    }
+
     /// Stage `items` on a copy of the knowledge base, run the analyzer
     /// over the staged state, and keep only diagnostics that belong to
     /// the new items (new rule names, new block names, the sequence when

@@ -1,0 +1,97 @@
+//! The withholding experiment: the end-to-end pin on rule discovery.
+//!
+//! Remove a family of proved builtin simplifications from the knowledge
+//! base, run discovery at the pinned seed and budget, and require every
+//! withheld rule to be re-discovered up to variable renaming (the
+//! [`canonical_rule_key`] handle). This is the strongest evidence the
+//! enumerate→prove→cost→dedup funnel works as a system: each withheld
+//! rule must survive every stage, and the commutative pair folds onto a
+//! single canonical form.
+//!
+//! The companion pins: the emitted source must register against the
+//! withheld KB under the strictest lint policy, and a discovery run
+//! over the *intact* KB must reject those same forms as redundant —
+//! the joinability oracle, not chance, keeps the emitted set novel.
+
+use eds_core::{Dbms, DiscoverOptions, LintPolicy};
+use eds_rewrite::canonical_rule_key;
+
+/// The withheld family. Every mirror partner goes with its rule — a
+/// surviving orientation (TrueAnd for AndTrue, FalseOr for OrFalse,
+/// NotLt for NotGt) would keep the candidate joinable and mask the
+/// re-discovery — so the eight names pin five canonical forms.
+const WITHHELD: [&str; 8] = [
+    "NotNot", "AndTrue", "TrueAnd", "OrFalse", "FalseOr", "NotTrue", "NotGt", "NotLt",
+];
+
+/// Pinned run: the CI seed with a budget that lets the funnel reach
+/// every withheld form even with the extra novelty the removals create.
+fn opts() -> DiscoverOptions {
+    DiscoverOptions {
+        max_rules: 96,
+        ..DiscoverOptions::default()
+    }
+}
+
+#[test]
+fn withheld_builtin_rules_are_rediscovered_up_to_renaming() {
+    let mut dbms = Dbms::new().expect("builtin rules");
+    let mut withheld_keys: Vec<(String, String)> = Vec::new();
+    for name in WITHHELD {
+        let rule = dbms
+            .rewriter
+            .rules()
+            .get(name)
+            .unwrap_or_else(|| panic!("builtin rule {name} missing"))
+            .clone();
+        withheld_keys.push((name.to_owned(), canonical_rule_key(&rule)));
+        assert!(dbms.rewriter.remove_rule(name), "remove {name}");
+    }
+    // AndTrue and TrueAnd share the canonical form; at least 5 distinct
+    // rules must actually be under test.
+    let distinct: std::collections::BTreeSet<&str> =
+        withheld_keys.iter().map(|(_, k)| k.as_str()).collect();
+    assert!(
+        distinct.len() >= 5,
+        "only {} distinct forms",
+        distinct.len()
+    );
+
+    let discovery = dbms.discover(&opts());
+    let found: std::collections::BTreeSet<&str> =
+        discovery.rules.iter().map(|d| d.key.as_str()).collect();
+    for (name, key) in &withheld_keys {
+        assert!(
+            found.contains(key.as_str()),
+            "withheld rule {name} (canonical {key}) not re-discovered; funnel: {}",
+            discovery.funnel
+        );
+    }
+
+    // The emitted source is the withheld KB's replacement: it must
+    // register cleanly at the strictest lint policy.
+    let added = dbms
+        .add_rule_source_checked(&discovery.render(), LintPolicy::Deny)
+        .expect("emitted rules register at deny");
+    assert_eq!(added, discovery.rules.len() + 1, "rules + block");
+}
+
+#[test]
+fn the_intact_kb_rejects_the_withheld_forms_as_redundant() {
+    let dbms = Dbms::new().expect("builtin rules");
+    let discovery = dbms.discover(&opts());
+    let found: std::collections::BTreeSet<String> =
+        discovery.rules.iter().map(|d| d.key.clone()).collect();
+    for name in WITHHELD {
+        let key = canonical_rule_key(dbms.rewriter.rules().get(name).expect(name));
+        assert!(
+            !found.contains(&key),
+            "{name} still emitted against the intact KB (joinability gate failed)"
+        );
+    }
+    assert!(
+        discovery.funnel.redundant > 0,
+        "the redundancy stage never fired: {}",
+        discovery.funnel
+    );
+}

@@ -81,6 +81,14 @@ pub struct CostModel {
     pub fix_rounds: f64,
     /// Assumed growth of a fixpoint relative to its seed.
     pub fix_growth: f64,
+    /// Per-tuple surcharge for each operator node of a qualification
+    /// (comparisons, connectives, arithmetic). The classic formulas
+    /// charge a flat unit per tuple regardless of predicate complexity;
+    /// a positive weight makes structurally cheaper qualifications win,
+    /// which the rule-discovery cost oracle relies on to rank candidate
+    /// rewrites. The default `0.0` keeps every classic estimate
+    /// unchanged.
+    pub pred_op_weight: f64,
 }
 
 impl Default for CostModel {
@@ -90,6 +98,7 @@ impl Default for CostModel {
             default_card: 1000.0,
             fix_rounds: 4.0,
             fix_growth: 3.0,
+            pred_op_weight: 0.0,
         }
     }
 }
@@ -267,6 +276,16 @@ impl CostModel {
         self.estimate_with(e, &HashMap::new())
     }
 
+    /// Per-tuple predicate surcharge: `pred_op_weight` units per
+    /// operator node of the qualification. Zero-cost when the weight is
+    /// zero (the default), so the classic formulas are untouched.
+    fn pred_weight(&self, pred: &Scalar) -> f64 {
+        if self.pred_op_weight == 0.0 {
+            return 0.0;
+        }
+        self.pred_op_weight * op_count(pred) as f64
+    }
+
     fn estimate_with(&self, e: &Expr, locals: &HashMap<String, f64>) -> Estimate {
         match e {
             Expr::Base(name) => {
@@ -282,7 +301,7 @@ impl CostModel {
                 let i = self.estimate_with(input, locals);
                 let ctx = [self.resolve(input, locals)];
                 Estimate {
-                    cost: i.cost + i.card,
+                    cost: i.cost + i.card + i.card * self.pred_weight(pred),
                     card: i.card * self.selectivity_with(pred, &ctx),
                 }
             }
@@ -299,7 +318,7 @@ impl CostModel {
                 let ctx = [self.resolve(left, locals), self.resolve(right, locals)];
                 let work = l.card * r.card;
                 Estimate {
-                    cost: l.cost + r.cost + work,
+                    cost: l.cost + r.cost + work + work * self.pred_weight(pred),
                     card: work * self.selectivity_with(pred, &ctx),
                 }
             }
@@ -349,7 +368,7 @@ impl CostModel {
                     inputs.iter().map(|i| self.resolve(i, locals)).collect();
                 let work: f64 = ests.iter().map(|e| e.card.max(1.0)).product();
                 Estimate {
-                    cost: children + work,
+                    cost: children + work + work * self.pred_weight(pred),
                     card: work * self.selectivity_with(pred, &ctx),
                 }
             }
@@ -431,6 +450,20 @@ fn flip(op: CmpOp) -> CmpOp {
         CmpOp::Le => CmpOp::Ge,
         CmpOp::Ge => CmpOp::Le,
         other => other,
+    }
+}
+
+/// Operator nodes of a qualification: connectives, comparisons, field
+/// accesses and calls count one each; attribute references, literals and
+/// parameters are free.
+fn op_count(s: &Scalar) -> usize {
+    match s {
+        Scalar::Attr { .. } | Scalar::Const(_) | Scalar::Param(_) => 0,
+        Scalar::Field { input, .. } => 1 + op_count(input),
+        Scalar::Call { args, .. } => 1 + args.iter().map(op_count).sum::<usize>(),
+        Scalar::Cmp { left, right, .. } => 1 + op_count(left) + op_count(right),
+        Scalar::And(a, b) | Scalar::Or(a, b) => 1 + op_count(a) + op_count(b),
+        Scalar::Not(a) => 1 + op_count(a),
     }
 }
 
@@ -523,6 +556,28 @@ mod tests {
             input: Box::new(Expr::base("R")),
             pred,
         }
+    }
+
+    #[test]
+    fn pred_op_weight_charges_per_operator_node() {
+        let eq = || Scalar::eq(Scalar::attr(1, 1), Scalar::lit(0));
+        let simple = filter(eq());
+        let wrapped = filter(Scalar::Not(Box::new(Scalar::Not(Box::new(eq())))));
+        // Default weight: predicate complexity is invisible (classic
+        // formulas, every pinned estimate in this file unchanged).
+        let m = model();
+        assert_eq!(m.estimate(&simple).cost, m.estimate(&wrapped).cost);
+        // Positive weight: one unit per operator node per tuple, so the
+        // double negation costs two extra ops x 1000 tuples.
+        let mut w = model();
+        w.pred_op_weight = 1.0;
+        let s = w.estimate(&simple);
+        let x = w.estimate(&wrapped);
+        assert_eq!(s.cost, 3000.0);
+        assert_eq!(x.cost, 5000.0);
+        // Cardinality estimates are selectivity-only and stay put
+        // (modulo the NOT-complement float rounding).
+        assert!((s.card - x.card).abs() < 1e-9, "{} vs {}", s.card, x.card);
     }
 
     #[test]

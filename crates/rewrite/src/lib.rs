@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod discover;
 pub mod dsl;
 pub mod engine;
 pub mod error;
@@ -62,6 +63,10 @@ pub mod trace;
 pub mod verify;
 
 pub use analyze::{analyze, analyze_rule, analyze_strategy, Diagnostic, SchemaProvider, Severity};
+pub use discover::{
+    canonical_rule_key, discover_rules, CostOracle, DifferentialOracle, DiscoverOptions,
+    Discovered, Discovery, Fragment, Funnel, NoDifferential, NodeCountCost,
+};
 pub use dsl::{parse_source, parse_source_spanned, parse_term, SourceItem, Span, SpannedItem};
 pub use engine::{apply_rule_once, Application, RewriteStats};
 pub use error::{RewriteError, RwResult};

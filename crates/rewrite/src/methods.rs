@@ -76,6 +76,24 @@ pub fn is_constant_term(t: &Term) -> bool {
     }
 }
 
+/// Conservative static non-NULL analysis backing the built-in `NOTNULL`
+/// guard: true only for terms that provably cannot evaluate to NULL —
+/// non-NULL literals, the boolean atoms, and arithmetic all of whose
+/// operands are themselves statically non-NULL. Variables, attribute
+/// references and anything else return false.
+pub fn statically_not_null(t: &Term) -> bool {
+    match t {
+        Term::Const(v) => !matches!(v, Value::Null),
+        Term::App(h, args) => match (h.as_str(), args.len()) {
+            ("TRUE" | "FALSE", 0) => true,
+            ("-", 1) => statically_not_null(&args[0]),
+            ("+" | "-" | "*", 2) => args.iter().all(statically_not_null),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
 /// A self-contained environment for tests and standalone use.
 #[derive(Debug, Default)]
 pub struct BasicEnv {
@@ -173,9 +191,10 @@ impl std::fmt::Debug for MethodRegistry {
 }
 
 impl MethodRegistry {
-    /// Registry pre-loaded with the generic built-in methods
-    /// (`EVALUATE`, `REFER`-style helpers are algebra-specific and are
-    /// registered by the optimizer crate).
+    /// Registry pre-loaded with the generic built-in methods —
+    /// `EVALUATE` (constant folding) and `NOTNULL` (static non-NULL
+    /// guard); `REFER`-style helpers are algebra-specific and are
+    /// registered by the optimizer crate.
     pub fn with_builtins() -> Self {
         let mut reg = Self::default();
         reg.register_with_sig(
@@ -203,6 +222,19 @@ impl MethodRegistry {
                 bind_output(&args[1], Term::Const(value), binds, "EVALUATE")
             },
         );
+        reg.register_with_sig("NOTNULL", MethodSig::predicate(1), |args, binds, _env| {
+            // NOTNULL(x): admit the rule only when the resolved
+            // argument is *statically* non-NULL. Anything the
+            // analysis cannot decide declines the application — the
+            // guard errs toward vetoing, never toward unsoundness.
+            if args.len() != 1 {
+                return Err(RewriteError::MethodFailed {
+                    method: "NOTNULL".into(),
+                    message: format!("expected 1 argument, got {}", args.len()),
+                });
+            }
+            Ok(statically_not_null(&resolve(&args[0], binds)))
+        });
         reg
     }
 

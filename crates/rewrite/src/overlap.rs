@@ -31,6 +31,66 @@ use crate::term::Term;
 /// critical-pair-sized terms while still bounding a diverging normalizer.
 const JOIN_BUDGET: u64 = 4096;
 
+/// Bounded joinability oracle over the pure rules of a knowledge base.
+///
+/// Normalizes symbolic terms (variables frozen to opaque atoms, see
+/// [`JoinOracle::normalize`]) with every constraint- and method-free rule
+/// under a finite budget. Shared between the EDS018 overlap check and the
+/// rule-discovery pipeline's redundancy gate ([`crate::discover`]).
+pub(crate) struct JoinOracle<'a> {
+    rules: &'a RuleSet,
+    methods: &'a MethodRegistry,
+    block: Block,
+    env: BasicEnv,
+}
+
+impl<'a> JoinOracle<'a> {
+    /// Build the oracle over all pure rules of `rules`.
+    pub(crate) fn new(rules: &'a RuleSet, methods: &'a MethodRegistry) -> Self {
+        let norm_names: Vec<String> = rules
+            .iter()
+            .filter(|r| is_pure(r))
+            .map(|r| r.name.clone())
+            .collect();
+        Self {
+            rules,
+            methods,
+            block: Block {
+                name: "<joinability>".to_owned(),
+                rules: norm_names,
+                limit: Limit::Finite(JOIN_BUDGET),
+            },
+            env: BasicEnv::new(),
+        }
+    }
+
+    /// Normalize a symbolic term. The engine refuses results carrying
+    /// unbound variables (its subjects are ground queries), so the term's
+    /// variables are frozen to marked atoms and thawed afterwards:
+    /// pattern matching treats an opaque atom and a subject variable
+    /// identically.
+    pub(crate) fn normalize(&self, t: &Term) -> Term {
+        let frozen = freeze_vars(t);
+        let done = match apply_block(
+            self.rules,
+            &self.block,
+            self.methods,
+            &self.env,
+            frozen.clone(),
+            false,
+        ) {
+            Ok(o) => o.term,
+            Err(_) => frozen,
+        };
+        thaw_vars(&done)
+    }
+
+    /// Do both terms normalize to the same form?
+    pub(crate) fn joinable(&self, a: &Term, b: &Term) -> bool {
+        self.normalize(a) == self.normalize(b)
+    }
+}
+
 /// EDS018 over every unbounded block of the strategy.
 pub(crate) fn check_overlaps(
     rules: &RuleSet,
@@ -42,29 +102,8 @@ pub(crate) fn check_overlaps(
     // knowledge base, not just the block under scrutiny — a peak whose
     // two reducts meet after a later block's cleanup step is confluent
     // for the strategy as a whole.
-    let norm_names: Vec<String> = rules
-        .iter()
-        .filter(|r| is_pure(r))
-        .map(|r| r.name.clone())
-        .collect();
-    let norm_block = Block {
-        name: "<joinability>".to_owned(),
-        rules: norm_names,
-        limit: Limit::Finite(JOIN_BUDGET),
-    };
-    let env = BasicEnv::new();
-    // The engine refuses results carrying unbound variables (its subjects
-    // are ground queries), so symbolic reducts are normalized with their
-    // variables frozen to marked atoms and thawed afterwards: pattern
-    // matching treats an opaque atom and a subject variable identically.
-    let normalize = |t: &Term| -> Term {
-        let frozen = freeze_vars(t);
-        let done = match apply_block(rules, &norm_block, methods, &env, frozen.clone(), false) {
-            Ok(o) => o.term,
-            Err(_) => frozen,
-        };
-        thaw_vars(&done)
-    };
+    let oracle = JoinOracle::new(rules, methods);
+    let normalize = |t: &Term| -> Term { oracle.normalize(t) };
 
     let mut seen_blocks: HashSet<&str> = HashSet::new();
     let mut emitted: HashSet<(String, String, String)> = HashSet::new();

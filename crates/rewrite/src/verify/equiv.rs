@@ -6,7 +6,7 @@
 //! literals. For a rule whose LHS and RHS both live in this fragment the
 //! prover enumerates **every** valuation of the rule's variables over a
 //! small domain — boolean variables range over {TRUE, FALSE, UNKNOWN},
-//! scalar variables over {NULL, 0, 1, 2} — and compares both sides under
+//! scalar variables over {NULL, -1, 0, 1, 2} — and compares both sides under
 //! SQL's 3-valued Kleene semantics (a comparison with a NULL operand is
 //! UNKNOWN).
 //!
@@ -18,7 +18,8 @@
 //!   **refuted** ([`super::EDS030`], error) with the witness valuation;
 //! * only NULL-involving valuations disagree → **conditional**
 //!   ([`super::EDS032`], warning): the rule is sound exactly under a
-//!   `NOT NULL` side condition the rule language cannot state;
+//!   `NOT NULL` side condition — guard the offending variables with the
+//!   built-in `NOTNULL(x)` constraint and the prover will certify it;
 //! * anything outside the fragment (methods, collection variables,
 //!   relational operators, unknown functors, too many variables) →
 //!   **unsupported** ([`super::EDS031`], info): differential fuzzing is
@@ -105,15 +106,19 @@ pub enum Outcome {
 
 /// The position a variable occurs in decides its domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Kind {
+pub(crate) enum Kind {
     Bool,
     Scalar,
 }
 
-/// Scalar domain: NULL plus three small integers — enough to separate
-/// `=`/`<>`/`<`/`<=`/`>`/`>=` and to exercise `+`/`-`/`*`.
-const SCALAR_DOMAIN: [Option<f64>; 4] = [None, Some(0.0), Some(1.0), Some(2.0)];
-const BOOL_DOMAIN: [Tri; 3] = [Tri::True, Tri::False, Tri::Unknown];
+/// Scalar domain: NULL plus four small integers — enough to separate
+/// `=`/`<>`/`<`/`<=`/`>`/`>=` and to exercise `+`/`-`/`*`. The negative
+/// element matters: without it, sign-sensitive non-theorems like
+/// `0 <= x --> TRUE` hold at every domain point and the rule-discovery
+/// pipeline would emit them as proved.
+pub(crate) const SCALAR_DOMAIN: [Option<f64>; 5] =
+    [None, Some(-1.0), Some(0.0), Some(1.0), Some(2.0)];
+pub(crate) const BOOL_DOMAIN: [Tri; 3] = [Tri::True, Tri::False, Tri::Unknown];
 
 /// Valuation cap: 3^b · 4^s must stay below this for the enumeration to
 /// run (8 variables of the worst mix stay well under it).
@@ -121,13 +126,13 @@ const MAX_VALUATIONS: usize = 1 << 16;
 
 /// One assignment of domain values to the rule's variables.
 #[derive(Debug, Default, Clone)]
-struct Valuation {
-    bools: BTreeMap<String, Tri>,
-    scalars: BTreeMap<String, Option<f64>>,
+pub(crate) struct Valuation {
+    pub(crate) bools: BTreeMap<String, Tri>,
+    pub(crate) scalars: BTreeMap<String, Option<f64>>,
 }
 
 impl Valuation {
-    fn has_null(&self) -> bool {
+    pub(crate) fn has_null(&self) -> bool {
         self.bools.values().any(|t| *t == Tri::Unknown)
             || self.scalars.values().any(Option::is_none)
     }
@@ -185,7 +190,11 @@ impl std::fmt::Display for Valuation {
 
 /// Classify every variable of `t` (a boolean-position term) into
 /// [`Kind`]s, rejecting anything outside the provable fragment.
-fn classify(t: &Term, kind: Kind, kinds: &mut BTreeMap<String, Kind>) -> Result<(), String> {
+pub(crate) fn classify(
+    t: &Term,
+    kind: Kind,
+    kinds: &mut BTreeMap<String, Kind>,
+) -> Result<(), String> {
     match t {
         Term::Var(v) => {
             let name = v.as_str().to_owned();
@@ -238,7 +247,7 @@ fn classify(t: &Term, kind: Kind, kinds: &mut BTreeMap<String, Kind>) -> Result<
 
 /// 3-valued evaluation of a boolean-fragment term under a valuation.
 /// `classify` has vetted the shape, so unreachable arms are defensive.
-fn eval_bool(t: &Term, val: &Valuation) -> Option<Tri> {
+pub(crate) fn eval_bool(t: &Term, val: &Valuation) -> Option<Tri> {
     match t {
         Term::Var(v) => val.bools.get(v.as_str()).copied(),
         Term::Const(Value::Bool(b)) => Some(if *b { Tri::True } else { Tri::False }),
@@ -311,7 +320,7 @@ fn eval_scalar(t: &Term, val: &Valuation) -> Option<Option<f64>> {
 
 /// The `idx`-th valuation in the mixed-radix enumeration over the
 /// classified variables.
-fn nth_valuation(kinds: &BTreeMap<String, Kind>, mut idx: usize) -> Valuation {
+pub(crate) fn nth_valuation(kinds: &BTreeMap<String, Kind>, mut idx: usize) -> Valuation {
     let mut val = Valuation::default();
     for (name, kind) in kinds {
         match kind {
@@ -439,7 +448,7 @@ pub fn check_rule(rule: &Rule, methods: &MethodRegistry, env: &dyn TermEnv) -> O
             &format!(
                 "equivalence holds for all non-NULL valuations but at {val} the left side \
                  is {l} and the right side is {r}; soundness needs a NOT-NULL side \
-                 condition the rule language cannot express"
+                 condition — guard the offending variables with NOTNULL(...)"
             ),
         ));
     }
@@ -490,7 +499,7 @@ mod tests {
     #[test]
     fn comparison_folding_is_proved_over_numbers() {
         let out = check("Diff : x - y = 0 / --> x = y / ;");
-        assert!(matches!(out, Outcome::Proved { valuations: 16 }), "{out:?}");
+        assert!(matches!(out, Outcome::Proved { valuations: 25 }), "{out:?}");
     }
 
     #[test]
@@ -501,6 +510,15 @@ mod tests {
         };
         assert_eq!(d.code, "EDS032");
         assert!(d.message.contains("NULL"), "{}", d.message);
+    }
+
+    #[test]
+    fn notnull_guards_discharge_the_null_counterexample() {
+        // The side condition EDS032 asks for, expressed with the
+        // built-in NOTNULL guard: NULL valuations are excluded and the
+        // remaining 4 x 4 scalar grid proves the collapse.
+        let out = check("Contra : AND(x > y, x <= y) / NOTNULL(x), NOTNULL(y) --> FALSE / ;");
+        assert!(matches!(out, Outcome::Proved { valuations: 16 }), "{out:?}");
     }
 
     #[test]

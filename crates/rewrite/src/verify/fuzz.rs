@@ -16,7 +16,7 @@
 //! engine: it emits table specs, rows and terms; executing them is the
 //! harness's job.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use eds_adt::Value;
 
@@ -117,10 +117,13 @@ enum ArgKind {
     ScalarList,
     RelList,
     RelColl,
+    AttrList,
+    Kind,
+    FixName,
 }
 
 fn rel_sig(head: &str) -> Option<&'static [ArgKind]> {
-    use ArgKind::{Pred, Rel, RelColl, RelList, ScalarList};
+    use ArgKind::{AttrList, FixName, Kind, Pred, Rel, RelColl, RelList, ScalarList};
     Some(match head {
         "FILTER" => &[Rel, Pred],
         "PROJECTION" => &[Rel, ScalarList],
@@ -129,6 +132,8 @@ fn rel_sig(head: &str) -> Option<&'static [ArgKind]> {
         "DIFFERENCE" | "INTERSECT" => &[Rel, Rel],
         "SEARCH" => &[RelList, Pred, ScalarList],
         "DEDUP" => &[Rel],
+        "NEST" => &[Rel, AttrList, AttrList, Kind],
+        "FIX" => &[FixName, Rel],
         _ => return None,
     })
 }
@@ -136,8 +141,39 @@ fn rel_sig(head: &str) -> Option<&'static [ArgKind]> {
 fn is_pred_head(head: &str, arity: usize) -> bool {
     matches!(
         (head, arity),
-        ("AND" | "OR", 2) | ("NOT", 1) | ("TRUE" | "FALSE", 0)
+        ("AND" | "OR", 2) | ("NOT", 1) | ("TRUE" | "FALSE", 0) | ("MEMBER", 2)
     ) || (arity == 2 && CMP_OPS.contains(&head))
+}
+
+fn is_scalar_head(head: &str, arity: usize) -> bool {
+    matches!((head, arity), ("+" | "-" | "*", 2) | ("-", 1))
+}
+
+/// Pattern variables that a rule's `ISA(v, constant)` side conditions
+/// require to be constants. Instantiating them as anything else
+/// guarantees the rule never fires (zero differential coverage), so the
+/// generator honors the constraint up front.
+fn constant_vars(rule: &Rule) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for c in &rule.constraints {
+        if let Some(("ISA", [Term::Var(v), spec])) = c.as_app() {
+            let constant =
+                matches!(spec, Term::Var(s) if s.as_str() == "constant") || spec.is_app("constant");
+            if constant {
+                out.insert(v.as_str().to_owned());
+            }
+        }
+    }
+    out
+}
+
+/// AND-fold a non-empty conjunct list.
+fn conjoin(mut conjuncts: Vec<Term>) -> Term {
+    let mut t = conjuncts.remove(0);
+    for c in conjuncts {
+        t = Term::app("AND", vec![t, c]);
+    }
+    t
 }
 
 struct Gen {
@@ -147,6 +183,10 @@ struct Gen {
     /// for relation variables, the arity).
     binds: BTreeMap<String, (Term, Option<usize>)>,
     seq_binds: BTreeMap<String, Vec<Term>>,
+    /// Variables `ISA(v, constant)` side conditions pin to literals.
+    const_vars: BTreeSet<String>,
+    /// Fixpoint relations generated so far (names `F1`, `F2`, ...).
+    fix_count: usize,
 }
 
 impl Gen {
@@ -229,14 +269,70 @@ impl Gen {
                         Ok((Term::app(head, vec![l, r]), arity))
                     }
                     "SEARCH" => {
-                        let (inputs, arities) = self.inst_search_inputs(&args[0])?;
-                        let pred = self.inst_pred(&args[1], &arities)?;
+                        let (inputs, arities, focus) = self.inst_search_inputs(&args[0])?;
+                        // When the input list carries a NEST or FIX, a free
+                        // predicate variable is bound to the focus conjuncts
+                        // instead of a random predicate: a qualification of
+                        // exactly the shape the push-down methods (SPLITNEST,
+                        // ADORNMENT) can act on, so those rules actually fire.
+                        let pred = match &args[1] {
+                            Term::Var(v)
+                                if !focus.is_empty() && !self.binds.contains_key(v.as_str()) =>
+                            {
+                                let p = conjoin(focus);
+                                self.binds.insert(v.as_str().to_owned(), (p.clone(), None));
+                                p
+                            }
+                            _ => self.inst_pred(&args[1], &arities)?,
+                        };
                         let proj = self.inst_scalar_list(&args[2], &arities, required)?;
                         let out = proj.len();
                         Ok((
                             Term::app("SEARCH", vec![inputs, pred, Term::list(proj)]),
                             out,
                         ))
+                    }
+                    "NEST" => {
+                        let (nested_p, group_p, in_arity) =
+                            self.nest_partition(&args[1], &args[2], required)?;
+                        let (rel, _) = self.inst_rel(&args[0], Some(in_arity))?;
+                        let kind = self.inst_kind(&args[3])?;
+                        let out = group_p.len() + 1;
+                        Ok((
+                            Term::app(
+                                "NEST",
+                                vec![
+                                    rel,
+                                    Term::list(nested_p.iter().map(|&i| Term::int(i)).collect()),
+                                    Term::list(group_p.iter().map(|&i| Term::int(i)).collect()),
+                                    kind,
+                                ],
+                            ),
+                            out,
+                        ))
+                    }
+                    "FIX" => {
+                        if required.is_some_and(|r| r != 2) {
+                            return Err("generated fixpoints have arity 2".to_owned());
+                        }
+                        let (Term::Var(rv), Term::Var(ev)) = (&args[0], &args[1]) else {
+                            return Err("FIX pattern with a non-variable name or body".to_owned());
+                        };
+                        let (name, body) = match (
+                            self.binds.get(rv.as_str()).cloned(),
+                            self.binds.get(ev.as_str()).cloned(),
+                        ) {
+                            (Some((n, _)), Some((b, _))) => (n, b),
+                            (None, None) => {
+                                let (n, b) = self.gen_fix_body();
+                                self.binds.insert(rv.as_str().to_owned(), (n.clone(), None));
+                                self.binds
+                                    .insert(ev.as_str().to_owned(), (b.clone(), Some(2)));
+                                (n, b)
+                            }
+                            _ => return Err("half-bound FIX pattern".to_owned()),
+                        };
+                        Ok((Term::app("FIX", vec![name, body]), 2))
                     }
                     // DEDUP
                     _ => {
@@ -258,6 +354,21 @@ impl Gen {
         t: &Term,
         arity: usize,
     ) -> Result<(&'static str, Vec<Term>), String> {
+        // A bare variable stands for the whole member collection: bind it
+        // to a SET of fresh tables (UnionMerge's inner `UNION(z)`).
+        if let Term::Var(v) = t {
+            if let Some((term, _)) = self.binds.get(v.as_str()).cloned() {
+                return match term.as_app() {
+                    Some(("SET", items)) => Ok(("SET", items.to_vec())),
+                    _ => Err(format!("'{v}' reused outside a member collection")),
+                };
+            }
+            let n = 1 + self.rng.below(2);
+            let members: Vec<Term> = (0..n).map(|_| self.fresh_table(Some(arity)).0).collect();
+            self.binds
+                .insert(v.as_str().to_owned(), (Term::set(members.clone()), None));
+            return Ok(("SET", members));
+        }
         let Term::App(head, items) = t else {
             return Err("UNION pattern without a collection constructor".to_owned());
         };
@@ -292,12 +403,18 @@ impl Gen {
         Ok(terms)
     }
 
-    fn inst_search_inputs(&mut self, t: &Term) -> Result<(Term, Vec<usize>), String> {
+    /// Instantiate a `SEARCH` input list. The third component is the
+    /// *focus* conjuncts: for every NEST or FIX input, one equality of
+    /// the shape the push-down methods require — `ATTR(pos, g) = const`
+    /// over a group attribute (NEST) or the binding-preserved first
+    /// attribute (FIX). The caller uses them as the predicate when the
+    /// pattern leaves it free.
+    fn inst_search_inputs(&mut self, t: &Term) -> Result<(Term, Vec<usize>, Vec<Term>), String> {
         match t {
             Term::Var(v) => {
                 if let Some((term, _)) = self.binds.get(v.as_str()).cloned() {
                     let arities = search_input_arities(&term, &self.tables)?;
-                    return Ok((term, arities));
+                    return Ok((term, arities, Vec::new()));
                 }
                 let n = 1 + self.rng.below(2);
                 let mut items = Vec::new();
@@ -310,11 +427,12 @@ impl Gen {
                 let term = Term::list(items);
                 self.binds
                     .insert(v.as_str().to_owned(), (term.clone(), None));
-                Ok((term, arities))
+                Ok((term, arities, Vec::new()))
             }
             Term::App(head, items) if head.as_str() == "LIST" => {
                 let mut out = Vec::new();
                 let mut arities = Vec::new();
+                let mut focus = Vec::new();
                 for item in items.as_slice() {
                     if let Term::SeqVar(v) = item {
                         // Search inputs need not share arity; fresh
@@ -326,6 +444,31 @@ impl Gen {
                         }
                     } else {
                         let (rel, a) = self.inst_rel(item, None)?;
+                        let pos = (arities.len() + 1) as i64;
+                        let item_head = match item {
+                            Term::App(h, _) => h.as_str(),
+                            _ => "",
+                        };
+                        match item_head {
+                            "FIX" => {
+                                // The generated fixpoint preserves bindings
+                                // on attribute 1 only.
+                                focus.push(Term::app(
+                                    "=",
+                                    vec![Term::attr(pos, 1), self.pool_const()],
+                                ));
+                            }
+                            "NEST" if a >= 2 => {
+                                // Any group attribute (outputs 1..arity-1;
+                                // the collection is last).
+                                let g = 1 + self.rng.below(a as u64 - 1) as i64;
+                                focus.push(Term::app(
+                                    "=",
+                                    vec![Term::attr(pos, g), self.pool_const()],
+                                ));
+                            }
+                            _ => {}
+                        }
                         out.push(rel);
                         arities.push(a);
                     }
@@ -335,10 +478,117 @@ impl Gen {
                     out.push(rel);
                     arities.push(a);
                 }
-                Ok((Term::list(out), arities))
+                Ok((Term::list(out), arities, focus))
             }
             _ => Err("SEARCH inputs neither a variable nor a LIST".to_owned()),
         }
+    }
+
+    fn pool_const(&mut self) -> Term {
+        Term::int(INT_POOL[self.rng.below(INT_POOL.len() as u64) as usize])
+    }
+
+    /// Choose (or read off) the nested/group attribute partition of a
+    /// `NEST` pattern. Variable patterns get a generated partition — the
+    /// last input attribute nested, the rest grouping — sized to the
+    /// required output arity when the context imposes one.
+    fn nest_partition(
+        &mut self,
+        nested: &Term,
+        group: &Term,
+        required_out: Option<usize>,
+    ) -> Result<(Vec<i64>, Vec<i64>, usize), String> {
+        fn attr_ints(t: &Term) -> Option<Vec<i64>> {
+            match t.as_app() {
+                Some(("LIST", items)) => items
+                    .iter()
+                    .map(|i| match i.as_const() {
+                        Some(Value::Int(n)) => Some(*n),
+                        _ => None,
+                    })
+                    .collect(),
+                _ => None,
+            }
+        }
+        match (nested, group) {
+            (Term::Var(nv), Term::Var(gv)) => {
+                if self.binds.contains_key(nv.as_str()) || self.binds.contains_key(gv.as_str()) {
+                    return Err("NEST attribute lists reused across patterns".to_owned());
+                }
+                // Output = group attributes then the collection, so the
+                // input arity is out - 1 grouping columns + 1 nested one.
+                let in_arity = match required_out {
+                    Some(r) if r >= 2 => r,
+                    Some(_) => return Err("NEST cannot produce arity < 2".to_owned()),
+                    None => 2 + self.rng.below(2) as usize,
+                };
+                let nested_p = vec![in_arity as i64];
+                let group_p: Vec<i64> = (1..in_arity as i64).collect();
+                let as_list =
+                    |ints: &[i64]| Term::list(ints.iter().map(|&i| Term::int(i)).collect());
+                self.binds
+                    .insert(nv.as_str().to_owned(), (as_list(&nested_p), None));
+                self.binds
+                    .insert(gv.as_str().to_owned(), (as_list(&group_p), None));
+                Ok((nested_p, group_p, in_arity))
+            }
+            _ => {
+                let (Some(nested_p), Some(group_p)) = (attr_ints(nested), attr_ints(group)) else {
+                    return Err("NEST attribute lists neither variables nor INT lists".to_owned());
+                };
+                if nested_p.is_empty() || nested_p.iter().chain(&group_p).any(|&i| i < 1) {
+                    return Err("malformed NEST attribute lists".to_owned());
+                }
+                if required_out.is_some_and(|r| r != group_p.len() + 1) {
+                    return Err("NEST output arity conflicts with the context".to_owned());
+                }
+                let in_arity = nested_p.iter().chain(&group_p).copied().max().unwrap() as usize;
+                Ok((nested_p, group_p, in_arity))
+            }
+        }
+    }
+
+    fn inst_kind(&mut self, t: &Term) -> Result<Term, String> {
+        match t {
+            Term::Var(v) => {
+                if let Some((term, _)) = self.binds.get(v.as_str()) {
+                    return Ok(term.clone());
+                }
+                let kind = Term::atom("SET");
+                self.binds
+                    .insert(v.as_str().to_owned(), (kind.clone(), None));
+                Ok(kind)
+            }
+            Term::App(h, args)
+                if args.is_empty() && matches!(h.as_str(), "SET" | "BAG" | "LIST" | "ARRAY") =>
+            {
+                Ok(t.clone())
+            }
+            other => Err(format!("NEST collection kind {other}")),
+        }
+    }
+
+    /// A transitive-closure-shaped fixpoint over two fresh arity-2
+    /// tables: `UNION(SET(seed, SEARCH((F, delta), 1.2 = 2.1, (1.1,
+    /// 2.2))))`. Linear recursion with attribute 1 projected verbatim
+    /// from the recursive occurrence — exactly the class the
+    /// ADORNMENT/ALEXANDER methods can reduce when the outer
+    /// qualification binds attribute 1.
+    fn gen_fix_body(&mut self) -> (Term, Term) {
+        self.fix_count += 1;
+        let name = Term::atom(format!("F{}", self.fix_count));
+        let (seed, _) = self.fresh_table(Some(2));
+        let (delta, _) = self.fresh_table(Some(2));
+        let rec = Term::app(
+            "SEARCH",
+            vec![
+                Term::list(vec![name.clone(), delta]),
+                Term::app("=", vec![Term::attr(1, 2), Term::attr(2, 1)]),
+                Term::list(vec![Term::attr(1, 1), Term::attr(2, 2)]),
+            ],
+        );
+        let body = Term::app("UNION", vec![Term::set(vec![seed, rec])]);
+        (name, body)
     }
 
     fn inst_pred(&mut self, t: &Term, env: &[usize]) -> Result<Term, String> {
@@ -364,6 +614,13 @@ impl Gen {
                     )),
                     ("NOT", 1) => Ok(Term::app("NOT", vec![self.inst_pred(&args[0], env)?])),
                     ("TRUE" | "FALSE", 0) => Ok(t.clone()),
+                    ("MEMBER", 2) => Ok(Term::app(
+                        "MEMBER",
+                        vec![
+                            self.inst_scalar(&args[0], env)?,
+                            self.inst_set(&args[1], env)?,
+                        ],
+                    )),
                     (op, 2) if CMP_OPS.contains(&op) => Ok(Term::app(
                         op,
                         vec![
@@ -380,13 +637,44 @@ impl Gen {
         }
     }
 
+    /// Instantiate a set-valued pattern position (`MEMBER`'s second
+    /// argument): a variable becomes a small literal `SET`, a concrete
+    /// collection constructor has its items instantiated as scalars.
+    fn inst_set(&mut self, t: &Term, env: &[usize]) -> Result<Term, String> {
+        match t {
+            Term::Var(v) => {
+                if let Some((term, _)) = self.binds.get(v.as_str()) {
+                    return Ok(term.clone());
+                }
+                let n = 1 + self.rng.below(3);
+                let items: Vec<Term> = (0..n).map(|_| self.pool_const()).collect();
+                let set = Term::set(items);
+                self.binds
+                    .insert(v.as_str().to_owned(), (set.clone(), None));
+                Ok(set)
+            }
+            Term::App(h, items) if matches!(h.as_str(), "SET" | "MAKESET" | "BAG" | "LIST") => {
+                let inst: Result<Vec<Term>, String> = items
+                    .iter()
+                    .map(|item| self.inst_scalar(item, env))
+                    .collect();
+                Ok(Term::app(h.as_str(), inst?))
+            }
+            other => Err(format!("set-valued position {other}")),
+        }
+    }
+
     fn inst_scalar(&mut self, t: &Term, env: &[usize]) -> Result<Term, String> {
         match t {
             Term::Var(v) => {
                 if let Some((term, _)) = self.binds.get(v.as_str()) {
                     return Ok(term.clone());
                 }
-                let s = self.gen_scalar(env, 1);
+                let s = if self.const_vars.contains(v.as_str()) {
+                    self.pool_const()
+                } else {
+                    self.gen_scalar(env, 1)
+                };
                 self.binds.insert(v.as_str().to_owned(), (s.clone(), None));
                 Ok(s)
             }
@@ -549,6 +837,8 @@ pub fn generate_case(rule: &Rule, seed: u64) -> GenOutcome {
         tables: Vec::new(),
         binds: BTreeMap::new(),
         seq_binds: BTreeMap::new(),
+        const_vars: constant_vars(rule),
+        fix_count: 0,
     };
     let subject = match &rule.lhs {
         Term::App(head, _) if rel_sig(head.as_str()).is_some() => {
@@ -563,6 +853,17 @@ pub fn generate_case(rule: &Rule, seed: u64) -> GenOutcome {
             let (rel, arity) = gen.fresh_table(None);
             match gen.inst_pred(&rule.lhs, &[arity]) {
                 Ok(pred) => Term::app("FILTER", vec![rel, pred]),
+                Err(reason) => return GenOutcome::Unsupported(reason),
+            }
+        }
+        Term::App(head, args) if is_scalar_head(head.as_str(), args.len()) => {
+            // A scalar-rooted rule (the arithmetic folds): embed the
+            // instantiated scalar as the projection of one fresh table.
+            // The rewriter matches at every subterm position, so the
+            // rule fires inside the projection list.
+            let (rel, arity) = gen.fresh_table(None);
+            match gen.inst_scalar(&rule.lhs, &[arity]) {
+                Ok(scalar) => Term::app("PROJECTION", vec![rel, Term::list(vec![scalar])]),
                 Err(reason) => return GenOutcome::Unsupported(reason),
             }
         }
@@ -697,9 +998,112 @@ mod tests {
     }
 
     #[test]
-    fn nest_rules_are_unsupported() {
-        let r = rule("N : NEST(r, LIST(1), LIST(2), SET) / --> r / ;");
-        assert!(matches!(generate_case(&r, 1), GenOutcome::Unsupported(_)));
+    fn nest_rules_instantiate_with_concrete_attribute_lists() {
+        let r = rule("N : NEST(r, LIST(2), LIST(1), SET) / --> NEST(r, LIST(2), LIST(1), SET) / ;");
+        let GenOutcome::Case(case) = generate_case(&r, 1) else {
+            panic!("expected a case");
+        };
+        let (head, args) = case.subject.as_app().unwrap();
+        assert_eq!(head, "NEST");
+        // Input arity covers the largest referenced attribute.
+        assert_eq!(case.tables[0].arity, 2);
+        assert!(args[3].is_app("SET"));
+    }
+
+    #[test]
+    fn nest_in_search_inputs_gets_a_group_attribute_focus_predicate() {
+        let r = rule(
+            "P : SEARCH(LIST(x*, NEST(z, a, b, k), y*), f, exp) / --> \
+             SEARCH(LIST(x*, NEST(z, a, b, k), y*), f, exp) / ;",
+        );
+        let mut supported = 0;
+        for seed in 0..16u64 {
+            let GenOutcome::Case(case) = generate_case(&r, seed) else {
+                continue;
+            };
+            supported += 1;
+            // The predicate is the focus conjunct: an equality over a
+            // group attribute of the NEST input, which is what SPLITNEST
+            // needs to push the qualification below the nest.
+            let (_, args) = case.subject.as_app().unwrap();
+            let (op, cmp) = args[1].as_app().unwrap();
+            assert_eq!(op, "=", "pred = {}", args[1]);
+            assert!(cmp[0].as_attr().is_some(), "pred = {}", args[1]);
+        }
+        assert!(supported >= 8, "only {supported}/16 seeds produced cases");
+    }
+
+    #[test]
+    fn fix_in_search_inputs_generates_a_reducible_recursion() {
+        let r = rule(
+            "F : SEARCH(LIST(x*, FIX(r, e), y*), f, a) / --> \
+             SEARCH(LIST(x*, FIX(r, e), y*), f, a) / ;",
+        );
+        let GenOutcome::Case(case) = generate_case(&r, 5) else {
+            panic!("expected a case");
+        };
+        // Somewhere in the subject there is FIX(F1, UNION(SET(seed,
+        // recursive-search))) — the linear class ALEXANDER reduces.
+        let fix = case
+            .subject
+            .positions()
+            .into_iter()
+            .filter_map(|p| case.subject.at(&p).cloned())
+            .find(|t| t.is_app("FIX"))
+            .expect("a FIX subterm");
+        let (_, fix_args) = fix.as_app().unwrap();
+        assert_eq!(fix_args[0], Term::atom("F1"));
+        assert!(fix_args[1].is_app("UNION"));
+    }
+
+    #[test]
+    fn union_collection_variables_expand_to_member_sets() {
+        let r = rule("U : UNION(SET(x*, UNION(z))) / --> UNION(SET_UNION(x*, z)) / ;");
+        let GenOutcome::Case(case) = generate_case(&r, 11) else {
+            panic!("expected a case");
+        };
+        let (head, args) = case.subject.as_app().unwrap();
+        assert_eq!(head, "UNION");
+        // The inner UNION(z) instantiated with z bound to a concrete SET.
+        let inner = args[0]
+            .as_app()
+            .unwrap()
+            .1
+            .iter()
+            .find(|t| t.is_app("UNION"))
+            .expect("nested UNION");
+        assert!(inner.as_app().unwrap().1[0].is_app("SET"));
+    }
+
+    #[test]
+    fn isa_constant_variables_instantiate_as_literals() {
+        let r =
+            rule("PF : x + y / ISA(x, constant), ISA(y, constant) --> a / EVALUATE(x + y, a) ;");
+        for seed in 0..8u64 {
+            let GenOutcome::Case(case) = generate_case(&r, seed) else {
+                panic!("expected a case");
+            };
+            // PROJECTION(T1, LIST(c1 + c2)) with both operands literal,
+            // so the EVALUATE side condition always succeeds.
+            let (head, args) = case.subject.as_app().unwrap();
+            assert_eq!(head, "PROJECTION");
+            let sum = &args[1].as_app().unwrap().1[0];
+            let (_, operands) = sum.as_app().unwrap();
+            assert!(operands.iter().all(|t| t.as_const().is_some()), "{sum}");
+        }
+    }
+
+    #[test]
+    fn member_predicates_instantiate_over_literal_sets() {
+        let r = rule("MF : MEMBER(x, s) / ISA(x, constant), ISA(s, constant) --> a / EVALUATE(MEMBER(x, s), a) ;");
+        let GenOutcome::Case(case) = generate_case(&r, 2) else {
+            panic!("expected a case");
+        };
+        let (_, args) = case.subject.as_app().unwrap();
+        let (mh, margs) = args[1].as_app().unwrap();
+        assert_eq!(mh, "MEMBER");
+        assert!(margs[0].as_const().is_some());
+        assert!(margs[1].is_app("SET"));
     }
 
     #[test]

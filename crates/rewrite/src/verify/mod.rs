@@ -21,7 +21,7 @@
 //! |---|---|---|
 //! | `EDS030` | error | the rule was **refuted** — prover witness or shrunk fuzz counterexample attached |
 //! | `EDS031` | info | outside the provable fragment — differential fuzzing is the only coverage |
-//! | `EDS032` | warning | equivalence needs a side condition the rule cannot express (typically NOT NULL) |
+//! | `EDS032` | warning | equivalence needs a NOT-NULL side condition (add `NOTNULL(...)` guards) |
 
 pub mod equiv;
 pub mod fuzz;
